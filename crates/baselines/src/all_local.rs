@@ -1,0 +1,60 @@
+//! The do-nothing reference solver.
+
+use mec_system::{Assignment, Scenario, Solution, Solver, SolverStats};
+use mec_types::Error;
+use std::time::Duration;
+
+/// Keeps every task on its own device (`X = 0`, utility 0).
+///
+/// Useful as the zero line in plots and as a sanity check: every other
+/// solver must score at least as well, since `X = 0` is always feasible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllLocalSolver;
+
+impl AllLocalSolver {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Solver for AllLocalSolver {
+    fn name(&self) -> &str {
+        "AllLocal"
+    }
+
+    fn solve(&mut self, scenario: &Scenario) -> Result<Solution, Error> {
+        Ok(Solution {
+            assignment: Assignment::all_local(scenario),
+            utility: 0.0,
+            stats: SolverStats {
+                objective_evaluations: 0,
+                iterations: 0,
+                elapsed: Duration::ZERO,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_radio::{ChannelGains, OfdmaConfig};
+    use mec_system::UserSpec;
+    use mec_types::{Cycles, Hertz, ServerProfile, Watts};
+
+    #[test]
+    fn always_returns_zero_utility() {
+        let sc = Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(1000.0)).unwrap(); 3],
+            vec![ServerProfile::paper_default()],
+            OfdmaConfig::new(Hertz::from_mega(20.0), 2).unwrap(),
+            ChannelGains::uniform(3, 1, 2, 1e-10).unwrap(),
+            Watts::new(1e-13),
+        )
+        .unwrap();
+        let solution = AllLocalSolver::new().solve(&sc).unwrap();
+        assert_eq!(solution.utility, 0.0);
+        assert_eq!(solution.assignment.num_offloaded(), 0);
+    }
+}

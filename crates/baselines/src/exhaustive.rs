@@ -1,0 +1,359 @@
+//! Exhaustive (brute-force) search — the global optimum.
+
+use mec_system::{Assignment, EvalScratch, Evaluator, Scenario, Solution, Solver, SolverStats};
+use mec_types::{Error, SubchannelId, UserId};
+use std::time::Instant;
+
+/// Enumerates every feasible offloading decision and returns the best.
+///
+/// The search walks users in id order; each user either stays local or
+/// takes one currently-free `(server, subchannel)` slot, so only feasible
+/// decisions (constraints 12b–12d) are ever visited. The number of leaves
+/// is at most `(S·N + 1)^U`; a configurable guard refuses instances whose
+/// upper bound exceeds [`ExhaustiveSolver::max_leaves`], because this
+/// method is meant for the confined networks of Fig. 3 (`U=6, S=4, N=2` ⇒
+/// ≤ 9⁶ ≈ 5.3·10⁵ leaves).
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveSolver {
+    max_leaves: f64,
+    parallel: bool,
+}
+
+impl ExhaustiveSolver {
+    /// Default guard: 5·10⁷ leaf evaluations.
+    pub const DEFAULT_MAX_LEAVES: f64 = 5.0e7;
+
+    /// Creates the solver with the default guard (parallel search on).
+    pub fn new() -> Self {
+        Self {
+            max_leaves: Self::DEFAULT_MAX_LEAVES,
+            parallel: true,
+        }
+    }
+
+    /// Overrides the leaf-count guard.
+    pub fn with_max_leaves(mut self, max_leaves: f64) -> Self {
+        self.max_leaves = max_leaves;
+        self
+    }
+
+    /// Disables the branch-parallel search (single-threaded DFS). The
+    /// result is identical either way; parallel mode splits the first
+    /// user's branches across threads.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// The configured guard.
+    pub fn max_leaves(&self) -> f64 {
+        self.max_leaves
+    }
+
+    /// Upper bound on the number of leaves for a scenario.
+    pub fn leaf_bound(scenario: &Scenario) -> f64 {
+        let options = (scenario.num_servers() * scenario.num_subchannels() + 1) as f64;
+        options.powi(scenario.num_users() as i32)
+    }
+}
+
+impl Default for ExhaustiveSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct Search<'a> {
+    scenario: &'a Scenario,
+    evaluator: Evaluator<'a>,
+    scratch: EvalScratch,
+    current: Assignment,
+    best: Assignment,
+    best_obj: f64,
+    leaves: u64,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, user_index: usize) {
+        if user_index == self.scenario.num_users() {
+            self.leaves += 1;
+            let obj = self
+                .evaluator
+                .objective_with(&self.current, &mut self.scratch);
+            if obj > self.best_obj {
+                self.best_obj = obj;
+                self.best = self.current.clone();
+            }
+            return;
+        }
+        let user = UserId::new(user_index);
+
+        // Option 1: local execution.
+        self.recurse(user_index + 1);
+
+        // Option 2: every currently-free slot.
+        for s in self.scenario.server_ids() {
+            for j in 0..self.scenario.num_subchannels() {
+                let j = SubchannelId::new(j);
+                if self.current.occupant(s, j).is_none() {
+                    self.current.assign(user, s, j).expect("slot checked free");
+                    self.recurse(user_index + 1);
+                    self.current.release(user);
+                }
+            }
+        }
+    }
+}
+
+impl Solver for ExhaustiveSolver {
+    fn name(&self) -> &str {
+        "Exhaustive"
+    }
+
+    fn solve(&mut self, scenario: &Scenario) -> Result<Solution, Error> {
+        let bound = Self::leaf_bound(scenario);
+        if bound > self.max_leaves {
+            return Err(Error::UnsupportedScenario(format!(
+                "exhaustive search bound {bound:.2e} exceeds the {:.2e} guard \
+                 (U={}, S={}, N={})",
+                self.max_leaves,
+                scenario.num_users(),
+                scenario.num_servers(),
+                scenario.num_subchannels()
+            )));
+        }
+        let start = Instant::now();
+        let (best, best_obj, leaves) = if self.parallel && scenario.num_users() > 1 {
+            solve_parallel(scenario)
+        } else {
+            let all_local = Assignment::all_local(scenario);
+            let mut search = Search {
+                scenario,
+                evaluator: Evaluator::new(scenario),
+                scratch: EvalScratch::default(),
+                current: all_local.clone(),
+                best: all_local,
+                best_obj: 0.0, // X = 0 scores exactly 0.
+                leaves: 0,
+            };
+            search.recurse(0);
+            (search.best, search.best_obj, search.leaves)
+        };
+        Ok(Solution {
+            assignment: best,
+            utility: best_obj,
+            stats: SolverStats {
+                objective_evaluations: leaves,
+                iterations: leaves,
+                elapsed: start.elapsed(),
+            },
+        })
+    }
+}
+
+/// Splits the first user's options (local + every slot) across worker
+/// threads, each running the sequential DFS over the remaining users.
+/// Branch results are folded in branch order with a strict `>`, so the
+/// outcome is bit-identical to the sequential search.
+fn solve_parallel(scenario: &Scenario) -> (Assignment, f64, u64) {
+    let first = UserId::new(0);
+    // Branch 0 = user 0 local; branches 1.. = user 0 on each slot.
+    let mut branches = vec![None];
+    for s in scenario.server_ids() {
+        for j in 0..scenario.num_subchannels() {
+            branches.push(Some((s, SubchannelId::new(j))));
+        }
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(branches.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<(Assignment, f64, u64)>> = Vec::new();
+    results.resize_with(branches.len(), || None);
+    let results = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= branches.len() {
+                    break;
+                }
+                let mut current = Assignment::all_local(scenario);
+                if let Some((s, j)) = branches[i] {
+                    current
+                        .assign(first, s, j)
+                        .expect("slot is free in a fresh X");
+                }
+                let mut search = Search {
+                    scenario,
+                    evaluator: Evaluator::new(scenario),
+                    scratch: EvalScratch::default(),
+                    best: current.clone(),
+                    current,
+                    best_obj: f64::NEG_INFINITY,
+                    leaves: 0,
+                };
+                search.recurse(1);
+                let mut guard = results.lock().expect("no poisoned branches");
+                guard[i] = Some((search.best, search.best_obj, search.leaves));
+            });
+        }
+    });
+
+    // Fold in branch order; start from the all-local reference of 0.0 just
+    // like the sequential path.
+    let mut best = Assignment::all_local(scenario);
+    let mut best_obj = 0.0;
+    let mut leaves = 0;
+    for r in results
+        .into_inner()
+        .expect("no poisoned branches")
+        .iter_mut()
+    {
+        let (b, obj, n) = r.take().expect("every branch was explored");
+        leaves += n;
+        if obj > best_obj {
+            best = b;
+            best_obj = obj;
+        }
+    }
+    (best, best_obj, leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_radio::{ChannelGains, OfdmaConfig};
+    use mec_system::UserSpec;
+    use mec_types::{Cycles, Hertz, ServerId, ServerProfile, Watts};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_scenario(users: usize, servers: usize, subs: usize, gain: f64) -> Scenario {
+        Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(2000.0)).unwrap(); users],
+            vec![ServerProfile::paper_default(); servers],
+            OfdmaConfig::new(Hertz::from_mega(20.0), subs).unwrap(),
+            ChannelGains::uniform(users, servers, subs, gain).unwrap(),
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    fn random_scenario(seed: u64, users: usize, servers: usize, subs: usize) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gains = ChannelGains::from_fn(users, servers, subs, |_, _, _| {
+            10.0_f64.powf(rng.gen_range(-12.0..-9.0))
+        })
+        .unwrap();
+        Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(2000.0)).unwrap(); users],
+            vec![ServerProfile::paper_default(); servers],
+            OfdmaConfig::new(Hertz::from_mega(20.0), subs).unwrap(),
+            gains,
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn leaf_count_matches_closed_form_when_slots_exceed_users() {
+        // With K = S·N slots and U users, the exact leaf count is
+        // Σ_m C(U, m) · P(K, m) for m offloaded users.
+        let sc = uniform_scenario(2, 2, 1, 1e-10);
+        let solution = ExhaustiveSolver::new().solve(&sc).unwrap();
+        // U=2, K=2: m=0 → 1, m=1 → 2·2=4, m=2 → 1·2·1·... C(2,2)·P(2,2)=2.
+        assert_eq!(solution.stats.objective_evaluations, 1 + 4 + 2);
+    }
+
+    #[test]
+    fn finds_the_obvious_optimum() {
+        // One user, good channel: the optimum offloads it.
+        let sc = uniform_scenario(1, 2, 2, 1e-10);
+        let solution = ExhaustiveSolver::new().solve(&sc).unwrap();
+        assert_eq!(solution.assignment.num_offloaded(), 1);
+        assert!(solution.utility > 0.0);
+    }
+
+    #[test]
+    fn all_local_wins_on_terrible_channels() {
+        let sc = uniform_scenario(3, 2, 2, 1e-17);
+        let solution = ExhaustiveSolver::new().solve(&sc).unwrap();
+        assert_eq!(solution.assignment.num_offloaded(), 0);
+        assert_eq!(solution.utility, 0.0);
+    }
+
+    #[test]
+    fn beats_or_ties_every_random_feasible_decision() {
+        let sc = random_scenario(1, 4, 2, 2);
+        let opt = ExhaustiveSolver::new().solve(&sc).unwrap();
+        let ev = Evaluator::new(&sc);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let mut x = Assignment::all_local(&sc);
+            for u in sc.user_ids() {
+                if rng.gen_bool(0.6) {
+                    let s = ServerId::new(rng.gen_range(0..sc.num_servers()));
+                    if let Some(j) = x.free_subchannel(s) {
+                        x.assign(u, s, j).unwrap();
+                    }
+                }
+            }
+            assert!(ev.objective(&x) <= opt.utility + 1e-12);
+        }
+    }
+
+    #[test]
+    fn separable_case_matches_independent_optimum() {
+        // One user per cell on orthogonal subchannels is optimal when
+        // channels are clean and capacity abundant; the optimum for 2
+        // users, 2 servers, 2 subchannels must use different subchannels
+        // (and different servers) to dodge interference.
+        let sc = uniform_scenario(2, 2, 2, 1e-10);
+        let solution = ExhaustiveSolver::new().solve(&sc).unwrap();
+        let slots: Vec<_> = solution.assignment.offloaded().collect();
+        assert_eq!(slots.len(), 2);
+        assert_ne!(
+            slots[0].2, slots[1].2,
+            "optimal decisions avoid co-channel interference"
+        );
+    }
+
+    #[test]
+    fn size_guard_refuses_large_instances() {
+        let sc = uniform_scenario(10, 4, 3, 1e-10);
+        // 13^10 ≈ 1.4e11 > default guard.
+        let result = ExhaustiveSolver::new().solve(&sc);
+        assert!(matches!(result, Err(Error::UnsupportedScenario(_))));
+        // But a raised guard of this magnitude is accepted structurally.
+        assert!(ExhaustiveSolver::leaf_bound(&sc) > ExhaustiveSolver::DEFAULT_MAX_LEAVES);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        for seed in 0..3 {
+            let sc = random_scenario(seed, 5, 3, 2);
+            let par = ExhaustiveSolver::new().solve(&sc).unwrap();
+            let seq = ExhaustiveSolver::new().sequential().solve(&sc).unwrap();
+            assert_eq!(par.assignment, seq.assignment, "seed {seed}");
+            assert_eq!(par.utility, seq.utility);
+            assert_eq!(
+                par.stats.objective_evaluations,
+                seq.stats.objective_evaluations
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_sized_instance_completes() {
+        // U=6, S=4, N=2 — the paper's Fig. 3 configuration.
+        let sc = random_scenario(5, 6, 4, 2);
+        let solution = ExhaustiveSolver::new().solve(&sc).unwrap();
+        assert!(solution.utility >= 0.0);
+        assert!(solution.stats.objective_evaluations > 0);
+        solution.assignment.verify_feasible(&sc).unwrap();
+    }
+}

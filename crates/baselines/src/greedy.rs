@@ -1,0 +1,262 @@
+//! The greedy offloading baseline.
+
+use mec_system::{Assignment, Evaluator, Scenario, Solution, Solver, SolverStats};
+use mec_types::{Error, ServerId, SubchannelId};
+use std::time::Instant;
+
+/// Greedy offloading (§V baselines): *"all permissible tasks, up to the
+/// limit set by the base stations, are offloaded; users are assigned to
+/// sub-bands in a prioritized manner, favoring those with the strongest
+/// signal strength."*
+///
+/// Users are processed in descending order of their best channel gain;
+/// each one attaches to its strongest station that still has a free
+/// subchannel (falling back to weaker stations before giving up). Within
+/// the chosen station, the free sub-band with the least interference
+/// accumulated from already-admitted users is taken — the "prioritized"
+/// sub-band choice.
+///
+/// After the fill, users whose individual benefit `J_u` is negative are
+/// released back to local execution (repeatedly, since each release
+/// lowers interference for the rest). This applies the paper's §III-A
+/// rule that *"users should only offload if the benefit `J_u` is
+/// positive"*; without it, greedy's utility collapses in
+/// interference-limited configurations instead of trailing the smarter
+/// schemes by a few percent as in Fig. 3. Greedy still never *optimizes*
+/// placements — it only admits and prunes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySolver;
+
+impl GreedySolver {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &str {
+        "Greedy"
+    }
+
+    fn solve(&mut self, scenario: &Scenario) -> Result<Solution, Error> {
+        let start = Instant::now();
+        let gains = scenario.gains();
+        let j0 = SubchannelId::new(0);
+
+        // Rank users by the gain to their strongest station.
+        let mut order: Vec<_> = scenario.user_ids().collect();
+        order.sort_by(|a, b| {
+            let ga = gains.gain(*a, gains.best_server(*a), j0);
+            let gb = gains.gain(*b, gains.best_server(*b), j0);
+            gb.partial_cmp(&ga).expect("gains are finite")
+        });
+
+        let mut x = Assignment::all_local(scenario);
+        // interference[s][j]: received power at station s on sub-band j
+        // from users admitted so far (to other stations).
+        let num_sub = scenario.num_subchannels();
+        let mut interference = vec![0.0f64; scenario.num_servers() * num_sub];
+        for u in order {
+            // Stations for this user, strongest first.
+            let mut stations: Vec<ServerId> = scenario.server_ids().collect();
+            stations.sort_by(|a, b| {
+                gains
+                    .gain(u, *b, j0)
+                    .partial_cmp(&gains.gain(u, *a, j0))
+                    .expect("gains are finite")
+            });
+            for s in stations {
+                // Least-interfered free sub-band at this station.
+                let chosen = x.free_subchannels(s).into_iter().min_by(|a, b| {
+                    let ia = interference[s.index() * num_sub + a.index()];
+                    let ib = interference[s.index() * num_sub + b.index()];
+                    ia.partial_cmp(&ib).expect("powers are finite")
+                });
+                if let Some(j) = chosen {
+                    x.assign(u, s, j).expect("slot reported free");
+                    let p = scenario.tx_powers_watts()[u.index()];
+                    for r in scenario.server_ids() {
+                        if r != s {
+                            interference[r.index() * num_sub + j.index()] +=
+                                p * gains.gain(u, r, j);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Prune users for whom offloading hurts (J_u < 0); releasing them
+        // reduces interference, so iterate until stable.
+        let evaluator = Evaluator::new(scenario);
+        let mut evals: u64 = 0;
+        loop {
+            let eval = evaluator
+                .evaluate(&x)
+                .expect("greedy assignments are feasible by construction");
+            evals += 1;
+            let negative: Vec<_> = scenario
+                .user_ids()
+                .filter(|u| x.is_offloaded(*u) && eval.users[u.index()].utility < 0.0)
+                .collect();
+            if negative.is_empty() {
+                break;
+            }
+            for u in negative {
+                x.release(u);
+            }
+        }
+
+        let utility = evaluator.objective(&x);
+        Ok(Solution {
+            assignment: x,
+            utility,
+            stats: SolverStats {
+                objective_evaluations: evals + 1,
+                iterations: scenario.num_users() as u64,
+                elapsed: start.elapsed(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_radio::{ChannelGains, OfdmaConfig};
+    use mec_system::UserSpec;
+    use mec_types::{Cycles, Hertz, ServerProfile, UserId, Watts};
+
+    fn scenario_with_gains(gains: ChannelGains, servers: usize, subs: usize) -> Scenario {
+        let users = gains.num_users();
+        Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(2000.0)).unwrap(); users],
+            vec![ServerProfile::paper_default(); servers],
+            OfdmaConfig::new(Hertz::from_mega(20.0), subs).unwrap(),
+            gains,
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fills_base_stations_to_capacity() {
+        // 5 users, capacity for 4 (2 servers × 2 subchannels).
+        let gains = ChannelGains::uniform(5, 2, 2, 1e-10).unwrap();
+        let sc = scenario_with_gains(gains, 2, 2);
+        let solution = GreedySolver::new().solve(&sc).unwrap();
+        assert_eq!(
+            solution.assignment.num_offloaded(),
+            4,
+            "greedy offloads to the cap"
+        );
+    }
+
+    #[test]
+    fn prefers_the_strongest_station() {
+        // User 0 strongly prefers server 1; user 1 prefers server 0.
+        let gains =
+            ChannelGains::from_fn(
+                2,
+                2,
+                1,
+                |u, s, _| {
+                    if u.index() == s.index() {
+                        1e-11
+                    } else {
+                        1e-9
+                    }
+                },
+            )
+            .unwrap();
+        let sc = scenario_with_gains(gains, 2, 1);
+        let solution = GreedySolver::new().solve(&sc).unwrap();
+        assert_eq!(
+            solution
+                .assignment
+                .slot(UserId::new(0))
+                .map(|(s, _)| s.index()),
+            Some(1)
+        );
+        assert_eq!(
+            solution
+                .assignment
+                .slot(UserId::new(1))
+                .map(|(s, _)| s.index()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn stronger_users_pick_first_when_contending() {
+        // Both users want server 0 (only 1 slot); user 1 has the better
+        // gain so it wins and user 0 falls back to server 1.
+        let gains = ChannelGains::from_fn(2, 2, 1, |u, s, _| match (u.index(), s.index()) {
+            (0, 0) => 1e-10,
+            (1, 0) => 1e-9,
+            _ => 1e-12,
+        })
+        .unwrap();
+        let sc = scenario_with_gains(gains, 2, 1);
+        let solution = GreedySolver::new().solve(&sc).unwrap();
+        assert_eq!(
+            solution
+                .assignment
+                .slot(UserId::new(1))
+                .map(|(s, _)| s.index()),
+            Some(0)
+        );
+        assert_eq!(
+            solution
+                .assignment
+                .slot(UserId::new(0))
+                .map(|(s, _)| s.index()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn negative_benefit_users_are_pruned() {
+        // Terrible channels: greedy fills the stations, then the J_u < 0
+        // prune releases everyone, ending at the all-local decision.
+        let gains = ChannelGains::uniform(2, 1, 2, 1e-17).unwrap();
+        let sc = scenario_with_gains(gains, 1, 2);
+        let solution = GreedySolver::new().solve(&sc).unwrap();
+        assert_eq!(solution.assignment.num_offloaded(), 0);
+        assert_eq!(solution.utility, 0.0);
+    }
+
+    #[test]
+    fn prune_is_iterative_not_one_shot() {
+        // A mixed case: one user has a clean channel, the other a poor
+        // one. The poor user is pruned; the good one must survive.
+        let gains = ChannelGains::from_fn(
+            2,
+            2,
+            1,
+            |u, _, _| {
+                if u.index() == 0 {
+                    1e-10
+                } else {
+                    1e-16
+                }
+            },
+        )
+        .unwrap();
+        let sc = scenario_with_gains(gains, 2, 1);
+        let solution = GreedySolver::new().solve(&sc).unwrap();
+        assert!(solution.assignment.is_offloaded(UserId::new(0)));
+        assert!(!solution.assignment.is_offloaded(UserId::new(1)));
+        assert!(solution.utility > 0.0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let gains = ChannelGains::uniform(4, 2, 2, 1e-10).unwrap();
+        let sc = scenario_with_gains(gains, 2, 2);
+        let a = GreedySolver::new().solve(&sc).unwrap();
+        let b = GreedySolver::new().solve(&sc).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

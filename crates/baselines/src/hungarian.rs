@@ -1,0 +1,220 @@
+//! Maximum-weight bipartite assignment (Hungarian / Jonker-Volgenant
+//! style potentials), used by the interference-free upper bound.
+//!
+//! Solves `max Σ_i w[i][σ(i)]` over injective assignments `σ` of rows to
+//! columns, where every row may also remain unassigned at weight 0 (the
+//! "stay local" option). Runs in `O(n²·m)` — ample for the row/column
+//! counts of MEC scheduling instances.
+
+/// Solves the maximum-weight assignment problem.
+///
+/// `weights[i][j]` is the value of assigning row `i` to column `j`;
+/// negative values are never chosen because every row can stay
+/// unassigned at value 0. Returns `(total_value, assignment)` with
+/// `assignment[i] = Some(j)` for matched rows.
+///
+/// # Example
+///
+/// ```
+/// use mec_baselines::max_weight_assignment;
+///
+/// // Both rows prefer column 0; the matching resolves the conflict.
+/// let weights = vec![vec![5.0, 2.0], vec![5.0, 0.0]];
+/// let (total, assignment) = max_weight_assignment(&weights);
+/// assert_eq!(total, 7.0);
+/// assert_eq!(assignment, vec![Some(1), Some(0)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the weight matrix is ragged or contains non-finite values.
+pub fn max_weight_assignment(weights: &[Vec<f64>]) -> (f64, Vec<Option<usize>>) {
+    let rows = weights.len();
+    if rows == 0 {
+        return (0.0, Vec::new());
+    }
+    let cols = weights[0].len();
+    for row in weights {
+        assert_eq!(row.len(), cols, "weight matrix must be rectangular");
+        assert!(row.iter().all(|w| w.is_finite()), "weights must be finite");
+    }
+
+    // Reduce to square minimization with explicit "unassigned" columns:
+    // one dummy column per row at weight 0, then pad rows/columns to a
+    // square matrix of size n = rows + cols so every row and column can be
+    // matched. Minimize cost = -weight.
+    let n = rows + cols;
+    let big = 0.0; // dummy/padding weight (staying local is worth 0)
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < rows && j < cols {
+            -weights[i][j]
+        } else {
+            -big
+        }
+    };
+
+    // Hungarian algorithm with potentials (1-indexed internals).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; rows];
+    let mut total = 0.0;
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i <= rows && j <= cols {
+            let w = weights[i - 1][j - 1];
+            // Dummy columns carry weight 0; a real column only counts when
+            // it beats staying unassigned.
+            if w > 0.0 {
+                assignment[i - 1] = Some(j - 1);
+                total += w;
+            }
+        }
+    }
+    (total, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force reference: try every injective row→column map
+    /// (including unassigned) and return the best total.
+    fn brute_force(weights: &[Vec<f64>]) -> f64 {
+        fn recurse(weights: &[Vec<f64>], row: usize, used: &mut Vec<bool>) -> f64 {
+            if row == weights.len() {
+                return 0.0;
+            }
+            // Option 1: leave this row unassigned.
+            let mut best = recurse(weights, row + 1, used);
+            for j in 0..weights[row].len() {
+                if !used[j] && weights[row][j] > 0.0 {
+                    used[j] = true;
+                    let v = weights[row][j] + recurse(weights, row + 1, used);
+                    used[j] = false;
+                    best = best.max(v);
+                }
+            }
+            best
+        }
+        let cols = weights.first().map(|r| r.len()).unwrap_or(0);
+        recurse(weights, 0, &mut vec![false; cols])
+    }
+
+    #[test]
+    fn hand_checked_instances() {
+        // Simple 2x2: diagonal is optimal.
+        let w = vec![vec![5.0, 1.0], vec![1.0, 5.0]];
+        let (total, a) = max_weight_assignment(&w);
+        assert_eq!(total, 10.0);
+        assert_eq!(a, vec![Some(0), Some(1)]);
+
+        // Conflict on the best column: one row must settle or stay out.
+        let w = vec![vec![5.0, 2.0], vec![5.0, 0.0]];
+        let (total, _) = max_weight_assignment(&w);
+        assert_eq!(total, 7.0);
+
+        // All-negative weights: everyone stays unassigned.
+        let w = vec![vec![-1.0, -2.0], vec![-3.0, -4.0]];
+        let (total, a) = max_weight_assignment(&w);
+        assert_eq!(total, 0.0);
+        assert_eq!(a, vec![None, None]);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        // More rows than columns.
+        let w = vec![vec![3.0], vec![2.0], vec![1.0]];
+        let (total, a) = max_weight_assignment(&w);
+        assert_eq!(total, 3.0);
+        assert_eq!(a, vec![Some(0), None, None]);
+
+        // More columns than rows.
+        let w = vec![vec![1.0, 9.0, 4.0]];
+        let (total, a) = max_weight_assignment(&w);
+        assert_eq!(total, 9.0);
+        assert_eq!(a, vec![Some(1)]);
+
+        // Degenerate shapes.
+        assert_eq!(max_weight_assignment(&[]).0, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..60 {
+            let rows = rng.gen_range(1..=6);
+            let cols = rng.gen_range(1..=6);
+            let w: Vec<Vec<f64>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(-5.0..10.0)).collect())
+                .collect();
+            let (total, assignment) = max_weight_assignment(&w);
+            let expected = brute_force(&w);
+            assert!(
+                (total - expected).abs() < 1e-9,
+                "trial {trial}: hungarian {total} vs brute force {expected} on {w:?}"
+            );
+            // The returned assignment must be injective and consistent
+            // with the reported value.
+            let mut seen = std::collections::HashSet::new();
+            let mut check = 0.0;
+            for (i, slot) in assignment.iter().enumerate() {
+                if let Some(j) = slot {
+                    assert!(seen.insert(*j), "column {j} used twice");
+                    check += w[i][*j];
+                }
+            }
+            assert!((check - total).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Runtime ablation: threshold-triggered vs plain geometric cooling.
+//! (The quality side of this ablation is the `ablation` binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_system::Solver;
+use mec_workloads::{ExperimentParams, ScenarioGenerator};
+use tsajs::{Cooling, TsajsSolver, TtsaConfig};
+
+fn bench_cooling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cooling");
+    group.sample_size(10);
+    let generator = ScenarioGenerator::new(ExperimentParams::paper_default().with_users(30));
+    let scenario = generator.generate(1).expect("scenario");
+
+    let schedules: Vec<(&str, Cooling)> = vec![
+        (
+            "threshold_triggered",
+            Cooling::ThresholdTriggered {
+                alpha_slow: 0.97,
+                alpha_fast: 0.90,
+                max_count_factor: 1.75,
+            },
+        ),
+        ("geometric_097", Cooling::Geometric { alpha: 0.97 }),
+    ];
+    for (name, cooling) in schedules {
+        group.bench_with_input(BenchmarkId::new(name, 30), &scenario, |b, sc| {
+            b.iter(|| {
+                let mut solver = TsajsSolver::new(
+                    TtsaConfig::paper_default()
+                        .with_cooling(cooling)
+                        .with_min_temperature(1e-3)
+                        .with_seed(5),
+                );
+                solver.solve(sc).expect("solve")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cooling);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Channel-gain tensor generation (layout + placement + shadowing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_radio::ChannelModel;
+use mec_topology::{place_users_uniform, NetworkLayout};
+use mec_types::constants;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel");
+    let layout = NetworkLayout::hexagonal(9, constants::INTER_SITE_DISTANCE).expect("layout");
+    for users in [30usize, 90, 300] {
+        group.bench_with_input(BenchmarkId::new("generate", users), &users, |b, &users| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let positions = place_users_uniform(&layout, users, &mut rng);
+                ChannelModel::paper_default().generate(&layout, &positions, 3, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! The objective-evaluation hot path: exact J*(X) at various populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_system::{Assignment, Evaluator};
+use mec_types::{ServerId, UserId};
+use mec_workloads::{ExperimentParams, ScenarioGenerator};
+
+fn bench_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective");
+    for users in [10usize, 50, 100] {
+        let generator = ScenarioGenerator::new(ExperimentParams::paper_default().with_users(users));
+        let scenario = generator.generate(1).expect("scenario");
+        // Populate roughly half the users.
+        let mut x = Assignment::all_local(&scenario);
+        for u in 0..users {
+            if u % 2 == 0 {
+                let s = ServerId::new(u % scenario.num_servers());
+                if let Some(j) = x.free_subchannel(s) {
+                    x.assign(UserId::new(u), s, j).expect("free slot");
+                }
+            }
+        }
+        let evaluator = Evaluator::new(&scenario);
+        group.bench_with_input(BenchmarkId::new("closed_form", users), &x, |b, x| {
+            b.iter(|| evaluator.objective(x))
+        });
+        group.bench_with_input(BenchmarkId::new("full_evaluate", users), &x, |b, x| {
+            b.iter(|| evaluator.evaluate(x).expect("evaluate"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_objective);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Solver throughput on paper-default scenarios of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_system::Solver;
+use mec_workloads::{ExperimentParams, ScenarioGenerator};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    for users in [10usize, 30, 50] {
+        let generator = ScenarioGenerator::new(ExperimentParams::paper_default().with_users(users));
+        let scenario = generator.generate(1).expect("scenario");
+
+        group.bench_with_input(BenchmarkId::new("tsajs", users), &scenario, |b, sc| {
+            b.iter(|| {
+                let mut solver = tsajs::TsajsSolver::new(
+                    tsajs::TtsaConfig::paper_default()
+                        .with_min_temperature(1e-3)
+                        .with_seed(7),
+                );
+                solver.solve(sc).expect("solve")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hjtora", users), &scenario, |b, sc| {
+            b.iter(|| mec_baselines::HJtoraSolver::new().solve(sc).expect("solve"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("local_search", users),
+            &scenario,
+            |b, sc| {
+                b.iter(|| {
+                    mec_baselines::LocalSearchSolver::with_seed(7)
+                        .solve(sc)
+                        .expect("solve")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("greedy", users), &scenario, |b, sc| {
+            b.iter(|| mec_baselines::GreedySolver::new().solve(sc).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Microbenches for the core data structures: assignment mutations, the
+//! KKT allocation, and topology/placement primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_baselines::max_weight_assignment;
+use mec_system::{kkt_allocation, Assignment};
+use mec_topology::{place_users_uniform, NetworkLayout};
+use mec_types::{constants, ServerId, SubchannelId, UserId};
+use mec_workloads::{ExperimentParams, ScenarioGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_assignment_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    for users in [30usize, 90] {
+        let scenario = ScenarioGenerator::new(ExperimentParams::paper_default().with_users(users))
+            .generate(1)
+            .expect("scenario");
+        group.bench_with_input(
+            BenchmarkId::new("assign_release_cycle", users),
+            &scenario,
+            |b, sc| {
+                let mut x = Assignment::all_local(sc);
+                let mut rng = StdRng::seed_from_u64(0);
+                b.iter(|| {
+                    let u = UserId::new(rng.gen_range(0..sc.num_users()));
+                    let s = ServerId::new(rng.gen_range(0..sc.num_servers()));
+                    let j = SubchannelId::new(rng.gen_range(0..sc.num_subchannels()));
+                    let _ = x.assign_evicting(u, s, j);
+                    x.release(u);
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("clone", users), &scenario, |b, sc| {
+            let mut x = Assignment::all_local(sc);
+            for i in 0..sc.num_servers().min(sc.num_users()) {
+                let _ = x.assign(
+                    UserId::new(i),
+                    ServerId::new(i % sc.num_servers()),
+                    SubchannelId::new(0),
+                );
+            }
+            b.iter(|| x.clone())
+        });
+    }
+    group.finish();
+}
+
+fn bench_kkt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    for users in [30usize, 90] {
+        let scenario = ScenarioGenerator::new(
+            ExperimentParams::paper_default()
+                .with_users(users)
+                .with_subchannels(12)
+                .with_beta_time_spread(0.4),
+        )
+        .generate(1)
+        .expect("scenario");
+        let mut x = Assignment::all_local(&scenario);
+        let mut rng = StdRng::seed_from_u64(2);
+        for u in scenario.user_ids() {
+            let s = ServerId::new(rng.gen_range(0..scenario.num_servers()));
+            if let Some(j) = x.free_subchannel(s) {
+                let _ = x.assign(u, s, j);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("kkt", users), &x, |b, x| {
+            b.iter(|| kkt_allocation(&scenario, x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    let layout = NetworkLayout::hexagonal(9, constants::INTER_SITE_DISTANCE).expect("layout");
+    group.bench_function("place_100_users", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| place_users_uniform(&layout, 100, &mut rng))
+    });
+    group.bench_function("nearest_station", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let points = place_users_uniform(&layout, 1000, &mut rng);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % points.len();
+            layout.nearest_station(points[i])
+        })
+    });
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for (rows, cols) in [(30usize, 27usize), (90, 27), (90, 450)] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("max_weight", format!("{rows}x{cols}")),
+            &weights,
+            |b, w| b.iter(|| max_weight_assignment(w)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_assignment_ops,
+    bench_kkt,
+    bench_topology,
+    bench_hungarian
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 4 of the paper. Pass `--full` for paper-faithful
+//! trial counts; the default quick preset smoke-tests the pipeline.
+
+fn main() {
+    let preset = mec_bench::preset_from_args();
+    eprintln!("running fig4 with preset {preset:?} ...");
+    let tables = mec_workloads::experiments::fig4::paper(preset).expect("experiment failed");
+    mec_bench::emit(&tables, "fig4").expect("failed to write results");
+}

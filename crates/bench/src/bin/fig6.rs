@@ -1,0 +1,9 @@
+//! Regenerates Fig. 6 of the paper. Pass `--full` for paper-faithful
+//! trial counts; the default quick preset smoke-tests the pipeline.
+
+fn main() {
+    let preset = mec_bench::preset_from_args();
+    eprintln!("running fig6 with preset {preset:?} ...");
+    let tables = mec_workloads::experiments::fig6::paper(preset).expect("experiment failed");
+    mec_bench::emit(&tables, "fig6").expect("failed to write results");
+}

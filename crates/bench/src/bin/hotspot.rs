@@ -1,0 +1,7 @@
+//! Hotspot-placement sensitivity study. Pass `--full` for more trials.
+
+fn main() {
+    let preset = mec_bench::preset_from_args();
+    let tables = mec_workloads::experiments::hotspot::paper(preset).expect("experiment failed");
+    mec_bench::emit(&tables, "hotspot").expect("failed to write results");
+}

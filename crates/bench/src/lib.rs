@@ -1,0 +1,73 @@
+//! # mec-bench
+//!
+//! Criterion benchmarks and per-figure regeneration binaries.
+//!
+//! Run `cargo run -p mec-bench --release --bin run_all` to regenerate
+//! every table of the paper (markdown to stdout, CSVs under `results/`),
+//! or `--bin fig3` … `--bin fig9` for a single figure. Pass `--full` for
+//! the paper-faithful trial counts and annealing schedule (the default is
+//! the quick preset).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mec_workloads::{Preset, Table};
+use std::path::PathBuf;
+
+/// Parses the effort preset from process arguments: `--full` selects
+/// [`Preset::Full`], anything else (including nothing) the quick preset.
+pub fn preset_from_args() -> Preset {
+    if std::env::args().any(|a| a == "--full") {
+        Preset::Full
+    } else {
+        Preset::Quick
+    }
+}
+
+/// The workspace-level `results/` directory.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results")
+}
+
+/// Prints each table as markdown and saves it as
+/// `results/<figure_id>_<index>.csv`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating the results directory or writing
+/// files.
+pub fn emit(tables: &[Table], figure_id: &str) -> std::io::Result<()> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    for (i, table) in tables.iter().enumerate() {
+        println!("{}", table.to_markdown());
+        let path = dir.join(format!("{figure_id}_{i}.csv"));
+        table.save_csv(&path)?;
+        eprintln!("saved {}", path.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_points_into_the_workspace() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+    }
+
+    #[test]
+    fn emit_writes_csvs() {
+        let mut t = Table::new("test", vec!["a".into()]);
+        t.push_row(vec!["1".into()]);
+        emit(&[t], "unit_test_fig").unwrap();
+        let path = results_dir().join("unit_test_fig_0.csv");
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+}

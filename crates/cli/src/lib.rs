@@ -1,0 +1,962 @@
+//! # tsajs-cli
+//!
+//! The `tsajs-sim` command-line front end:
+//!
+//! ```text
+//! tsajs-sim generate --users 20 --seed 7 --out scenario.json
+//! tsajs-sim solve    --scenario scenario.json --solver tsajs --seed 7
+//! tsajs-sim compare  --scenario scenario.json --seed 7
+//! ```
+//!
+//! Scenarios are stored as JSON [`ScenarioSpec`]s, so a run is fully
+//! reproducible from the file alone. The library half of the crate holds
+//! the argument parsing and command logic so it is unit-testable; `main`
+//! is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mec_baselines::{
+    AllLocalSolver, ExhaustiveSolver, GreedySolver, HJtoraSolver, LocalSearchSolver, RandomSolver,
+};
+use mec_mobility::{DynamicSimulation, MobilityConfig};
+use mec_system::{Assignment, Scenario, ScenarioSpec, Solver, SystemEvaluation};
+use mec_types::{Bits, BitsPerSecond, Cycles};
+use mec_viz::SvgScene;
+use mec_workloads::{ExperimentParams, ScenarioGenerator};
+use serde::Serialize;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use tsajs::{TsajsSolver, TtsaConfig};
+
+/// Errors the CLI reports to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (unknown command/flag, missing value, parse error).
+    Usage(String),
+    /// Model-level failure (invalid scenario, solver error).
+    Model(mec_types::Error),
+    /// File I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Model(e) => write!(f, "model error: {e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<mec_types::Error> for CliError {
+    fn from(e: mec_types::Error) -> Self {
+        CliError::Model(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+/// The JSON report written by `solve --report`: the scheme, its score,
+/// the chosen decision and the full per-user evaluation.
+#[derive(Debug, Serialize)]
+pub struct SolveReport {
+    /// Solver display name.
+    pub solver: String,
+    /// Achieved system utility `J*(X)`.
+    pub utility: f64,
+    /// The offloading decision.
+    pub decision: Assignment,
+    /// Per-user metrics under the KKT allocation.
+    pub evaluation: SystemEvaluation,
+}
+
+/// The usage banner.
+pub const USAGE: &str = "\
+tsajs-sim — multi-server MEC joint task scheduling (TSAJS reproduction)
+
+USAGE:
+  tsajs-sim generate [--users N] [--servers S] [--subchannels N]
+                     [--workload-mcycles W] [--data-kb D] [--beta-time B]
+                     [--output-kb D --downlink-mbps R]
+                     [--seed SEED] --out FILE
+  tsajs-sim solve    --scenario FILE [--solver NAME] [--seed SEED]
+                     [--report FILE]
+  tsajs-sim compare  --scenario FILE [--seed SEED]
+  tsajs-sim render   --scenario FILE --out FILE.svg
+                     [--solver NAME] [--seed SEED]
+  tsajs-sim inspect  --scenario FILE
+  tsajs-sim simulate [--users N] [--epochs E]
+                     [--mobility pedestrian|vehicular]
+                     [--solver NAME] [--seed SEED]
+
+SOLVERS: tsajs (default), hjtora, greedy, localsearch, random,
+         exhaustive, alllocal";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a scenario JSON file.
+    Generate {
+        /// Generation parameters.
+        params: ExperimentParams,
+        /// RNG seed.
+        seed: u64,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// Solve a scenario file with one solver.
+    Solve {
+        /// Scenario JSON path.
+        scenario: PathBuf,
+        /// Solver name.
+        solver: String,
+        /// Solver seed.
+        seed: u64,
+        /// Optional JSON report path.
+        report: Option<PathBuf>,
+    },
+    /// Run every solver on a scenario file.
+    Compare {
+        /// Scenario JSON path.
+        scenario: PathBuf,
+        /// Solver seed.
+        seed: u64,
+    },
+    /// Solve a scenario file and write the schedule as an SVG figure.
+    Render {
+        /// Scenario JSON path (must carry user positions).
+        scenario: PathBuf,
+        /// SVG output path.
+        out: PathBuf,
+        /// Solver name.
+        solver: String,
+        /// Solver seed.
+        seed: u64,
+    },
+    /// Summarize a scenario file (dimensions, radio health, local costs).
+    Inspect {
+        /// Scenario JSON path.
+        scenario: PathBuf,
+    },
+    /// Dynamic mobility simulation with per-epoch re-scheduling.
+    Simulate {
+        /// Number of users.
+        users: usize,
+        /// Scheduling epochs to run.
+        epochs: usize,
+        /// Mobility profile name.
+        mobility: String,
+        /// Solver name.
+        solver: String,
+        /// Seed.
+        seed: u64,
+    },
+}
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    iter: &mut I,
+) -> Result<&'a str, CliError> {
+    iter.next()
+        .ok_or_else(|| CliError::Usage(format!("flag {flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid value `{value}` for {flag}")))
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown commands/flags, missing values
+/// or unparseable numbers.
+pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
+    let mut iter = args.iter().map(|s| s.as_ref());
+    let command = iter
+        .next()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    match command {
+        "generate" => {
+            let mut params = ExperimentParams::paper_default().with_users(20);
+            let mut seed = 0u64;
+            let mut out: Option<PathBuf> = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--users" => params.num_users = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--servers" => {
+                        params.num_servers = parse_num(flag, take_value(flag, &mut iter)?)?
+                    }
+                    "--subchannels" => {
+                        params.num_subchannels = parse_num(flag, take_value(flag, &mut iter)?)?
+                    }
+                    "--workload-mcycles" => {
+                        let w: f64 = parse_num(flag, take_value(flag, &mut iter)?)?;
+                        params.task_workload = Cycles::from_mega(w);
+                    }
+                    "--data-kb" => {
+                        let d: f64 = parse_num(flag, take_value(flag, &mut iter)?)?;
+                        params.task_data = Bits::from_kilobytes(d);
+                    }
+                    "--beta-time" => {
+                        params.beta_time = parse_num(flag, take_value(flag, &mut iter)?)?
+                    }
+                    "--output-kb" => {
+                        let d: f64 = parse_num(flag, take_value(flag, &mut iter)?)?;
+                        params.task_output = Some(Bits::from_kilobytes(d));
+                    }
+                    "--downlink-mbps" => {
+                        let r: f64 = parse_num(flag, take_value(flag, &mut iter)?)?;
+                        params.downlink_rate = Some(BitsPerSecond::new(r * 1e6));
+                    }
+                    "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            let out = out.ok_or_else(|| CliError::Usage("generate requires --out".into()))?;
+            if params.task_output.is_some() != params.downlink_rate.is_some() {
+                return Err(CliError::Usage(
+                    "--output-kb and --downlink-mbps must be given together".into(),
+                ));
+            }
+            Ok(Command::Generate { params, seed, out })
+        }
+        "solve" => {
+            let mut scenario: Option<PathBuf> = None;
+            let mut solver = "tsajs".to_string();
+            let mut seed = 0u64;
+            let mut report: Option<PathBuf> = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    "--solver" => solver = take_value(flag, &mut iter)?.to_string(),
+                    "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            let scenario =
+                scenario.ok_or_else(|| CliError::Usage("solve requires --scenario".into()))?;
+            Ok(Command::Solve {
+                scenario,
+                solver,
+                seed,
+                report,
+            })
+        }
+        "compare" => {
+            let mut scenario: Option<PathBuf> = None;
+            let mut seed = 0u64;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            let scenario =
+                scenario.ok_or_else(|| CliError::Usage("compare requires --scenario".into()))?;
+            Ok(Command::Compare { scenario, seed })
+        }
+        "render" => {
+            let mut scenario: Option<PathBuf> = None;
+            let mut out: Option<PathBuf> = None;
+            let mut solver = "tsajs".to_string();
+            let mut seed = 0u64;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    "--solver" => solver = take_value(flag, &mut iter)?.to_string(),
+                    "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Render {
+                scenario: scenario
+                    .ok_or_else(|| CliError::Usage("render requires --scenario".into()))?,
+                out: out.ok_or_else(|| CliError::Usage("render requires --out".into()))?,
+                solver,
+                seed,
+            })
+        }
+        "inspect" => {
+            let mut scenario: Option<PathBuf> = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            let scenario =
+                scenario.ok_or_else(|| CliError::Usage("inspect requires --scenario".into()))?;
+            Ok(Command::Inspect { scenario })
+        }
+        "simulate" => {
+            let mut users = 20usize;
+            let mut epochs = 10usize;
+            let mut mobility = "pedestrian".to_string();
+            let mut solver = "tsajs".to_string();
+            let mut seed = 0u64;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--users" => users = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--epochs" => epochs = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--mobility" => mobility = take_value(flag, &mut iter)?.to_string(),
+                    "--solver" => solver = take_value(flag, &mut iter)?.to_string(),
+                    "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Simulate {
+                users,
+                epochs,
+                mobility,
+                solver,
+                seed,
+            })
+        }
+        "--help" | "-h" | "help" => Err(CliError::Usage("help requested".into())),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Builds a solver by name.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for an unknown solver name.
+pub fn build_solver(name: &str, seed: u64) -> Result<Box<dyn Solver>, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "tsajs" => Box::new(TsajsSolver::new(
+            TtsaConfig::paper_default().with_seed(seed),
+        )),
+        "hjtora" => Box::new(HJtoraSolver::new()),
+        "greedy" => Box::new(GreedySolver::new()),
+        "localsearch" | "local-search" => Box::new(LocalSearchSolver::with_seed(seed)),
+        "random" => Box::new(RandomSolver::with_seed(seed)),
+        "exhaustive" => Box::new(ExhaustiveSolver::new()),
+        "alllocal" | "all-local" => Box::new(AllLocalSolver::new()),
+        other => return Err(CliError::Usage(format!("unknown solver `{other}`"))),
+    })
+}
+
+/// Loads a scenario spec from a JSON file and validates it.
+///
+/// # Errors
+///
+/// I/O, JSON and model-validation errors.
+pub fn load_scenario(path: &Path) -> Result<Scenario, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let spec: ScenarioSpec = serde_json::from_str(&text)?;
+    Ok(spec.into_scenario()?)
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Propagates usage, model, I/O and JSON errors.
+pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    match command {
+        Command::Generate {
+            params,
+            seed,
+            out: path,
+        } => {
+            let (scenario, positions) =
+                ScenarioGenerator::new(params).generate_with_positions(seed)?;
+            let spec = ScenarioSpec::from_scenario(&scenario).with_positions(positions)?;
+            std::fs::write(&path, serde_json::to_string_pretty(&spec)?)?;
+            writeln!(
+                out,
+                "wrote scenario (U={}, S={}, N={}, seed={}) to {}",
+                scenario.num_users(),
+                scenario.num_servers(),
+                scenario.num_subchannels(),
+                seed,
+                path.display()
+            )?;
+            Ok(())
+        }
+        Command::Solve {
+            scenario,
+            solver,
+            seed,
+            report,
+        } => {
+            let scenario = load_scenario(&scenario)?;
+            let mut solver = build_solver(&solver, seed)?;
+            let solution = solver.solve(&scenario)?;
+            let evaluation = solution.evaluate(&scenario)?;
+            writeln!(out, "solver      : {}", solver.name())?;
+            writeln!(out, "utility     : {:.6}", solution.utility)?;
+            writeln!(
+                out,
+                "offloaded   : {}/{}",
+                evaluation.num_offloaded,
+                scenario.num_users()
+            )?;
+            writeln!(
+                out,
+                "avg delay   : {:.4} s",
+                evaluation.average_completion_time().as_secs()
+            )?;
+            writeln!(
+                out,
+                "avg energy  : {:.4} J",
+                evaluation.average_energy().as_joules()
+            )?;
+            writeln!(
+                out,
+                "evals/time  : {} in {:.1} ms",
+                solution.stats.objective_evaluations,
+                solution.stats.elapsed.as_secs_f64() * 1e3
+            )?;
+            if let Some(path) = report {
+                let report = SolveReport {
+                    solver: solver.name().to_string(),
+                    utility: solution.utility,
+                    decision: solution.assignment.clone(),
+                    evaluation,
+                };
+                std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
+                writeln!(out, "report      : {}", path.display())?;
+            }
+            Ok(())
+        }
+        Command::Render {
+            scenario,
+            out: out_path,
+            solver,
+            seed,
+        } => {
+            let text = std::fs::read_to_string(&scenario)?;
+            let spec: ScenarioSpec = serde_json::from_str(&text)?;
+            let positions = spec.positions.clone().ok_or_else(|| {
+                CliError::Usage(
+                    "this scenario file carries no user positions; regenerate it with \
+                     a current `tsajs-sim generate`"
+                        .into(),
+                )
+            })?;
+            let scenario = spec.into_scenario()?;
+            let mut solver = build_solver(&solver, seed)?;
+            let solution = solver.solve(&scenario)?;
+            // Rebuild the layout from the paper's ISD; stations in specs
+            // always come from the hexagonal generator.
+            let layout = mec_topology::NetworkLayout::hexagonal(
+                scenario.num_servers(),
+                mec_types::constants::INTER_SITE_DISTANCE,
+            )?;
+            let svg = SvgScene::new(&layout)
+                .with_users(&positions)
+                .with_assignment(&solution.assignment)
+                .render();
+            std::fs::write(&out_path, &svg)?;
+            writeln!(
+                out,
+                "wrote {} ({} bytes), J = {:.4}, {}/{} offloaded",
+                out_path.display(),
+                svg.len(),
+                solution.utility,
+                solution.assignment.num_offloaded(),
+                scenario.num_users()
+            )?;
+            Ok(())
+        }
+        Command::Inspect { scenario } => {
+            let scenario = load_scenario(&scenario)?;
+            writeln!(out, "users        : {}", scenario.num_users())?;
+            writeln!(out, "servers      : {}", scenario.num_servers())?;
+            writeln!(out, "subchannels  : {}", scenario.num_subchannels())?;
+            writeln!(
+                out,
+                "bandwidth    : {:.1} MHz ({:.2} MHz per subchannel)",
+                scenario.ofdma().bandwidth().as_mega(),
+                scenario.ofdma().subchannel_width().as_mega()
+            )?;
+            writeln!(
+                out,
+                "noise        : {:.1} dBm",
+                scenario.noise().to_dbm().as_dbm()
+            )?;
+            match scenario.downlink() {
+                Some(rate) => writeln!(out, "downlink     : {:.1} Mbit/s", rate.as_bps() / 1e6)?,
+                None => writeln!(out, "downlink     : not modeled")?,
+            }
+            let gains = scenario.gains();
+            writeln!(
+                out,
+                "best-link dB : p10 {:.1} / p50 {:.1} / p90 {:.1}",
+                gains.best_gain_percentile_db(0.1),
+                gains.best_gain_percentile_db(0.5),
+                gains.best_gain_percentile_db(0.9)
+            )?;
+            // Aggregate local costs.
+            let (mut t_sum, mut e_sum) = (0.0, 0.0);
+            for u in scenario.user_ids() {
+                let lc = scenario.local_cost(u);
+                t_sum += lc.time.as_secs();
+                e_sum += lc.energy.as_joules();
+            }
+            let n = scenario.num_users() as f64;
+            writeln!(
+                out,
+                "local cost   : avg {:.3} s / {:.3} J per task",
+                t_sum / n,
+                e_sum / n
+            )?;
+            Ok(())
+        }
+        Command::Simulate {
+            users,
+            epochs,
+            mobility,
+            solver,
+            seed,
+        } => {
+            let profile = match mobility.as_str() {
+                "pedestrian" => MobilityConfig::pedestrian(),
+                "vehicular" => MobilityConfig::vehicular(),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown mobility profile `{other}` (pedestrian|vehicular)"
+                    )))
+                }
+            };
+            // Validate the name eagerly so a bad one errors before the run.
+            build_solver(&solver, seed)?;
+            let params = ExperimentParams::paper_default().with_users(users);
+            let mut sim = DynamicSimulation::new(params, profile, seed)?;
+            let solver_name = solver.clone();
+            let history = sim.run(epochs, |epoch_seed| {
+                build_solver(&solver_name, epoch_seed)
+                    .expect("solver name validated before the run")
+            })?;
+            writeln!(
+                out,
+                "epoch | utility | offloaded | handovers | reassignments"
+            )?;
+            for e in &history.epochs {
+                writeln!(
+                    out,
+                    "{:>5} | {:>7.3} | {:>9} | {:>9} | {:>13}",
+                    e.epoch, e.utility, e.num_offloaded, e.handovers, e.reassignments
+                )?;
+            }
+            writeln!(out, "avg utility: {:.3}", history.average_utility())?;
+            Ok(())
+        }
+        Command::Compare { scenario, seed } => {
+            let scenario = load_scenario(&scenario)?;
+            writeln!(
+                out,
+                "{:<12} {:>12} {:>10} {:>12}",
+                "solver", "utility", "offloaded", "time(ms)"
+            )?;
+            for name in [
+                "tsajs",
+                "hjtora",
+                "localsearch",
+                "greedy",
+                "random",
+                "alllocal",
+            ] {
+                let mut solver = build_solver(name, seed)?;
+                let solution = solver.solve(&scenario)?;
+                writeln!(
+                    out,
+                    "{:<12} {:>12.6} {:>10} {:>12.2}",
+                    solver.name(),
+                    solution.utility,
+                    solution.assignment.num_offloaded(),
+                    solution.stats.elapsed.as_secs_f64() * 1e3
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsajs-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse_args(&[
+            "generate",
+            "--users",
+            "8",
+            "--servers",
+            "3",
+            "--subchannels",
+            "2",
+            "--workload-mcycles",
+            "2000",
+            "--data-kb",
+            "210",
+            "--beta-time",
+            "0.7",
+            "--seed",
+            "42",
+            "--out",
+            "x.json",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Generate { params, seed, out } => {
+                assert_eq!(params.num_users, 8);
+                assert_eq!(params.num_servers, 3);
+                assert_eq!(params.num_subchannels, 2);
+                assert_eq!(params.task_workload.as_mega(), 2000.0);
+                assert!((params.task_data.as_kilobytes() - 210.0).abs() < 1e-9);
+                assert_eq!(params.beta_time, 0.7);
+                assert_eq!(seed, 42);
+                assert_eq!(out, PathBuf::from("x.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_solve_and_compare() {
+        let cmd = parse_args(&[
+            "solve",
+            "--scenario",
+            "s.json",
+            "--solver",
+            "greedy",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                scenario: PathBuf::from("s.json"),
+                solver: "greedy".into(),
+                seed: 3,
+                report: None,
+            }
+        );
+        let cmd = parse_args(&["compare", "--scenario", "s.json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compare {
+                scenario: PathBuf::from("s.json"),
+                seed: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_downlink_flags_as_a_pair() {
+        let cmd = parse_args(&[
+            "generate",
+            "--users",
+            "4",
+            "--output-kb",
+            "100",
+            "--downlink-mbps",
+            "50",
+            "--out",
+            "x.json",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Generate { params, .. } => {
+                assert!(params.task_output.is_some());
+                assert_eq!(params.downlink_rate, Some(BitsPerSecond::new(50.0e6)));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // One without the other is a usage error.
+        assert!(matches!(
+            parse_args(&["generate", "--output-kb", "100", "--out", "x.json"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(matches!(parse_args::<&str>(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&["frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse_args(&["solve"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&["generate", "--users"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&["generate", "--users", "abc", "--out", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&["generate", "--users", "5"]),
+            Err(CliError::Usage(_)),
+        ));
+        assert!(matches!(build_solver("nope", 0), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn generate_solve_compare_end_to_end() {
+        let dir = tmp_dir();
+        let scenario_path = dir.join("scenario.json");
+        let report_path = dir.join("report.json");
+
+        // generate
+        let mut buf = Vec::new();
+        run(
+            parse_args(&[
+                "generate",
+                "--users",
+                "6",
+                "--servers",
+                "3",
+                "--seed",
+                "9",
+                "--out",
+                scenario_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(scenario_path.exists());
+        assert!(String::from_utf8(buf).unwrap().contains("U=6"));
+
+        // solve with report
+        let mut buf = Vec::new();
+        run(
+            parse_args(&[
+                "solve",
+                "--scenario",
+                scenario_path.to_str().unwrap(),
+                "--solver",
+                "greedy",
+                "--report",
+                report_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Greedy"));
+        assert!(text.contains("utility"));
+        assert!(report_path.exists());
+        // The JSON report parses back, including the decision matrix.
+        let text = std::fs::read_to_string(&report_path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(value["solver"], "Greedy");
+        let decision: Assignment = serde_json::from_value(value["decision"].clone()).unwrap();
+        assert_eq!(decision.num_users(), 6);
+        let eval: mec_system::SystemEvaluation =
+            serde_json::from_value(value["evaluation"].clone()).unwrap();
+        assert_eq!(eval.users.len(), 6);
+
+        // compare
+        let mut buf = Vec::new();
+        run(
+            parse_args(&["compare", "--scenario", scenario_path.to_str().unwrap()]).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for name in [
+            "TSAJS",
+            "hJTORA",
+            "LocalSearch",
+            "Greedy",
+            "Random",
+            "AllLocal",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn render_command_writes_an_svg() {
+        let dir = tmp_dir();
+        let scenario_path = dir.join("render.json");
+        let svg_path = dir.join("out.svg");
+        run(
+            parse_args(&[
+                "generate",
+                "--users",
+                "6",
+                "--seed",
+                "2",
+                "--out",
+                scenario_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(
+            parse_args(&[
+                "render",
+                "--scenario",
+                scenario_path.to_str().unwrap(),
+                "--solver",
+                "greedy",
+                "--out",
+                svg_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<circle").count(), 6);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn inspect_command_summarizes_a_scenario() {
+        let dir = tmp_dir();
+        let path = dir.join("inspect.json");
+        run(
+            parse_args(&[
+                "generate",
+                "--users",
+                "7",
+                "--seed",
+                "3",
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(
+            parse_args(&["inspect", "--scenario", path.to_str().unwrap()]).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("users        : 7"));
+        assert!(text.contains("best-link dB"));
+        assert!(text.contains("downlink     : not modeled"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn simulate_command_runs_end_to_end() {
+        let cmd = parse_args(&[
+            "simulate",
+            "--users",
+            "5",
+            "--epochs",
+            "3",
+            "--mobility",
+            "vehicular",
+            "--solver",
+            "greedy",
+            "--seed",
+            "2",
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("avg utility"));
+        assert_eq!(text.lines().count(), 3 + 2, "header + 3 epochs + summary");
+        // Bad profile / solver are usage errors before any work happens.
+        assert!(matches!(
+            run(
+                parse_args(&["simulate", "--mobility", "teleport"]).unwrap(),
+                &mut Vec::new()
+            ),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(
+                parse_args(&["simulate", "--solver", "nope"]).unwrap(),
+                &mut Vec::new()
+            ),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn solve_reproduces_under_identical_seeds() {
+        let dir = tmp_dir();
+        let scenario_path = dir.join("repro.json");
+        run(
+            parse_args(&[
+                "generate",
+                "--users",
+                "5",
+                "--seed",
+                "4",
+                "--out",
+                scenario_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let run_once = || {
+            let mut buf = Vec::new();
+            run(
+                parse_args(&[
+                    "solve",
+                    "--scenario",
+                    scenario_path.to_str().unwrap(),
+                    "--solver",
+                    "tsajs",
+                    "--seed",
+                    "11",
+                ])
+                .unwrap(),
+                &mut buf,
+            )
+            .unwrap();
+            // Drop the wall-clock line; timing is inherently nondeterministic.
+            String::from_utf8(buf)
+                .unwrap()
+                .lines()
+                .filter(|l| !l.starts_with("evals/time"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(run_once(), run_once());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! Thin binary shim over the `tsajs-cli` library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match tsajs_cli::parse_args(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = tsajs_cli::run(command, &mut stdout) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,317 @@
+//! TTSA configuration (the constants of Algorithm 1, line 3–4, made
+//! tunable).
+
+use mec_types::Error;
+use serde::{Deserialize, Serialize};
+
+/// How the initial annealing temperature is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InitialTemperature {
+    /// The paper's literal `T ← N`: start at the number of subchannels.
+    SubchannelCount,
+    /// A fixed explicit temperature.
+    Fixed(f64),
+}
+
+/// The cooling schedule applied after each epoch of `L` proposals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Cooling {
+    /// The paper's threshold-triggered schedule: cool by `alpha_slow`
+    /// normally, but when the accumulated count of accepted-worse moves
+    /// reaches `max_count_factor · L`, cool by `alpha_fast` instead and
+    /// reset the counter (Algorithm 1, lines 26–30).
+    ThresholdTriggered {
+        /// Slow (default) cooling multiplier `α₁`.
+        alpha_slow: f64,
+        /// Fast cooling multiplier `α₂` applied on trigger.
+        alpha_fast: f64,
+        /// Trigger threshold as a multiple of `L` (`maxCount = factor·L`).
+        max_count_factor: f64,
+    },
+    /// Plain geometric cooling `T ← α·T` — the ablation baseline that
+    /// turns TTSA back into classic simulated annealing.
+    Geometric {
+        /// The cooling multiplier `α`.
+        alpha: f64,
+    },
+}
+
+/// How the initial feasible solution is generated (Algorithm 1, line 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InitialSolution {
+    /// Start from `X = 0` (everyone local).
+    AllLocal,
+    /// Independently offload each user with the given probability to a
+    /// uniformly random server with a free subchannel (skipped if the
+    /// chosen server is full), which is how we realize the paper's
+    /// "randomly generate an initial set of solutions that satisfy the
+    /// constraints".
+    RandomFeasible {
+        /// Per-user offload probability.
+        offload_probability: f64,
+    },
+}
+
+/// Full TTSA configuration.
+///
+/// Use [`TtsaConfig::paper_default`] for the constants of Algorithm 1 and
+/// the builder-style `with_*` methods to deviate:
+///
+/// ```
+/// use tsajs::TtsaConfig;
+///
+/// let config = TtsaConfig::paper_default()
+///     .with_inner_iterations(10) // the paper's L = 10 variant
+///     .with_seed(7);
+/// assert_eq!(config.inner_iterations, 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TtsaConfig {
+    /// Initial temperature policy (paper: `T ← N`).
+    pub initial_temperature: InitialTemperature,
+    /// Termination temperature `T_min` (paper: `10⁻⁹`).
+    pub min_temperature: f64,
+    /// Proposals per temperature epoch `L` (paper: 30; Figs. 4/7/8 also
+    /// use 10 and 50).
+    pub inner_iterations: usize,
+    /// Cooling schedule (paper: threshold-triggered with `α₁ = 0.97`,
+    /// `α₂ = 0.90`, `maxCount = 1.75·L`).
+    pub cooling: Cooling,
+    /// Initial feasible solution policy.
+    pub initial_solution: InitialSolution,
+    /// RNG seed; two runs with equal seeds and inputs are identical.
+    pub seed: u64,
+    /// Whether to record a per-epoch [`SearchTrace`](crate::SearchTrace).
+    pub record_trace: bool,
+    /// Optional hard cap on the total number of neighborhood proposals —
+    /// an *anytime* budget: the loop stops at the end of the epoch in
+    /// which the cap is reached, keeping the best solution found. `None`
+    /// (the paper's setting) runs the full schedule down to `T_min`.
+    pub proposal_budget: Option<u64>,
+}
+
+impl TtsaConfig {
+    /// The exact constants of Algorithm 1:
+    /// `T ← N`, `T_min = 10⁻⁹`, `α₁ = 0.97`, `α₂ = 0.90`, `L = 30`,
+    /// `maxCount = 1.75·L`.
+    pub fn paper_default() -> Self {
+        Self {
+            initial_temperature: InitialTemperature::SubchannelCount,
+            min_temperature: 1e-9,
+            inner_iterations: 30,
+            cooling: Cooling::ThresholdTriggered {
+                alpha_slow: 0.97,
+                alpha_fast: 0.90,
+                max_count_factor: 1.75,
+            },
+            initial_solution: InitialSolution::RandomFeasible {
+                offload_probability: 0.5,
+            },
+            seed: 0,
+            record_trace: false,
+            proposal_budget: None,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the epoch length `L`.
+    pub fn with_inner_iterations(mut self, l: usize) -> Self {
+        self.inner_iterations = l;
+        self
+    }
+
+    /// Sets the cooling schedule.
+    pub fn with_cooling(mut self, cooling: Cooling) -> Self {
+        self.cooling = cooling;
+        self
+    }
+
+    /// Sets the initial temperature policy.
+    pub fn with_initial_temperature(mut self, t: InitialTemperature) -> Self {
+        self.initial_temperature = t;
+        self
+    }
+
+    /// Sets the termination temperature.
+    pub fn with_min_temperature(mut self, t_min: f64) -> Self {
+        self.min_temperature = t_min;
+        self
+    }
+
+    /// Sets the initial-solution policy.
+    pub fn with_initial_solution(mut self, init: InitialSolution) -> Self {
+        self.initial_solution = init;
+        self
+    }
+
+    /// Enables per-epoch trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Caps the total number of neighborhood proposals (anytime mode).
+    pub fn with_proposal_budget(mut self, budget: u64) -> Self {
+        self.proposal_budget = Some(budget);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for non-positive temperatures,
+    /// a zero epoch length, cooling multipliers outside `(0, 1)`, a
+    /// non-positive trigger factor, or an offload probability outside
+    /// `[0, 1]`.
+    pub fn validate(&self) -> Result<(), Error> {
+        if let InitialTemperature::Fixed(t) = self.initial_temperature {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(Error::invalid("T", "initial temperature must be positive"));
+            }
+        }
+        if !self.min_temperature.is_finite() || self.min_temperature <= 0.0 {
+            return Err(Error::invalid("T_min", "must be positive"));
+        }
+        if self.inner_iterations == 0 {
+            return Err(Error::invalid("L", "epoch length must be at least 1"));
+        }
+        match self.cooling {
+            Cooling::ThresholdTriggered {
+                alpha_slow,
+                alpha_fast,
+                max_count_factor,
+            } => {
+                for (name, a) in [("alpha1", alpha_slow), ("alpha2", alpha_fast)] {
+                    if !(0.0..1.0).contains(&a) || a == 0.0 {
+                        return Err(Error::invalid(name, "cooling rate must lie in (0, 1)"));
+                    }
+                }
+                if !max_count_factor.is_finite() || max_count_factor <= 0.0 {
+                    return Err(Error::invalid(
+                        "maxCount",
+                        "trigger factor must be positive",
+                    ));
+                }
+            }
+            Cooling::Geometric { alpha } => {
+                if !(0.0..1.0).contains(&alpha) || alpha == 0.0 {
+                    return Err(Error::invalid("alpha", "cooling rate must lie in (0, 1)"));
+                }
+            }
+        }
+        if let InitialSolution::RandomFeasible {
+            offload_probability,
+        } = self.initial_solution
+        {
+            if !(0.0..=1.0).contains(&offload_probability) {
+                return Err(Error::invalid("offload_probability", "must lie in [0, 1]"));
+            }
+        }
+        if self.proposal_budget == Some(0) {
+            return Err(Error::invalid(
+                "proposal_budget",
+                "anytime budget must allow at least one proposal",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TtsaConfig {
+    /// Defaults to [`TtsaConfig::paper_default`].
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_algorithm_1_constants() {
+        let c = TtsaConfig::paper_default();
+        assert_eq!(c.initial_temperature, InitialTemperature::SubchannelCount);
+        assert_eq!(c.min_temperature, 1e-9);
+        assert_eq!(c.inner_iterations, 30);
+        assert_eq!(
+            c.cooling,
+            Cooling::ThresholdTriggered {
+                alpha_slow: 0.97,
+                alpha_fast: 0.90,
+                max_count_factor: 1.75,
+            }
+        );
+        assert!(c.validate().is_ok());
+        assert_eq!(TtsaConfig::default(), c);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = TtsaConfig::paper_default()
+            .with_seed(9)
+            .with_inner_iterations(50)
+            .with_min_temperature(1e-6)
+            .with_initial_temperature(InitialTemperature::Fixed(10.0))
+            .with_cooling(Cooling::Geometric { alpha: 0.95 })
+            .with_initial_solution(InitialSolution::AllLocal)
+            .with_trace();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.inner_iterations, 50);
+        assert_eq!(c.min_temperature, 1e-6);
+        assert_eq!(c.initial_temperature, InitialTemperature::Fixed(10.0));
+        assert_eq!(c.cooling, Cooling::Geometric { alpha: 0.95 });
+        assert_eq!(c.initial_solution, InitialSolution::AllLocal);
+        assert!(c.record_trace);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let base = TtsaConfig::paper_default();
+        assert!(base
+            .with_initial_temperature(InitialTemperature::Fixed(0.0))
+            .validate()
+            .is_err());
+        assert!(base.with_min_temperature(0.0).validate().is_err());
+        assert!(base.with_inner_iterations(0).validate().is_err());
+        assert!(base
+            .with_cooling(Cooling::Geometric { alpha: 1.0 })
+            .validate()
+            .is_err());
+        assert!(base
+            .with_cooling(Cooling::Geometric { alpha: 0.0 })
+            .validate()
+            .is_err());
+        assert!(base
+            .with_cooling(Cooling::ThresholdTriggered {
+                alpha_slow: 0.97,
+                alpha_fast: 1.5,
+                max_count_factor: 1.75,
+            })
+            .validate()
+            .is_err());
+        assert!(base
+            .with_cooling(Cooling::ThresholdTriggered {
+                alpha_slow: 0.97,
+                alpha_fast: 0.9,
+                max_count_factor: 0.0,
+            })
+            .validate()
+            .is_err());
+        assert!(base
+            .with_initial_solution(InitialSolution::RandomFeasible {
+                offload_probability: 1.5,
+            })
+            .validate()
+            .is_err());
+        assert!(base.with_proposal_budget(0).validate().is_err());
+        assert!(base.with_proposal_budget(100).validate().is_ok());
+    }
+}

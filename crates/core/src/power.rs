@@ -1,0 +1,272 @@
+//! Joint task scheduling **and uplink power control** — the extension the
+//! paper names as future work ("we've kept the user transmit power
+//! constant", §III-B; Eq. 18 explicitly parks power allocation).
+//!
+//! Alternating optimization: TTSA schedules the offloading decision `X`
+//! for the current power vector, then a coordinate-descent pass picks each
+//! offloaded user's best level from a discrete menu (raising `p_u`
+//! improves that user's SINR but worsens its `ψ_u·p_u` energy term *and*
+//! everyone else's interference — the exact objective arbitrates).
+//! Rounds repeat until no move improves `J*(X)`.
+
+use crate::annealing::anneal;
+use crate::config::TtsaConfig;
+use crate::moves::NeighborhoodKernel;
+use mec_system::{Assignment, EvalScratch, Evaluator, Scenario};
+use mec_types::{DbMilliwatts, Error, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the joint power-control solver.
+#[derive(Debug, Clone)]
+pub struct PowerControlConfig {
+    /// The TTSA configuration used for each scheduling pass.
+    pub ttsa: TtsaConfig,
+    /// The discrete power menu every user selects from.
+    pub levels: Vec<DbMilliwatts>,
+    /// Maximum alternating rounds (schedule → power descent).
+    pub max_rounds: usize,
+}
+
+impl PowerControlConfig {
+    /// Defaults: the paper's TTSA constants, a `{4, 7, 10, 13, 16}` dBm
+    /// menu around the paper's fixed 10 dBm, and up to 4 rounds.
+    pub fn paper_default() -> Self {
+        Self {
+            ttsa: TtsaConfig::paper_default(),
+            levels: [4.0, 7.0, 10.0, 13.0, 16.0]
+                .into_iter()
+                .map(DbMilliwatts::new)
+                .collect(),
+            max_rounds: 4,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an empty/non-finite level
+    /// menu or zero rounds, plus any TTSA validation error.
+    pub fn validate(&self) -> Result<(), Error> {
+        self.ttsa.validate()?;
+        if self.levels.is_empty() {
+            return Err(Error::invalid("levels", "power menu must not be empty"));
+        }
+        if self.levels.iter().any(|l| !l.is_finite()) {
+            return Err(Error::invalid("levels", "power levels must be finite"));
+        }
+        if self.max_rounds == 0 {
+            return Err(Error::invalid("max_rounds", "need at least one round"));
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a joint schedule-and-power optimization.
+#[derive(Debug, Clone)]
+pub struct PowerControlOutcome {
+    /// The final offloading decision.
+    pub assignment: Assignment,
+    /// Per-user transmit powers after tuning.
+    pub powers: Vec<DbMilliwatts>,
+    /// The achieved objective `J*(X)` *under the tuned powers*.
+    pub utility: f64,
+    /// The objective the same rounds of TTSA achieved before any tuning
+    /// (the fixed-power reference, for reporting the gain).
+    pub fixed_power_utility: f64,
+    /// The scenario with tuned powers applied (evaluate further decisions
+    /// against this, not the original).
+    pub scenario: Scenario,
+    /// Alternating rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs alternating TTSA scheduling and coordinate-descent power control.
+///
+/// The input scenario is not modified; the tuned copy is returned in the
+/// outcome.
+///
+/// # Errors
+///
+/// Returns configuration-validation errors; the optimization itself is
+/// total.
+pub fn solve_with_power_control(
+    scenario: &Scenario,
+    config: &PowerControlConfig,
+) -> Result<PowerControlOutcome, Error> {
+    config.validate()?;
+    let kernel = NeighborhoodKernel::new();
+    let mut rng = StdRng::seed_from_u64(config.ttsa.seed);
+    let mut tuned = scenario.clone();
+    let mut powers: Vec<DbMilliwatts> = scenario
+        .users()
+        .iter()
+        .map(|u| u.device.tx_power())
+        .collect();
+
+    // Round 0: schedule on the original powers — the fixed-power baseline.
+    let first = anneal(&tuned, &config.ttsa, &kernel, &mut rng);
+    let fixed_power_utility = first.objective;
+    let mut assignment = first.assignment;
+    let mut best = fixed_power_utility;
+    let mut rounds = 1;
+
+    let mut scratch = EvalScratch::default();
+    for _ in 1..=config.max_rounds {
+        // Power pass: sequential coordinate descent over offloaded users.
+        let mut improved = false;
+        for u in 0..tuned.num_users() {
+            let u = UserId::new(u);
+            if !assignment.is_offloaded(u) {
+                continue;
+            }
+            let current_level = powers[u.index()];
+            let mut best_level = current_level;
+            for level in &config.levels {
+                tuned
+                    .set_tx_power(u, *level)
+                    .expect("menu levels validated finite");
+                let objective = Evaluator::new(&tuned).objective_with(&assignment, &mut scratch);
+                if objective > best + 1e-12 {
+                    best = objective;
+                    best_level = *level;
+                    improved = true;
+                }
+            }
+            tuned
+                .set_tx_power(u, best_level)
+                .expect("chosen level is finite");
+            powers[u.index()] = best_level;
+        }
+
+        // Re-schedule on the tuned powers.
+        let outcome = anneal(&tuned, &config.ttsa, &kernel, &mut rng);
+        rounds += 1;
+        if outcome.objective > best + 1e-12 {
+            best = outcome.objective;
+            assignment = outcome.assignment;
+            improved = true;
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(PowerControlOutcome {
+        assignment,
+        powers,
+        utility: best,
+        fixed_power_utility,
+        scenario: tuned,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_radio::{ChannelGains, OfdmaConfig};
+    use mec_system::UserSpec;
+    use mec_types::{Cycles, Hertz, ServerProfile, Watts};
+
+    fn scenario(seed: u64, users: usize) -> Scenario {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gains = ChannelGains::from_fn(users, 3, 2, |_, _, _| {
+            10.0_f64.powf(rng.gen_range(-13.0..-10.0))
+        })
+        .unwrap();
+        Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(2000.0)).unwrap(); users],
+            vec![ServerProfile::paper_default(); 3],
+            OfdmaConfig::new(Hertz::from_mega(20.0), 2).unwrap(),
+            gains,
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    fn quick_config() -> PowerControlConfig {
+        let mut c = PowerControlConfig::paper_default();
+        c.ttsa = c.ttsa.with_min_temperature(1e-2).with_seed(5);
+        c.max_rounds = 3;
+        c
+    }
+
+    #[test]
+    fn power_control_never_loses_to_fixed_power() {
+        for seed in 0..4 {
+            let sc = scenario(seed, 8);
+            let mut config = quick_config();
+            config.ttsa = config.ttsa.with_seed(seed);
+            let outcome = solve_with_power_control(&sc, &config).unwrap();
+            assert!(
+                outcome.utility >= outcome.fixed_power_utility - 1e-9,
+                "seed {seed}: tuned {} below fixed {}",
+                outcome.utility,
+                outcome.fixed_power_utility
+            );
+            outcome
+                .assignment
+                .verify_feasible(&outcome.scenario)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn reported_utility_matches_the_tuned_scenario() {
+        let sc = scenario(2, 6);
+        let outcome = solve_with_power_control(&sc, &quick_config()).unwrap();
+        let recomputed = Evaluator::new(&outcome.scenario).objective(&outcome.assignment);
+        assert!((recomputed - outcome.utility).abs() < 1e-9);
+        // Powers vector mirrors the tuned scenario's devices.
+        for (u, p) in outcome.powers.iter().enumerate() {
+            assert_eq!(outcome.scenario.users()[u].device.tx_power(), *p);
+        }
+    }
+
+    #[test]
+    fn chosen_powers_come_from_the_menu_or_stay_put() {
+        let sc = scenario(3, 8);
+        let config = quick_config();
+        let outcome = solve_with_power_control(&sc, &config).unwrap();
+        let original = DbMilliwatts::new(10.0);
+        for p in &outcome.powers {
+            let in_menu = config.levels.iter().any(|l| l == p);
+            assert!(in_menu || *p == original, "unexpected power {p}");
+        }
+    }
+
+    #[test]
+    fn the_input_scenario_is_untouched() {
+        let sc = scenario(4, 6);
+        let before: Vec<f64> = sc.tx_powers_watts().to_vec();
+        let _ = solve_with_power_control(&sc, &quick_config()).unwrap();
+        assert_eq!(sc.tx_powers_watts(), before.as_slice());
+    }
+
+    #[test]
+    fn validation_rejects_bad_menus() {
+        let sc = scenario(5, 4);
+        let mut config = quick_config();
+        config.levels.clear();
+        assert!(solve_with_power_control(&sc, &config).is_err());
+        let mut config = quick_config();
+        config.levels = vec![DbMilliwatts::new(f64::NAN)];
+        assert!(solve_with_power_control(&sc, &config).is_err());
+        let mut config = quick_config();
+        config.max_rounds = 0;
+        assert!(solve_with_power_control(&sc, &config).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let sc = scenario(6, 7);
+        let a = solve_with_power_control(&sc, &quick_config()).unwrap();
+        let b = solve_with_power_control(&sc, &quick_config()).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.utility, b.utility);
+        assert_eq!(a.powers, b.powers);
+    }
+}

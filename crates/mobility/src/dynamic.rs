@@ -1,0 +1,435 @@
+//! Dynamic re-scheduling: move, regenerate channels, re-solve, repeat.
+
+use crate::waypoint::RandomWaypoint;
+use mec_system::{Assignment, Solver};
+use mec_types::{Error, Seconds, ServerId, UserId};
+use mec_workloads::{ExperimentParams, ScenarioGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Mobility-side knobs of a dynamic simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityConfig {
+    /// Per-user speed range in m/s.
+    pub speed_range_mps: (f64, f64),
+    /// Simulated time between scheduling epochs.
+    pub epoch_duration: Seconds,
+    /// Whether shadowing is redrawn each epoch (`true`, the default:
+    /// users move far enough that the shadowing decorrelates) or held
+    /// fixed from the first epoch.
+    pub redraw_shadowing: bool,
+}
+
+impl MobilityConfig {
+    /// Pedestrians: 0.5–2 m/s, 10 s epochs.
+    pub fn pedestrian() -> Self {
+        Self {
+            speed_range_mps: (0.5, 2.0),
+            epoch_duration: Seconds::new(10.0),
+            redraw_shadowing: true,
+        }
+    }
+
+    /// Vehicles: 8–20 m/s (≈ 30–70 km/h), 5 s epochs.
+    pub fn vehicular() -> Self {
+        Self {
+            speed_range_mps: (8.0, 20.0),
+            epoch_duration: Seconds::new(5.0),
+            redraw_shadowing: true,
+        }
+    }
+}
+
+/// What happened in one scheduling epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Achieved system utility `J*(X)`.
+    pub utility: f64,
+    /// Users offloading this epoch.
+    pub num_offloaded: usize,
+    /// Users whose *nearest* station changed since the previous epoch
+    /// (radio handovers, decision-independent).
+    pub handovers: usize,
+    /// Users whose offloading slot changed since the previous epoch
+    /// (decision churn: local↔offloaded or a different `(s, j)`).
+    pub reassignments: usize,
+    /// Search effort spent this epoch (objective evaluations /
+    /// neighborhood proposals).
+    pub proposals: u64,
+}
+
+/// The full trajectory of a dynamic run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    /// Per-epoch reports, in order.
+    pub epochs: Vec<EpochReport>,
+}
+
+impl History {
+    /// Mean utility over all epochs (0 for an empty history).
+    pub fn average_utility(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.utility).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Total decision churn over the run.
+    pub fn total_reassignments(&self) -> usize {
+        self.epochs.iter().map(|e| e.reassignments).sum()
+    }
+}
+
+/// A mobile MEC network that is re-scheduled every epoch.
+#[derive(Debug)]
+pub struct DynamicSimulation {
+    generator: ScenarioGenerator,
+    mobility: MobilityConfig,
+    model: RandomWaypoint,
+    rng: StdRng,
+    seed: u64,
+    epoch: usize,
+}
+
+impl DynamicSimulation {
+    /// Creates a simulation over the given network parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for degenerate parameters.
+    pub fn new(
+        params: ExperimentParams,
+        mobility: MobilityConfig,
+        seed: u64,
+    ) -> Result<Self, Error> {
+        let generator = ScenarioGenerator::new(params);
+        let layout = generator.layout()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = RandomWaypoint::new(
+            &layout,
+            params.num_users,
+            mobility.speed_range_mps,
+            &mut rng,
+        );
+        Ok(Self {
+            generator,
+            mobility,
+            model,
+            rng,
+            seed,
+            epoch: 0,
+        })
+    }
+
+    /// Runs `epochs` scheduling epochs. `make_solver(seed)` builds the
+    /// solver used for one epoch (a fresh one per epoch keeps runs
+    /// reproducible regardless of solver state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-generation and solver errors.
+    pub fn run<F>(&mut self, epochs: usize, make_solver: F) -> Result<History, Error>
+    where
+        F: Fn(u64) -> Box<dyn Solver>,
+    {
+        let layout = self.generator.layout()?;
+        let mut reports = Vec::with_capacity(epochs);
+        let mut previous_assignment: Option<Assignment> = None;
+        let mut previous_nearest: Option<Vec<ServerId>> = None;
+
+        for _ in 0..epochs {
+            let epoch_seed = if self.mobility.redraw_shadowing {
+                self.seed
+                    .wrapping_add(1 + self.epoch as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            } else {
+                self.seed
+            };
+            let scenario = self
+                .generator
+                .generate_at(self.model.positions(), epoch_seed)?;
+            let mut solver = make_solver(epoch_seed);
+            let solution = solver.solve(&scenario)?;
+
+            let nearest: Vec<ServerId> = self
+                .model
+                .positions()
+                .iter()
+                .map(|p| layout.nearest_station(*p))
+                .collect();
+            let handovers = previous_nearest
+                .as_ref()
+                .map(|prev| prev.iter().zip(&nearest).filter(|(a, b)| a != b).count())
+                .unwrap_or(0);
+            let reassignments = previous_assignment
+                .as_ref()
+                .map(|prev| {
+                    (0..scenario.num_users())
+                        .filter(|i| {
+                            prev.slot(UserId::new(*i)) != solution.assignment.slot(UserId::new(*i))
+                        })
+                        .count()
+                })
+                .unwrap_or(0);
+
+            reports.push(EpochReport {
+                epoch: self.epoch,
+                utility: solution.utility,
+                num_offloaded: solution.assignment.num_offloaded(),
+                handovers,
+                reassignments,
+                proposals: solution.stats.iterations,
+            });
+            previous_assignment = Some(solution.assignment);
+            previous_nearest = Some(nearest);
+
+            self.model
+                .step(&layout, self.mobility.epoch_duration, &mut self.rng);
+            self.epoch += 1;
+        }
+        Ok(History { epochs: reports })
+    }
+
+    /// Runs `epochs` epochs with **incremental re-scheduling**: the first
+    /// epoch solves from scratch with `base` (the full schedule), every
+    /// later epoch warm-starts TTSA from the previous decision under a
+    /// tight `refresh_budget` of proposals — the cheap periodic refresh an
+    /// operator would run between full re-optimizations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, scenario-generation and solver errors.
+    pub fn run_incremental(
+        &mut self,
+        epochs: usize,
+        base: tsajs::TtsaConfig,
+        refresh_budget: u64,
+    ) -> Result<History, Error> {
+        base.validate()?;
+        if refresh_budget == 0 {
+            return Err(Error::invalid("refresh_budget", "must allow proposals"));
+        }
+        let layout = self.generator.layout()?;
+        let kernel = tsajs::NeighborhoodKernel::new();
+        let mut chain_rng = StdRng::seed_from_u64(self.seed ^ 0x5851_F42D_4C95_7F2D);
+        let mut reports = Vec::with_capacity(epochs);
+        let mut previous: Option<Assignment> = None;
+        let mut previous_nearest: Option<Vec<ServerId>> = None;
+
+        for _ in 0..epochs {
+            let epoch_seed = if self.mobility.redraw_shadowing {
+                self.seed
+                    .wrapping_add(1 + self.epoch as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            } else {
+                self.seed
+            };
+            let scenario = self
+                .generator
+                .generate_at(self.model.positions(), epoch_seed)?;
+            let outcome = match previous.as_ref() {
+                None => tsajs::anneal(&scenario, &base, &kernel, &mut chain_rng),
+                Some(warm) => {
+                    // A refresh is fine-tuning, not a fresh search: start
+                    // cold (low fixed temperature) so the budget is spent
+                    // improving the inherited schedule instead of
+                    // scrambling it.
+                    let refresh = base
+                        .with_proposal_budget(refresh_budget)
+                        .with_initial_temperature(tsajs::InitialTemperature::Fixed(0.05));
+                    tsajs::anneal_from(&scenario, &refresh, &kernel, &mut chain_rng, warm.clone())
+                }
+            };
+
+            let nearest: Vec<ServerId> = self
+                .model
+                .positions()
+                .iter()
+                .map(|p| layout.nearest_station(*p))
+                .collect();
+            let handovers = previous_nearest
+                .as_ref()
+                .map(|prev| prev.iter().zip(&nearest).filter(|(a, b)| a != b).count())
+                .unwrap_or(0);
+            let reassignments = previous
+                .as_ref()
+                .map(|prev| {
+                    (0..scenario.num_users())
+                        .filter(|i| {
+                            prev.slot(UserId::new(*i)) != outcome.assignment.slot(UserId::new(*i))
+                        })
+                        .count()
+                })
+                .unwrap_or(0);
+
+            reports.push(EpochReport {
+                epoch: self.epoch,
+                utility: outcome.objective,
+                num_offloaded: outcome.assignment.num_offloaded(),
+                handovers,
+                reassignments,
+                proposals: outcome.proposals,
+            });
+            previous = Some(outcome.assignment);
+            previous_nearest = Some(nearest);
+            self.model
+                .step(&layout, self.mobility.epoch_duration, &mut self.rng);
+            self.epoch += 1;
+        }
+        Ok(History { epochs: reports })
+    }
+
+    /// Current user positions (after the steps taken so far).
+    pub fn positions(&self) -> &[mec_topology::Point2] {
+        self.model.positions()
+    }
+
+    /// How many epochs have been simulated so far.
+    pub fn epochs_run(&self) -> usize {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_baselines::GreedySolver;
+
+    fn params() -> ExperimentParams {
+        ExperimentParams::paper_default()
+            .with_users(8)
+            .with_servers(3)
+    }
+
+    fn greedy_factory(_: u64) -> Box<dyn Solver> {
+        Box::new(GreedySolver::new())
+    }
+
+    #[test]
+    fn runs_the_requested_epochs_with_sane_reports() {
+        let mut sim = DynamicSimulation::new(params(), MobilityConfig::vehicular(), 1).unwrap();
+        let history = sim.run(5, greedy_factory).unwrap();
+        assert_eq!(history.epochs.len(), 5);
+        assert_eq!(sim.epochs_run(), 5);
+        for (i, e) in history.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert!(e.utility.is_finite());
+            assert!(e.num_offloaded <= 8);
+            assert!(e.handovers <= 8);
+            assert!(e.reassignments <= 8);
+        }
+        // The first epoch has no predecessor.
+        assert_eq!(history.epochs[0].handovers, 0);
+        assert_eq!(history.epochs[0].reassignments, 0);
+    }
+
+    #[test]
+    fn static_users_on_fixed_shadowing_never_churn() {
+        let mobility = MobilityConfig {
+            speed_range_mps: (0.0, 0.0),
+            epoch_duration: Seconds::new(10.0),
+            redraw_shadowing: false,
+        };
+        let mut sim = DynamicSimulation::new(params(), mobility, 2).unwrap();
+        // Greedy is deterministic, positions and channels frozen: identical
+        // decisions every epoch.
+        let history = sim.run(4, greedy_factory).unwrap();
+        for e in &history.epochs[1..] {
+            assert_eq!(e.handovers, 0);
+            assert_eq!(e.reassignments, 0);
+        }
+        let u0 = history.epochs[0].utility;
+        for e in &history.epochs {
+            assert_eq!(e.utility, u0);
+        }
+    }
+
+    #[test]
+    fn fast_movers_cause_more_handovers_than_slow_ones() {
+        let run_with = |speed: (f64, f64), seed: u64| -> usize {
+            let mobility = MobilityConfig {
+                speed_range_mps: speed,
+                epoch_duration: Seconds::new(30.0),
+                redraw_shadowing: false,
+            };
+            let mut sim = DynamicSimulation::new(
+                ExperimentParams::paper_default().with_users(20),
+                mobility,
+                seed,
+            )
+            .unwrap();
+            let history = sim.run(12, greedy_factory).unwrap();
+            history.epochs.iter().map(|e| e.handovers).sum()
+        };
+        let mut slow_total = 0;
+        let mut fast_total = 0;
+        for seed in 0..3 {
+            slow_total += run_with((0.5, 1.0), seed);
+            fast_total += run_with((20.0, 40.0), seed);
+        }
+        assert!(
+            fast_total > slow_total,
+            "fast movers should hand over more: {fast_total} vs {slow_total}"
+        );
+    }
+
+    #[test]
+    fn history_summaries() {
+        let mut sim = DynamicSimulation::new(params(), MobilityConfig::pedestrian(), 3).unwrap();
+        let history = sim.run(3, greedy_factory).unwrap();
+        assert!(history.average_utility().is_finite());
+        assert_eq!(
+            history.total_reassignments(),
+            history
+                .epochs
+                .iter()
+                .map(|e| e.reassignments)
+                .sum::<usize>()
+        );
+        assert_eq!(History { epochs: vec![] }.average_utility(), 0.0);
+    }
+
+    #[test]
+    fn incremental_rescheduling_is_cheap_after_the_first_epoch() {
+        let base = tsajs::TtsaConfig::paper_default().with_min_temperature(1e-3);
+        let mut sim = DynamicSimulation::new(params(), MobilityConfig::pedestrian(), 9).unwrap();
+        let history = sim.run_incremental(5, base, 120).unwrap();
+        assert_eq!(history.epochs.len(), 5);
+        let cold = history.epochs[0].proposals;
+        for e in &history.epochs[1..] {
+            assert!(
+                e.proposals <= 120 + base.inner_iterations as u64,
+                "refresh exceeded its budget: {}",
+                e.proposals
+            );
+            assert!(e.proposals < cold, "refresh not cheaper than cold solve");
+            assert!(e.utility.is_finite());
+        }
+    }
+
+    #[test]
+    fn incremental_tracks_churn_and_rejects_zero_budget() {
+        let base = tsajs::TtsaConfig::paper_default().with_min_temperature(1e-2);
+        let mut sim = DynamicSimulation::new(params(), MobilityConfig::vehicular(), 4).unwrap();
+        assert!(sim.run_incremental(2, base, 0).is_err());
+        let history = sim.run_incremental(3, base, 60).unwrap();
+        assert_eq!(history.epochs[0].reassignments, 0, "no predecessor");
+        for e in &history.epochs {
+            assert!(e.reassignments <= 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed: u64| {
+            let mut sim =
+                DynamicSimulation::new(params(), MobilityConfig::vehicular(), seed).unwrap();
+            sim.run(4, greedy_factory).unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

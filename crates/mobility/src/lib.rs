@@ -1,0 +1,43 @@
+//! # mec-mobility
+//!
+//! User mobility and dynamic re-scheduling on top of the TSAJS stack.
+//!
+//! The paper schedules a *snapshot*: user positions (and hence channels)
+//! are fixed while the association happens on a "long-term scale"
+//! (§III-A.2). This crate supplies the dynamics around that snapshot for
+//! the vehicular / AR scenarios the paper motivates: users move under a
+//! [random-waypoint model](RandomWaypoint), channels are regenerated each
+//! epoch, the scheduler re-solves, and the simulation reports utility,
+//! serving-station handovers and decision churn over time.
+//!
+//! ## Example
+//!
+//! ```
+//! use mec_mobility::{DynamicSimulation, MobilityConfig};
+//! use mec_workloads::ExperimentParams;
+//! use tsajs::{TsajsSolver, TtsaConfig};
+//!
+//! # fn main() -> Result<(), mec_types::Error> {
+//! let params = ExperimentParams::paper_default().with_users(8);
+//! let mobility = MobilityConfig::pedestrian();
+//! let mut sim = DynamicSimulation::new(params, mobility, 42)?;
+//! let history = sim.run(3, |seed| {
+//!     Box::new(TsajsSolver::new(
+//!         TtsaConfig::paper_default().with_min_temperature(1e-2).with_seed(seed),
+//!     ))
+//! })?;
+//! assert_eq!(history.epochs.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod study;
+pub mod waypoint;
+
+pub use dynamic::{DynamicSimulation, EpochReport, History, MobilityConfig};
+pub use study::{run as run_study, StudyConfig};
+pub use waypoint::RandomWaypoint;

@@ -1,0 +1,199 @@
+//! The random-waypoint mobility model.
+
+use mec_topology::{place_users_uniform, NetworkLayout, Point2};
+use mec_types::Seconds;
+use rand::Rng;
+
+/// Random-waypoint mobility over a network's coverage area.
+///
+/// Each user walks in a straight line toward a destination sampled
+/// uniformly over the coverage area at an individual speed; on arrival it
+/// draws a fresh destination. If a straight-line step would exit the
+/// (non-convex) union of hexagonal cells, the user stops and re-plans —
+/// a standard boundary rule that keeps every position inside coverage by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    positions: Vec<Point2>,
+    destinations: Vec<Point2>,
+    speeds_mps: Vec<f64>,
+}
+
+impl RandomWaypoint {
+    /// Initializes `count` users uniformly over the layout, with speeds
+    /// drawn uniformly from `speed_range` (m/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range is empty, negative or non-finite.
+    pub fn new<R: Rng + ?Sized>(
+        layout: &NetworkLayout,
+        count: usize,
+        speed_range: (f64, f64),
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            speed_range.0.is_finite()
+                && speed_range.1.is_finite()
+                && speed_range.0 >= 0.0
+                && speed_range.1 >= speed_range.0,
+            "speed range must be a finite non-negative interval"
+        );
+        let positions = place_users_uniform(layout, count, rng);
+        let destinations = place_users_uniform(layout, count, rng);
+        let speeds_mps = (0..count)
+            .map(|_| {
+                if speed_range.0 == speed_range.1 {
+                    speed_range.0
+                } else {
+                    rng.gen_range(speed_range.0..=speed_range.1)
+                }
+            })
+            .collect();
+        Self {
+            positions,
+            destinations,
+            speeds_mps,
+        }
+    }
+
+    /// Current user positions.
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// Per-user speeds in m/s.
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds_mps
+    }
+
+    /// Advances all users by `dt`, re-planning on arrival or when a step
+    /// would leave the coverage area.
+    pub fn step<R: Rng + ?Sized>(&mut self, layout: &NetworkLayout, dt: Seconds, rng: &mut R) {
+        for i in 0..self.positions.len() {
+            let pos = self.positions[i];
+            let dest = self.destinations[i];
+            let travel = self.speeds_mps[i] * dt.as_secs();
+            if travel <= 0.0 {
+                continue;
+            }
+            let remaining = pos.distance(dest).as_meters();
+            if remaining <= travel {
+                // Arrive and pick a new destination.
+                self.positions[i] = dest;
+                self.destinations[i] = random_point(layout, rng);
+                continue;
+            }
+            let next = Point2::new(
+                pos.x + (dest.x - pos.x) / remaining * travel,
+                pos.y + (dest.y - pos.y) / remaining * travel,
+            );
+            if layout.contains(next) {
+                self.positions[i] = next;
+            } else {
+                // The straight segment exits the (non-convex) coverage:
+                // stay put and re-plan toward a reachable destination.
+                self.destinations[i] = random_point(layout, rng);
+            }
+        }
+    }
+}
+
+fn random_point<R: Rng + ?Sized>(layout: &NetworkLayout, rng: &mut R) -> Point2 {
+    place_users_uniform(layout, 1, rng)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_types::Meters;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> NetworkLayout {
+        NetworkLayout::hexagonal(9, Meters::new(1000.0)).unwrap()
+    }
+
+    #[test]
+    fn users_stay_in_coverage_forever() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = RandomWaypoint::new(&l, 20, (1.0, 30.0), &mut rng);
+        for _ in 0..500 {
+            model.step(&l, Seconds::new(5.0), &mut rng);
+            for p in model.positions() {
+                assert!(l.contains(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_speed_users_never_move() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = RandomWaypoint::new(&l, 5, (0.0, 0.0), &mut rng);
+        let before = model.positions().to_vec();
+        for _ in 0..10 {
+            model.step(&l, Seconds::new(10.0), &mut rng);
+        }
+        assert_eq!(model.positions(), before.as_slice());
+    }
+
+    #[test]
+    fn moving_users_actually_move() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = RandomWaypoint::new(&l, 10, (5.0, 15.0), &mut rng);
+        let before = model.positions().to_vec();
+        model.step(&l, Seconds::new(10.0), &mut rng);
+        let moved = model
+            .positions()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a.distance(**b).as_meters() > 1.0)
+            .count();
+        assert!(moved >= 8, "only {moved}/10 users moved");
+        // Step length is bounded by speed × dt.
+        for ((a, b), v) in model.positions().iter().zip(&before).zip(model.speeds()) {
+            assert!(a.distance(*b).as_meters() <= v * 10.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn arrival_triggers_replanning() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = RandomWaypoint::new(&l, 3, (10.0, 10.0), &mut rng);
+        // A huge step overshoots every destination: users land exactly on
+        // their destinations and get fresh ones.
+        let destinations_before = model.destinations.clone();
+        model.step(&l, Seconds::new(1.0e6), &mut rng);
+        for (p, d) in model.positions().iter().zip(&destinations_before) {
+            assert_eq!(p, d, "user should land on its destination");
+        }
+        assert_ne!(model.destinations, destinations_before);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let l = layout();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut m = RandomWaypoint::new(&l, 8, (1.0, 20.0), &mut rng);
+            for _ in 0..50 {
+                m.step(&l, Seconds::new(2.0), &mut rng);
+            }
+            m.positions().to_vec()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed range")]
+    fn invalid_speed_range_panics() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = RandomWaypoint::new(&l, 1, (5.0, 1.0), &mut rng);
+    }
+}

@@ -1,0 +1,514 @@
+//! Channel-gain generation: the `h[u][s][j]` tensor.
+
+use crate::pathloss::{FreeSpace, LogDistance, PathLossModel};
+use crate::shadowing::Shadowing;
+use mec_topology::{NetworkLayout, Point2};
+use mec_types::{Decibels, Error, ServerId, SubchannelId, UserId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The large-scale channel model used to generate gains.
+///
+/// Gain from user `u` to station `s` is
+/// `h = 10^(−(L(d_us) + X_shadow − G_ant)/10)` where `L` is the path loss,
+/// `X_shadow ~ N(0, σ_sh²)` in dB, and `G_ant` a fixed antenna gain.
+/// Fast fading is averaged out over the long-term association timescale
+/// (§III-A.2), so by default the gain is identical across subchannels; an
+/// optional per-subchannel dB jitter is available for sensitivity studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    path_loss: PathLossKind,
+    shadowing_stddev_db: f64,
+    shadowing_correlation: f64,
+    antenna_gain_db: f64,
+    subchannel_jitter_db: f64,
+}
+
+/// The deterministic path-loss component of a [`ChannelModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathLossKind {
+    /// `L = a + b·log10(d_km)` (the paper's model).
+    LogDistance {
+        /// Intercept at 1 km, in dB.
+        intercept_db: f64,
+        /// Slope in dB per decade of distance.
+        slope_db_per_decade: f64,
+    },
+    /// Free-space loss at a carrier frequency.
+    FreeSpace {
+        /// Carrier frequency in Hz.
+        carrier_hz: f64,
+    },
+}
+
+impl PathLossKind {
+    fn loss_db(&self, distance: mec_types::Meters) -> f64 {
+        match *self {
+            PathLossKind::LogDistance {
+                intercept_db,
+                slope_db_per_decade,
+            } => LogDistance::new(intercept_db, slope_db_per_decade).loss_db(distance),
+            PathLossKind::FreeSpace { carrier_hz } => FreeSpace::new(carrier_hz).loss_db(distance),
+        }
+    }
+}
+
+impl ChannelModel {
+    /// The paper's model: `140.7 + 36.7·log10(d_km)` path loss, 8 dB
+    /// shadowing, no extra antenna gain, no per-subchannel jitter.
+    pub fn paper_default() -> Self {
+        Self {
+            path_loss: PathLossKind::LogDistance {
+                intercept_db: mec_types::constants::PATHLOSS_INTERCEPT_DB,
+                slope_db_per_decade: mec_types::constants::PATHLOSS_SLOPE_DB,
+            },
+            shadowing_stddev_db: mec_types::constants::SHADOWING_STDDEV_DB,
+            shadowing_correlation: 0.0,
+            antenna_gain_db: 0.0,
+            subchannel_jitter_db: 0.0,
+        }
+    }
+
+    /// A deterministic variant (shadowing disabled) for reproducible unit
+    /// tests and worked examples.
+    pub fn deterministic() -> Self {
+        Self {
+            shadowing_stddev_db: 0.0,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Replaces the path-loss component.
+    pub fn with_path_loss(mut self, path_loss: PathLossKind) -> Self {
+        self.path_loss = path_loss;
+        self
+    }
+
+    /// Sets the shadowing standard deviation in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or non-finite.
+    pub fn with_shadowing_db(mut self, stddev_db: f64) -> Self {
+        assert!(stddev_db.is_finite() && stddev_db >= 0.0);
+        self.shadowing_stddev_db = stddev_db;
+        self
+    }
+
+    /// Sets the inter-site shadowing correlation `ρ ∈ [0, 1]`: the
+    /// shadowing on a user's links is `√ρ·a_u + √(1−ρ)·b_us` with a
+    /// user-common component `a_u` — the standard 3GPP-style model
+    /// (`ρ = 0.5` is typical; the paper's experiments use i.i.d.
+    /// shadowing, `ρ = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ρ ∉ [0, 1]`.
+    pub fn with_shadowing_correlation(mut self, rho: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "correlation must lie in [0, 1]");
+        self.shadowing_correlation = rho;
+        self
+    }
+
+    /// Sets a fixed antenna/array gain in dB applied to every link.
+    pub fn with_antenna_gain_db(mut self, gain_db: f64) -> Self {
+        self.antenna_gain_db = gain_db;
+        self
+    }
+
+    /// Enables independent per-subchannel gain jitter (dB stddev). The
+    /// paper's experiments keep this at zero.
+    pub fn with_subchannel_jitter_db(mut self, stddev_db: f64) -> Self {
+        assert!(stddev_db.is_finite() && stddev_db >= 0.0);
+        self.subchannel_jitter_db = stddev_db;
+        self
+    }
+
+    /// Generates the channel-gain tensor for `user_positions` against every
+    /// station in `layout`, over `num_subchannels` subchannels.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        layout: &NetworkLayout,
+        user_positions: &[Point2],
+        num_subchannels: usize,
+        rng: &mut R,
+    ) -> ChannelGains {
+        let num_users = user_positions.len();
+        let num_servers = layout.num_stations();
+        let mut shadowing = Shadowing::new(self.shadowing_stddev_db);
+        let mut jitter = Shadowing::new(self.subchannel_jitter_db);
+        let rho = self.shadowing_correlation;
+        let mut gains = vec![0.0; num_users * num_servers * num_subchannels];
+        for (u, pos) in user_positions.iter().enumerate() {
+            // User-common shadowing component (correlated across stations).
+            let common_db = if rho > 0.0 {
+                shadowing.sample_db(rng)
+            } else {
+                0.0
+            };
+            for (s, station) in layout.stations().iter().enumerate() {
+                let loss_db = self.path_loss.loss_db(pos.distance(*station));
+                let link_db = if rho >= 1.0 {
+                    common_db
+                } else {
+                    rho.sqrt() * common_db + (1.0 - rho).sqrt() * shadowing.sample_db(rng)
+                };
+                let base_db = -(loss_db + link_db) + self.antenna_gain_db;
+                for j in 0..num_subchannels {
+                    let db = base_db
+                        + if self.subchannel_jitter_db > 0.0 {
+                            jitter.sample_db(rng)
+                        } else {
+                            0.0
+                        };
+                    gains[(u * num_servers + s) * num_subchannels + j] =
+                        Decibels::new(db).to_linear();
+                }
+            }
+        }
+        ChannelGains {
+            num_users,
+            num_servers,
+            num_subchannels,
+            gains,
+        }
+    }
+}
+
+impl Default for ChannelModel {
+    /// Defaults to [`ChannelModel::paper_default`].
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Dense linear channel gains `h[u][s][j]`.
+///
+/// Generated once per scenario; lookups during search are branch-free
+/// multiplies into a flat buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelGains {
+    num_users: usize,
+    num_servers: usize,
+    num_subchannels: usize,
+    gains: Vec<f64>,
+}
+
+impl ChannelGains {
+    /// Builds a gain tensor from an explicit function of `(u, s, j)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if any produced gain is
+    /// negative or non-finite.
+    pub fn from_fn<F>(
+        num_users: usize,
+        num_servers: usize,
+        num_subchannels: usize,
+        mut f: F,
+    ) -> Result<Self, Error>
+    where
+        F: FnMut(UserId, ServerId, SubchannelId) -> f64,
+    {
+        let mut gains = Vec::with_capacity(num_users * num_servers * num_subchannels);
+        for u in 0..num_users {
+            for s in 0..num_servers {
+                for j in 0..num_subchannels {
+                    let g = f(UserId::new(u), ServerId::new(s), SubchannelId::new(j));
+                    if !g.is_finite() || g < 0.0 {
+                        return Err(Error::invalid(
+                            "h_us_j",
+                            format!("gain for (u{u}, s{s}, j{j}) must be finite and >= 0, got {g}"),
+                        ));
+                    }
+                    gains.push(g);
+                }
+            }
+        }
+        Ok(Self {
+            num_users,
+            num_servers,
+            num_subchannels,
+            gains,
+        })
+    }
+
+    /// A tensor with the same gain on every link (useful in tests).
+    pub fn uniform(
+        num_users: usize,
+        num_servers: usize,
+        num_subchannels: usize,
+        gain: f64,
+    ) -> Result<Self, Error> {
+        Self::from_fn(num_users, num_servers, num_subchannels, |_, _, _| gain)
+    }
+
+    /// Number of users in the tensor.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of servers in the tensor.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of subchannels in the tensor.
+    #[inline]
+    pub fn num_subchannels(&self) -> usize {
+        self.num_subchannels
+    }
+
+    /// The linear gain `h[u][s][j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[inline]
+    pub fn gain(&self, u: UserId, s: ServerId, j: SubchannelId) -> f64 {
+        assert!(
+            u.index() < self.num_users
+                && s.index() < self.num_servers
+                && j.index() < self.num_subchannels,
+            "channel gain index out of range"
+        );
+        self.gains[(u.index() * self.num_servers + s.index()) * self.num_subchannels + j.index()]
+    }
+
+    /// Percentiles of the per-user *best-server* gain in dB — a quick
+    /// health check of a scenario's radio conditions (`q` in `[0, 1]`,
+    /// nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or the tensor has no users.
+    pub fn best_gain_percentile_db(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile must lie in [0, 1]");
+        assert!(self.num_users > 0, "no users in the tensor");
+        let mut best: Vec<f64> = (0..self.num_users)
+            .map(|u| {
+                let u = UserId::new(u);
+                let s = self.best_server(u);
+                10.0 * self.gain(u, s, SubchannelId::new(0)).log10()
+            })
+            .collect();
+        best.sort_by(|a, b| a.partial_cmp(b).expect("gains are finite"));
+        let rank = ((q * (best.len() - 1) as f64).round() as usize).min(best.len() - 1);
+        best[rank]
+    }
+
+    /// The strongest server for a user, judged by subchannel-0 gain
+    /// (gains are identical across subchannels in the paper's model).
+    pub fn best_server(&self, u: UserId) -> ServerId {
+        let mut best = 0usize;
+        let mut best_g = f64::NEG_INFINITY;
+        for s in 0..self.num_servers {
+            let g = self.gain(u, ServerId::new(s), SubchannelId::new(0));
+            if g > best_g {
+                best_g = g;
+                best = s;
+            }
+        }
+        ServerId::new(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_types::{constants, Meters};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> NetworkLayout {
+        NetworkLayout::hexagonal(9, constants::INTER_SITE_DISTANCE).unwrap()
+    }
+
+    #[test]
+    fn deterministic_gain_matches_hand_computation() {
+        let l = layout();
+        let users = vec![Point2::new(100.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = ChannelModel::deterministic().generate(&l, &users, 2, &mut rng);
+        // d = 100 m = 0.1 km → L = 140.7 − 36.7 = 104.0 dB → h = 10^−10.4.
+        let expected = 10.0_f64.powf(-10.4);
+        let got = g.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0));
+        assert!((got / expected - 1.0).abs() < 1e-9, "got {got}");
+        // Identical across subchannels without jitter.
+        assert_eq!(
+            got,
+            g.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(1))
+        );
+    }
+
+    #[test]
+    fn closer_station_has_larger_gain_without_shadowing() {
+        let l = layout();
+        // A user near station 0.
+        let users = vec![Point2::new(50.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = ChannelModel::deterministic().generate(&l, &users, 1, &mut rng);
+        let g0 = g.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0));
+        for s in 1..9 {
+            assert!(g0 > g.gain(UserId::new(0), ServerId::new(s), SubchannelId::new(0)));
+        }
+        assert_eq!(g.best_server(UserId::new(0)), ServerId::new(0));
+    }
+
+    #[test]
+    fn shadowing_perturbs_gains_but_preserves_shape() {
+        let l = layout();
+        let users = vec![Point2::new(200.0, 100.0); 4];
+        let mut rng = StdRng::seed_from_u64(7);
+        let shadowed = ChannelModel::paper_default().generate(&l, &users, 1, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let clean = ChannelModel::deterministic().generate(&l, &users, 1, &mut rng2);
+        // Same positions: identical deterministic part, different realizations.
+        assert_eq!(shadowed.num_users(), clean.num_users());
+        let a = shadowed.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0));
+        let b = clean.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0));
+        assert_ne!(a, b);
+        assert!(a > 0.0 && a.is_finite());
+    }
+
+    #[test]
+    fn subchannel_jitter_decorrelates_subchannels() {
+        let l = layout();
+        let users = vec![Point2::new(100.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = ChannelModel::deterministic()
+            .with_subchannel_jitter_db(3.0)
+            .generate(&l, &users, 3, &mut rng);
+        let g0 = g.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0));
+        let g1 = g.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(1));
+        assert_ne!(g0, g1);
+    }
+
+    #[test]
+    fn antenna_gain_scales_linearly() {
+        let l = layout();
+        let users = vec![Point2::new(100.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = ChannelModel::deterministic().generate(&l, &users, 1, &mut rng);
+        let mut rng = StdRng::seed_from_u64(0);
+        let boosted = ChannelModel::deterministic()
+            .with_antenna_gain_db(10.0)
+            .generate(&l, &users, 1, &mut rng);
+        let r = boosted.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0))
+            / base.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0));
+        assert!((r - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_fn_validates_gains() {
+        assert!(ChannelGains::from_fn(1, 1, 1, |_, _, _| -1.0).is_err());
+        assert!(ChannelGains::from_fn(1, 1, 1, |_, _, _| f64::NAN).is_err());
+        let g = ChannelGains::from_fn(2, 3, 4, |u, s, j| {
+            (u.index() * 100 + s.index() * 10 + j.index()) as f64
+        })
+        .unwrap();
+        assert_eq!(
+            g.gain(UserId::new(1), ServerId::new(2), SubchannelId::new(3)),
+            123.0
+        );
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let g = ChannelGains::uniform(3, 2, 2, 0.5).unwrap();
+        for u in 0..3 {
+            for s in 0..2 {
+                for j in 0..2 {
+                    assert_eq!(
+                        g.gain(UserId::new(u), ServerId::new(s), SubchannelId::new(j)),
+                        0.5
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_gain_percentiles_are_ordered() {
+        let l = layout();
+        let users: Vec<Point2> = (0..20)
+            .map(|i| Point2::new(50.0 * i as f64, 25.0 * i as f64))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = ChannelModel::paper_default().generate(&l, &users, 2, &mut rng);
+        let p10 = g.best_gain_percentile_db(0.1);
+        let p50 = g.best_gain_percentile_db(0.5);
+        let p90 = g.best_gain_percentile_db(0.9);
+        assert!(p10 <= p50 && p50 <= p90);
+        assert!(p50 < 0.0, "gains are far below 0 dB");
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        let g = ChannelGains::uniform(1, 1, 1, 1.0).unwrap();
+        let _ = g.best_gain_percentile_db(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gain_panics_out_of_range() {
+        let g = ChannelGains::uniform(1, 1, 1, 1.0).unwrap();
+        let _ = g.gain(UserId::new(1), ServerId::new(0), SubchannelId::new(0));
+    }
+
+    #[test]
+    fn full_correlation_shares_shadowing_across_stations() {
+        let l = layout();
+        let users = vec![Point2::new(100.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = ChannelModel::paper_default()
+            .with_shadowing_correlation(1.0)
+            .generate(&l, &users, 1, &mut rng);
+        // With rho = 1 the shadowing is identical on every link, so the
+        // gain ratios between stations equal the pure path-loss ratios.
+        let mut rng = StdRng::seed_from_u64(99);
+        let clean = ChannelModel::deterministic().generate(&l, &users, 1, &mut rng);
+        let r01 = |g: &ChannelGains| {
+            g.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0))
+                / g.gain(UserId::new(0), ServerId::new(1), SubchannelId::new(0))
+        };
+        assert!((r01(&g) / r01(&clean) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_correlation_still_varies_links() {
+        let l = layout();
+        let users = vec![Point2::new(100.0, 0.0); 3];
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = ChannelModel::paper_default()
+            .with_shadowing_correlation(0.5)
+            .generate(&l, &users, 1, &mut rng);
+        // Same position, different users: gains still differ (independent
+        // components), and are positive/finite.
+        let g0 = g.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0));
+        let g1 = g.gain(UserId::new(1), ServerId::new(0), SubchannelId::new(0));
+        assert_ne!(g0, g1);
+        assert!(g0 > 0.0 && g0.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation")]
+    fn out_of_range_correlation_panics() {
+        let _ = ChannelModel::paper_default().with_shadowing_correlation(1.5);
+    }
+
+    #[test]
+    fn alternative_path_loss_kind_is_usable() {
+        let l = NetworkLayout::hexagonal(1, Meters::new(1000.0)).unwrap();
+        let users = vec![Point2::new(100.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = ChannelModel::deterministic()
+            .with_path_loss(PathLossKind::FreeSpace { carrier_hz: 2.0e9 })
+            .generate(&l, &users, 1, &mut rng);
+        let got = g.gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0));
+        assert!(got > 0.0 && got.is_finite());
+    }
+}

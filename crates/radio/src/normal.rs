@@ -1,0 +1,108 @@
+//! Standard-normal sampling via the Box–Muller transform.
+//!
+//! The offline dependency set does not include `rand_distr`, so the
+//! Gaussian needed for lognormal shadowing is implemented here. Box–Muller
+//! produces pairs of independent standard normals; the spare is cached so
+//! consecutive draws cost one transform every other call.
+
+use rand::Rng;
+
+/// A standard normal (mean 0, variance 1) sampler.
+///
+/// # Example
+///
+/// ```
+/// use mec_radio::StandardNormal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut normal = StandardNormal::new();
+/// let x = normal.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StandardNormal {
+    spare: Option<f64>,
+}
+
+impl StandardNormal {
+    /// Creates a sampler with an empty spare cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(radius * theta.sin());
+        radius * theta.cos()
+    }
+
+    /// Draws a normal variate with the given mean and standard deviation.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, stddev: f64) -> f64 {
+        mean + stddev * self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draw(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut normal = StandardNormal::new();
+        (0..n).map(|_| normal.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        assert!(draw(10_000, 0).iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn empirical_mean_and_variance_match() {
+        let xs = draw(100_000, 1);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn empirical_tail_mass_is_gaussian() {
+        // P(|Z| > 1.96) ≈ 0.05 for a standard normal.
+        let xs = draw(100_000, 2);
+        let tail = xs.iter().filter(|x| x.abs() > 1.96).count() as f64 / xs.len() as f64;
+        assert!((tail - 0.05).abs() < 0.01, "tail mass {tail}");
+    }
+
+    #[test]
+    fn sample_with_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut normal = StandardNormal::new();
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| normal.sample_with(&mut rng, 10.0, 8.0))
+            .collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!((mean - 10.0).abs() < 0.2);
+        assert!((var.sqrt() - 8.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(draw(100, 7), draw(100, 7));
+        assert_ne!(draw(100, 7), draw(100, 8));
+    }
+}

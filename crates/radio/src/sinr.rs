@@ -1,0 +1,176 @@
+//! Uplink SINR (Eq. 3) and Shannon rate (Eq. 4).
+
+use crate::channel::ChannelGains;
+use mec_types::{BitsPerSecond, Hertz, ServerId, SubchannelId, UserId};
+
+/// One active uplink transmission: user `u` sending to server `s` on
+/// subchannel `j` (an `x_us^j = 1` entry of the offloading policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transmission {
+    /// The transmitting user.
+    pub user: UserId,
+    /// The serving base station.
+    pub server: ServerId,
+    /// The allocated subchannel.
+    pub subchannel: SubchannelId,
+}
+
+impl Transmission {
+    /// Creates a transmission triple.
+    pub fn new(user: UserId, server: ServerId, subchannel: SubchannelId) -> Self {
+        Self {
+            user,
+            server,
+            subchannel,
+        }
+    }
+}
+
+/// Computes the SINR of every transmission in `transmissions` (Eq. 3):
+///
+/// `γ_us^j = p_u·h_us^j / (Σ_{r≠s} Σ_{k∈U_r} x_kr^j·p_k·h_ks^j + σ²)`
+///
+/// Interference at the serving station `s` comes from users transmitting
+/// on the *same subchannel* to *other* stations; intra-cell users are
+/// orthogonal by OFDMA.
+///
+/// `tx_power_watts[u]` is the linear transmit power of user `u`;
+/// `noise_watts` is `σ²`.
+///
+/// # Panics
+///
+/// Panics if a transmission references a user/server/subchannel outside
+/// the gain tensor, or if `tx_power_watts` is shorter than the user count
+/// implied by the transmissions.
+pub fn compute_sinrs(
+    gains: &ChannelGains,
+    tx_power_watts: &[f64],
+    noise_watts: f64,
+    transmissions: &[Transmission],
+) -> Vec<f64> {
+    transmissions
+        .iter()
+        .map(|t| {
+            let signal =
+                tx_power_watts[t.user.index()] * gains.gain(t.user, t.server, t.subchannel);
+            let interference: f64 = transmissions
+                .iter()
+                .filter(|o| o.subchannel == t.subchannel && o.server != t.server)
+                .map(|o| {
+                    tx_power_watts[o.user.index()] * gains.gain(o.user, t.server, t.subchannel)
+                })
+                .sum();
+            signal / (interference + noise_watts)
+        })
+        .collect()
+}
+
+/// Shannon capacity of one subchannel of width `width` at the given SINR
+/// (Eq. 4): `R = W·log2(1 + γ)`.
+#[inline]
+pub fn shannon_rate(width: Hertz, sinr: f64) -> BitsPerSecond {
+    BitsPerSecond::new(width.as_hz() * (1.0 + sinr).log2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(u: usize, s: usize, j: usize) -> Transmission {
+        Transmission::new(UserId::new(u), ServerId::new(s), SubchannelId::new(j))
+    }
+
+    #[test]
+    fn single_user_has_no_interference() {
+        let gains = ChannelGains::uniform(1, 2, 2, 1e-10).unwrap();
+        let sinrs = compute_sinrs(&gains, &[0.01], 1e-13, &[t(0, 0, 0)]);
+        let expected = 0.01 * 1e-10 / 1e-13;
+        assert!((sinrs[0] - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn same_subchannel_other_cell_interferes() {
+        let gains = ChannelGains::uniform(2, 2, 1, 1e-10).unwrap();
+        let txs = [t(0, 0, 0), t(1, 1, 0)];
+        let sinrs = compute_sinrs(&gains, &[0.01, 0.01], 1e-13, &txs);
+        // Symmetric setup: both see signal p·h and interference p·h.
+        let expected = (0.01 * 1e-10) / (0.01 * 1e-10 + 1e-13);
+        for s in &sinrs {
+            assert!((s - expected).abs() / expected < 1e-12);
+        }
+        // SINR is now near 1 (≈ 0 dB), far below the no-interference case.
+        assert!(sinrs[0] < 1.0);
+    }
+
+    #[test]
+    fn different_subchannels_are_orthogonal() {
+        let gains = ChannelGains::uniform(2, 2, 2, 1e-10).unwrap();
+        let txs = [t(0, 0, 0), t(1, 1, 1)];
+        let sinrs = compute_sinrs(&gains, &[0.01, 0.01], 1e-13, &txs);
+        let clean = 0.01 * 1e-10 / 1e-13;
+        for s in &sinrs {
+            assert!((s - clean).abs() / clean < 1e-12);
+        }
+    }
+
+    #[test]
+    fn same_cell_users_do_not_interfere() {
+        // Two users on the same server, different subchannels (12d forbids
+        // the same subchannel) — no mutual interference terms.
+        let gains = ChannelGains::uniform(2, 1, 2, 1e-10).unwrap();
+        let txs = [t(0, 0, 0), t(1, 0, 1)];
+        let sinrs = compute_sinrs(&gains, &[0.01, 0.01], 1e-13, &txs);
+        let clean = 0.01 * 1e-10 / 1e-13;
+        for s in &sinrs {
+            assert!((s - clean).abs() / clean < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interference_sums_over_multiple_cells() {
+        let gains = ChannelGains::uniform(3, 3, 1, 1e-10).unwrap();
+        let txs = [t(0, 0, 0), t(1, 1, 0), t(2, 2, 0)];
+        let sinrs = compute_sinrs(&gains, &[0.01; 3], 1e-13, &txs);
+        let expected = (0.01 * 1e-10) / (2.0 * 0.01 * 1e-10 + 1e-13);
+        for s in &sinrs {
+            assert!((s - expected).abs() / expected < 1e-12);
+        }
+    }
+
+    #[test]
+    fn asymmetric_powers_shift_sinr() {
+        let gains = ChannelGains::uniform(2, 2, 1, 1e-10).unwrap();
+        let txs = [t(0, 0, 0), t(1, 1, 0)];
+        // User 1 transmits 10x stronger than user 0.
+        let sinrs = compute_sinrs(&gains, &[0.01, 0.1], 1e-13, &txs);
+        assert!(sinrs[1] > sinrs[0]);
+    }
+
+    #[test]
+    fn shannon_rate_reference_points() {
+        // W·log2(1+1) = W at SINR 1.
+        let w = Hertz::from_mega(1.0);
+        assert!((shannon_rate(w, 1.0).as_bps() - 1.0e6).abs() < 1e-6);
+        // SINR 3 → log2(4) = 2 bits/s/Hz.
+        assert!((shannon_rate(w, 3.0).as_bps() - 2.0e6).abs() < 1e-6);
+        // Zero SINR → zero rate.
+        assert_eq!(shannon_rate(w, 0.0).as_bps(), 0.0);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_sinr() {
+        let w = Hertz::from_mega(6.67);
+        let mut prev = -1.0;
+        for sinr in [0.0, 0.1, 1.0, 10.0, 100.0, 1000.0] {
+            let r = shannon_rate(w, sinr).as_bps();
+            assert!(r > prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn empty_transmission_set_is_empty() {
+        let gains = ChannelGains::uniform(1, 1, 1, 1e-10).unwrap();
+        assert!(compute_sinrs(&gains, &[0.01], 1e-13, &[]).is_empty());
+    }
+}

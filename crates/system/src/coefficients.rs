@@ -1,0 +1,167 @@
+//! Per-user objective coefficients (Eq. 19).
+
+use crate::scenario::UserSpec;
+use mec_types::{BitsPerSecond, Hertz, LocalCost};
+use serde::{Deserialize, Serialize};
+
+/// The three per-user constants that make the offloading cost `V(X, F)`
+/// separable (Eq. 19):
+///
+/// * `φ_u = λ_u·β_u^time·d_u / (t_u^local·W)` — uplink *time* cost weight,
+/// * `ψ_u = λ_u·β_u^energy·d_u / (E_u^local·W)` — uplink *energy* cost
+///   weight (multiplied by `p_u` in the objective),
+/// * `η_u = λ_u·β_u^time·f_u^local` — execution cost weight, whose square
+///   root drives the KKT allocation (Eq. 22).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserCoefficients {
+    /// Uplink time-cost coefficient `φ_u`.
+    pub phi: f64,
+    /// Uplink energy-cost coefficient `ψ_u`.
+    pub psi: f64,
+    /// Execution-cost coefficient `η_u`.
+    pub eta: f64,
+    /// The constant gain term `λ_u·(β_u^time + β_u^energy)` this user adds
+    /// to Eq. 24 when offloaded.
+    pub gain_constant: f64,
+    /// Fixed downlink cost `λ_u·β_u^time·(d_out/R_down)/t_local` paid
+    /// whenever the user offloads (zero when the downlink is not modeled
+    /// or the task returns no data) — the §III-A.2 extension.
+    pub download_cost: f64,
+}
+
+impl UserCoefficients {
+    /// Computes the coefficients for a user given its precomputed local
+    /// cost, the subchannel width `W`, and an optional fixed downlink
+    /// rate.
+    pub fn compute(
+        user: &UserSpec,
+        local: &LocalCost,
+        subchannel_width: Hertz,
+        downlink_rate: Option<BitsPerSecond>,
+    ) -> Self {
+        let lambda = user.lambda.value();
+        let beta_t = user.preferences.beta_time();
+        let beta_e = user.preferences.beta_energy();
+        let d = user.task.data().as_bits();
+        let w = subchannel_width.as_hz();
+        let download_cost = match downlink_rate {
+            Some(rate) if user.task.output().as_bits() > 0.0 => {
+                let t_down = user.task.output() / rate;
+                lambda * beta_t * t_down.as_secs() / local.time.as_secs()
+            }
+            _ => 0.0,
+        };
+        Self {
+            phi: lambda * beta_t * d / (local.time.as_secs() * w),
+            psi: lambda * beta_e * d / (local.energy.as_joules() * w),
+            eta: lambda * beta_t * user.device.cpu().as_hz(),
+            gain_constant: lambda * (beta_t + beta_e),
+            download_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_types::{Bits, Cycles, DeviceProfile, ProviderPreference, Task, UserPreferences};
+
+    fn spec(beta_time: f64, lambda: f64) -> UserSpec {
+        UserSpec {
+            task: Task::new(Bits::from_kilobytes(420.0), Cycles::from_mega(1000.0)).unwrap(),
+            device: DeviceProfile::paper_default(),
+            preferences: UserPreferences::new(beta_time).unwrap(),
+            lambda: ProviderPreference::new(lambda).unwrap(),
+        }
+    }
+
+    #[test]
+    fn hand_computed_reference() {
+        let user = spec(0.5, 1.0);
+        let local = user.task.local_cost(&user.device);
+        let w = Hertz::new(20.0e6 / 3.0);
+        let c = UserCoefficients::compute(&user, &local, w, None);
+
+        let d = 420.0 * 8192.0;
+        // t_local = 1 s, E_local = 5 J.
+        assert!((c.phi - 0.5 * d / (1.0 * w.as_hz())).abs() < 1e-12);
+        assert!((c.psi - 0.5 * d / (5.0 * w.as_hz())).abs() < 1e-12);
+        assert!((c.eta - 0.5 * 1.0e9).abs() < 1e-3);
+        assert!((c.gain_constant - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_scale_linearly_with_lambda() {
+        let full = spec(0.5, 1.0);
+        let half = spec(0.5, 0.5);
+        let local = full.task.local_cost(&full.device);
+        let w = Hertz::new(1.0e6);
+        let cf = UserCoefficients::compute(&full, &local, w, None);
+        let ch = UserCoefficients::compute(&half, &local, w, None);
+        assert!((ch.phi / cf.phi - 0.5).abs() < 1e-12);
+        assert!((ch.psi / cf.psi - 0.5).abs() < 1e-12);
+        assert!((ch.eta / cf.eta - 0.5).abs() < 1e-12);
+        assert!((ch.gain_constant / cf.gain_constant - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_preferences_zero_out_one_side() {
+        let local = spec(0.5, 1.0)
+            .task
+            .local_cost(&DeviceProfile::paper_default());
+        let w = Hertz::new(1.0e6);
+
+        let time_only = UserCoefficients::compute(&spec(1.0, 1.0), &local, w, None);
+        assert!(time_only.psi == 0.0 && time_only.phi > 0.0 && time_only.eta > 0.0);
+
+        let energy_only = UserCoefficients::compute(&spec(0.0, 1.0), &local, w, None);
+        assert!(energy_only.phi == 0.0 && energy_only.eta == 0.0 && energy_only.psi > 0.0);
+
+        // The gain constant is λ in both extremes (β's sum to 1).
+        assert!((time_only.gain_constant - 1.0).abs() < 1e-12);
+        assert!((energy_only.gain_constant - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn download_cost_reflects_output_and_rate() {
+        use mec_types::Task;
+        let mut user = spec(0.5, 1.0);
+        user.task = Task::with_output(
+            Bits::from_kilobytes(420.0),
+            Cycles::from_mega(1000.0),
+            Bits::new(1.0e6),
+        )
+        .unwrap();
+        let local = user.task.local_cost(&user.device);
+        let w = Hertz::new(1.0e6);
+        // No downlink modeled -> zero cost.
+        let c = UserCoefficients::compute(&user, &local, w, None);
+        assert_eq!(c.download_cost, 0.0);
+        // 1 Mbit at 10 Mbit/s = 0.1 s; t_local = 1 s; lambda*beta_t = 0.5.
+        let c = UserCoefficients::compute(
+            &user,
+            &local,
+            w,
+            Some(mec_types::BitsPerSecond::new(10.0e6)),
+        );
+        assert!((c.download_cost - 0.05).abs() < 1e-12);
+        // Zero-output tasks pay nothing even with a downlink.
+        let plain = spec(0.5, 1.0);
+        let lp = plain.task.local_cost(&plain.device);
+        let c =
+            UserCoefficients::compute(&plain, &lp, w, Some(mec_types::BitsPerSecond::new(10.0e6)));
+        assert_eq!(c.download_cost, 0.0);
+    }
+
+    #[test]
+    fn wider_subchannels_reduce_uplink_cost_weights() {
+        let user = spec(0.5, 1.0);
+        let local = user.task.local_cost(&user.device);
+        let narrow = UserCoefficients::compute(&user, &local, Hertz::new(1.0e6), None);
+        let wide = UserCoefficients::compute(&user, &local, Hertz::new(2.0e6), None);
+        assert!((narrow.phi / wide.phi - 2.0).abs() < 1e-12);
+        assert!((narrow.psi / wide.psi - 2.0).abs() < 1e-12);
+        // η is independent of the radio.
+        assert_eq!(narrow.eta, wide.eta);
+    }
+}

@@ -1,0 +1,536 @@
+//! Objective evaluation: the exact `J*(X)` of Eq. 24 and full per-user
+//! reports.
+//!
+//! Two entry points with identical semantics but different costs:
+//!
+//! * [`Evaluator::objective`] — the closed-form `J*(X)` used inside search
+//!   loops: `O(T·S)` for the SINR totals plus `O(T)` for the cost sums,
+//!   with no allocations beyond one scratch vector.
+//! * [`Evaluator::evaluate`] — materializes the KKT allocation and every
+//!   per-user metric (times, energies, utilities) for reporting.
+//!
+//! The two agree to floating-point accuracy; a property test in the crate
+//! enforces it.
+
+use crate::allocation::{kkt_allocation, optimal_lambda_cost};
+use crate::assignment::Assignment;
+use crate::metrics::{SystemEvaluation, UserMetrics};
+use crate::scenario::Scenario;
+use mec_radio::{shannon_rate, Transmission};
+use mec_types::{BitsPerSecond, Error, Seconds};
+
+/// Reusable buffers for [`Evaluator::objective_with`]. Search loops that
+/// evaluate thousands of candidates keep one of these alive to avoid
+/// per-candidate allocations.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    transmissions: Vec<Transmission>,
+    totals: Vec<f64>,
+    sinrs: Vec<f64>,
+}
+
+/// Evaluates offloading decisions against one scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'a> {
+    scenario: &'a Scenario,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator bound to a scenario.
+    pub fn new(scenario: &'a Scenario) -> Self {
+        Self { scenario }
+    }
+
+    /// The scenario this evaluator is bound to.
+    pub fn scenario(&self) -> &'a Scenario {
+        self.scenario
+    }
+
+    /// Computes the SINR of every transmission (Eq. 3) in `O(T·S)` using
+    /// per-`(server, subchannel)` received-power totals.
+    ///
+    /// Correctness relies on constraint (12d): at most one user per
+    /// `(s, j)`, so subtracting a user's own signal from the total received
+    /// power at its server leaves exactly the inter-cell interference.
+    pub fn sinrs(&self, transmissions: &[Transmission]) -> Vec<f64> {
+        let sc = self.scenario;
+        let num_servers = sc.num_servers();
+        let num_sub = sc.num_subchannels();
+        let powers = sc.tx_powers_watts();
+        let gains = sc.gains();
+        let noise = sc.noise().as_watts();
+
+        // total[s][j] = Σ_{transmitters on j} p_k · h[k][s][j]
+        let mut total = vec![0.0f64; num_servers * num_sub];
+        for t in transmissions {
+            let p = powers[t.user.index()];
+            for s in sc.server_ids() {
+                total[s.index() * num_sub + t.subchannel.index()] +=
+                    p * gains.gain(t.user, s, t.subchannel);
+            }
+        }
+
+        transmissions
+            .iter()
+            .map(|t| {
+                let signal = powers[t.user.index()] * gains.gain(t.user, t.server, t.subchannel);
+                let interference =
+                    (total[t.server.index() * num_sub + t.subchannel.index()] - signal).max(0.0);
+                signal / (interference + noise)
+            })
+            .collect()
+    }
+
+    /// The uplink cost `Γ(X) = Σ_{offloaded} (φ_u + ψ_u·p_u) / log2(1+γ_us)`
+    /// for precomputed SINRs (aligned with `transmissions`).
+    fn gamma_cost(&self, transmissions: &[Transmission], sinrs: &[f64]) -> f64 {
+        transmissions
+            .iter()
+            .zip(sinrs)
+            .map(|(t, sinr)| {
+                let c = self.scenario.coefficients(t.user);
+                let p = self.scenario.tx_powers_watts()[t.user.index()];
+                (c.phi + c.psi * p) / (1.0 + sinr).log2()
+            })
+            .sum()
+    }
+
+    /// The exact optimal-value function `J*(X)` (Eq. 24):
+    /// `Σ_{offloaded} λ_u(β_t+β_e) − Γ(X) − Λ(X, F*)`.
+    ///
+    /// May be `-∞` if an offloaded user has zero SINR (zero channel gain);
+    /// such decisions are valid inputs that any maximizer simply rejects.
+    pub fn objective(&self, x: &Assignment) -> f64 {
+        self.objective_with(x, &mut EvalScratch::default())
+    }
+
+    /// Allocation-free variant of [`Evaluator::objective`] for search hot
+    /// loops: all intermediate buffers live in `scratch` and are reused
+    /// across calls. Semantically identical to `objective`.
+    pub fn objective_with(&self, x: &Assignment, scratch: &mut EvalScratch) -> f64 {
+        let sc = self.scenario;
+        scratch.transmissions.clear();
+        scratch
+            .transmissions
+            .extend(x.offloaded().map(|(u, s, j)| Transmission::new(u, s, j)));
+        if scratch.transmissions.is_empty() {
+            return 0.0;
+        }
+
+        // SINR totals, as in `sinrs` but into reused buffers.
+        let num_sub = sc.num_subchannels();
+        let powers = sc.tx_powers_watts();
+        let gains = sc.gains();
+        let noise = sc.noise().as_watts();
+        scratch.totals.clear();
+        scratch.totals.resize(sc.num_servers() * num_sub, 0.0);
+        for t in &scratch.transmissions {
+            let p = powers[t.user.index()];
+            for s in sc.server_ids() {
+                scratch.totals[s.index() * num_sub + t.subchannel.index()] +=
+                    p * gains.gain(t.user, s, t.subchannel);
+            }
+        }
+        scratch.sinrs.clear();
+        scratch.sinrs.extend(scratch.transmissions.iter().map(|t| {
+            let signal = powers[t.user.index()] * gains.gain(t.user, t.server, t.subchannel);
+            let interference = (scratch.totals[t.server.index() * num_sub + t.subchannel.index()]
+                - signal)
+                .max(0.0);
+            signal / (interference + noise)
+        }));
+
+        let gain: f64 = scratch
+            .transmissions
+            .iter()
+            .map(|t| {
+                let c = sc.coefficients(t.user);
+                c.gain_constant - c.download_cost
+            })
+            .sum();
+        gain - self.gamma_cost(&scratch.transmissions, &scratch.sinrs) - optimal_lambda_cost(sc, x)
+    }
+
+    /// Full evaluation: KKT allocation, per-user metrics, and the Eq. 16
+    /// decomposition of the system utility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InfeasibleAssignment`] if the assignment's
+    /// dimensions do not match the scenario.
+    pub fn evaluate(&self, x: &Assignment) -> Result<SystemEvaluation, Error> {
+        x.verify_feasible(self.scenario)?;
+        let sc = self.scenario;
+        let transmissions = x.transmissions();
+        let sinrs = self.sinrs(&transmissions);
+        let allocation = kkt_allocation(sc, x);
+        let width = sc.ofdma().subchannel_width();
+
+        // Index SINR by user for the per-user pass.
+        let mut sinr_of = vec![0.0f64; sc.num_users()];
+        for (t, sinr) in transmissions.iter().zip(&sinrs) {
+            sinr_of[t.user.index()] = *sinr;
+        }
+
+        let mut users = Vec::with_capacity(sc.num_users());
+        let mut system_utility = 0.0;
+        for u in sc.user_ids() {
+            let spec = sc.user(u);
+            let local = sc.local_cost(u);
+            let m = if x.is_offloaded(u) {
+                let sinr = sinr_of[u.index()];
+                let rate = shannon_rate(width, sinr);
+                let upload_time = spec.task.data() / rate;
+                let download_time = match sc.downlink() {
+                    Some(down_rate) if spec.task.output().as_bits() > 0.0 => {
+                        spec.task.output() / down_rate
+                    }
+                    _ => Seconds::ZERO,
+                };
+                let execute_time = spec.task.workload() / allocation.share(u);
+                let completion_time = upload_time + execute_time + download_time;
+                let energy = spec.device.tx_power_watts() * upload_time;
+                let utility = spec.preferences.beta_time()
+                    * (local.time - completion_time).as_secs()
+                    / local.time.as_secs()
+                    + spec.preferences.beta_energy() * (local.energy - energy).as_joules()
+                        / local.energy.as_joules();
+                UserMetrics {
+                    offloaded: true,
+                    sinr,
+                    rate,
+                    upload_time,
+                    download_time,
+                    execute_time,
+                    completion_time,
+                    energy,
+                    utility,
+                }
+            } else {
+                UserMetrics {
+                    offloaded: false,
+                    sinr: 0.0,
+                    rate: BitsPerSecond::ZERO,
+                    upload_time: Seconds::ZERO,
+                    download_time: Seconds::ZERO,
+                    execute_time: local.time,
+                    completion_time: local.time,
+                    energy: local.energy,
+                    utility: 0.0,
+                }
+            };
+            system_utility += spec.lambda.value() * m.utility;
+            users.push(m);
+        }
+
+        let gain_constant: f64 = transmissions
+            .iter()
+            .map(|t| {
+                let c = sc.coefficients(t.user);
+                c.gain_constant - c.download_cost
+            })
+            .sum();
+        Ok(SystemEvaluation {
+            system_utility,
+            gain_constant,
+            gamma_cost: self.gamma_cost(&transmissions, &sinrs),
+            lambda_cost: optimal_lambda_cost(sc, x),
+            num_offloaded: transmissions.len(),
+            users,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::UserSpec;
+    use mec_radio::{compute_sinrs, ChannelGains, OfdmaConfig};
+    use mec_types::{
+        Bits, Cycles, DeviceProfile, Hertz, Joules, ProviderPreference, ServerId, ServerProfile,
+        SubchannelId, Task, UserId, UserPreferences, Watts,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn user(workload_mega: f64) -> UserSpec {
+        UserSpec {
+            task: Task::new(
+                Bits::from_kilobytes(420.0),
+                Cycles::from_mega(workload_mega),
+            )
+            .unwrap(),
+            device: DeviceProfile::paper_default(),
+            preferences: UserPreferences::balanced(),
+            lambda: ProviderPreference::MAX,
+        }
+    }
+
+    fn scenario(num_users: usize, num_servers: usize, num_sub: usize, gain: f64) -> Scenario {
+        Scenario::new(
+            vec![user(1000.0); num_users],
+            vec![ServerProfile::paper_default(); num_servers],
+            OfdmaConfig::new(Hertz::from_mega(20.0), num_sub).unwrap(),
+            ChannelGains::uniform(num_users, num_servers, num_sub, gain).unwrap(),
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    fn random_scenario(
+        seed: u64,
+        num_users: usize,
+        num_servers: usize,
+        num_sub: usize,
+    ) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gains = ChannelGains::from_fn(num_users, num_servers, num_sub, |_, _, _| {
+            10.0_f64.powf(rng.gen_range(-13.0..-9.0))
+        })
+        .unwrap();
+        Scenario::new(
+            vec![user(2000.0); num_users],
+            vec![ServerProfile::paper_default(); num_servers],
+            OfdmaConfig::new(Hertz::from_mega(20.0), num_sub).unwrap(),
+            gains,
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    fn random_assignment(scenario: &Scenario, seed: u64) -> Assignment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Assignment::all_local(scenario);
+        for u in scenario.user_ids() {
+            if rng.gen_bool(0.7) {
+                let s = ServerId::new(rng.gen_range(0..scenario.num_servers()));
+                if let Some(j) = x.free_subchannel(s) {
+                    x.assign(u, s, j).unwrap();
+                }
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn all_local_has_zero_objective() {
+        let sc = scenario(4, 2, 2, 1e-10);
+        let x = Assignment::all_local(&sc);
+        let ev = Evaluator::new(&sc);
+        assert_eq!(ev.objective(&x), 0.0);
+        let full = ev.evaluate(&x).unwrap();
+        assert_eq!(full.system_utility, 0.0);
+        assert_eq!(full.num_offloaded, 0);
+        // Local users pay the local cost.
+        assert!((full.users[0].completion_time.as_secs() - 1.0).abs() < 1e-12);
+        assert!((full.users[0].energy.as_joules() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_sinr_matches_reference_implementation() {
+        for seed in 0..5 {
+            let sc = random_scenario(seed, 8, 3, 3);
+            let x = random_assignment(&sc, seed + 100);
+            let txs = x.transmissions();
+            let fast = Evaluator::new(&sc).sinrs(&txs);
+            let slow = compute_sinrs(
+                sc.gains(),
+                sc.tx_powers_watts(),
+                sc.noise().as_watts(),
+                &txs,
+            );
+            assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() / s.max(1e-300) < 1e-9, "fast {f} vs slow {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_objective_matches_direct_weighted_utility() {
+        for seed in 0..8 {
+            let sc = random_scenario(seed, 10, 3, 4);
+            let x = random_assignment(&sc, seed + 50);
+            let ev = Evaluator::new(&sc);
+            let closed = ev.objective(&x);
+            let direct = ev.evaluate(&x).unwrap().system_utility;
+            assert!(
+                (closed - direct).abs() < 1e-9 * direct.abs().max(1.0),
+                "seed {seed}: closed {closed} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn eq16_decomposition_reconstructs_utility() {
+        let sc = random_scenario(3, 6, 3, 2);
+        let x = random_assignment(&sc, 9);
+        let full = Evaluator::new(&sc).evaluate(&x).unwrap();
+        let reconstructed = full.gain_constant - full.gamma_cost - full.lambda_cost;
+        assert!((reconstructed - full.system_utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn good_channel_offloading_beats_local() {
+        // Clean, strong channel; a single user offloading to an empty
+        // 20 GHz server should gain on both axes.
+        let sc = scenario(1, 1, 1, 1e-8);
+        let mut x = Assignment::all_local(&sc);
+        x.assign(UserId::new(0), ServerId::new(0), SubchannelId::new(0))
+            .unwrap();
+        let ev = Evaluator::new(&sc);
+        let full = ev.evaluate(&x).unwrap();
+        assert!(full.system_utility > 0.0);
+        let m = &full.users[0];
+        assert!(m.offloaded);
+        assert!(
+            m.completion_time < Seconds::new(1.0),
+            "beats 1 s local time"
+        );
+        assert!(m.energy < Joules::new(5.0), "beats 5 J local energy");
+        assert!(m.utility > 0.0);
+    }
+
+    #[test]
+    fn terrible_channel_makes_offloading_lose() {
+        let sc = scenario(1, 1, 1, 1e-16);
+        let mut x = Assignment::all_local(&sc);
+        x.assign(UserId::new(0), ServerId::new(0), SubchannelId::new(0))
+            .unwrap();
+        let ev = Evaluator::new(&sc);
+        assert!(ev.objective(&x) < 0.0);
+    }
+
+    #[test]
+    fn interference_reduces_objective() {
+        // Two users on the same subchannel in different cells interfere;
+        // moving one to another subchannel must improve the objective.
+        let sc = scenario(2, 2, 2, 1e-10);
+        let ev = Evaluator::new(&sc);
+        let mut clash = Assignment::all_local(&sc);
+        clash
+            .assign(UserId::new(0), ServerId::new(0), SubchannelId::new(0))
+            .unwrap();
+        clash
+            .assign(UserId::new(1), ServerId::new(1), SubchannelId::new(0))
+            .unwrap();
+        let mut clean = Assignment::all_local(&sc);
+        clean
+            .assign(UserId::new(0), ServerId::new(0), SubchannelId::new(0))
+            .unwrap();
+        clean
+            .assign(UserId::new(1), ServerId::new(1), SubchannelId::new(1))
+            .unwrap();
+        assert!(ev.objective(&clean) > ev.objective(&clash));
+    }
+
+    #[test]
+    fn server_sharing_splits_compute() {
+        // Two identical users on one server each get half the capacity.
+        let sc = scenario(2, 1, 2, 1e-9);
+        let mut x = Assignment::all_local(&sc);
+        x.assign(UserId::new(0), ServerId::new(0), SubchannelId::new(0))
+            .unwrap();
+        x.assign(UserId::new(1), ServerId::new(0), SubchannelId::new(1))
+            .unwrap();
+        let full = Evaluator::new(&sc).evaluate(&x).unwrap();
+        // w = 1e9 cycles on 10 GHz share = 0.1 s each.
+        for m in &full.users {
+            assert!((m.execute_time.as_secs() - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scratch_objective_equals_allocating_objective() {
+        let mut scratch = crate::evaluation::EvalScratch::default();
+        for seed in 0..6 {
+            let sc = random_scenario(seed, 9, 3, 3);
+            let ev = Evaluator::new(&sc);
+            for variant in 0..4 {
+                let x = random_assignment(&sc, seed * 10 + variant);
+                let a = ev.objective(&x);
+                let b = ev.objective_with(&x, &mut scratch);
+                assert_eq!(a, b, "seed {seed} variant {variant}");
+            }
+        }
+    }
+
+    #[test]
+    fn downlink_extension_stays_consistent() {
+        // Build a scenario whose tasks return 1 Mbit of results over a
+        // 50 Mbit/s downlink; the closed form and the direct evaluation
+        // must still agree, and utilities must drop vs the no-downlink
+        // case.
+        let mk = |downlink: bool| -> Scenario {
+            let task = mec_types::Task::with_output(
+                Bits::from_kilobytes(420.0),
+                Cycles::from_mega(2000.0),
+                Bits::new(1.0e6),
+            )
+            .unwrap();
+            let spec = UserSpec {
+                task,
+                device: DeviceProfile::paper_default(),
+                preferences: UserPreferences::balanced(),
+                lambda: ProviderPreference::MAX,
+            };
+            let sc = Scenario::new(
+                vec![spec; 3],
+                vec![ServerProfile::paper_default(); 2],
+                OfdmaConfig::new(Hertz::from_mega(20.0), 2).unwrap(),
+                ChannelGains::uniform(3, 2, 2, 1e-10).unwrap(),
+                Watts::new(1e-13),
+            )
+            .unwrap();
+            if downlink {
+                sc.with_downlink(mec_types::BitsPerSecond::new(50.0e6))
+                    .unwrap()
+            } else {
+                sc
+            }
+        };
+        let with = mk(true);
+        let without = mk(false);
+        let mut x = Assignment::all_local(&with);
+        x.assign(UserId::new(0), ServerId::new(0), SubchannelId::new(0))
+            .unwrap();
+        x.assign(UserId::new(1), ServerId::new(1), SubchannelId::new(1))
+            .unwrap();
+
+        let ev_with = Evaluator::new(&with);
+        let closed = ev_with.objective(&x);
+        let full = ev_with.evaluate(&x).unwrap();
+        assert!((closed - full.system_utility).abs() < 1e-9);
+        // Per-user download time = 1 Mbit / 50 Mbit/s = 0.02 s.
+        for m in full.users.iter().filter(|m| m.offloaded) {
+            assert!((m.download_time.as_secs() - 0.02).abs() < 1e-12);
+            assert!(m.completion_time >= m.upload_time + m.execute_time);
+        }
+        // Modeling the downlink can only lower the utility.
+        let baseline = Evaluator::new(&without).objective(&x);
+        assert!(closed < baseline);
+    }
+
+    #[test]
+    fn downlink_rejects_bad_rates() {
+        let sc = scenario(2, 2, 2, 1e-10);
+        assert!(sc
+            .clone()
+            .with_downlink(mec_types::BitsPerSecond::new(0.0))
+            .is_err());
+        assert!(sc
+            .clone()
+            .with_downlink(mec_types::BitsPerSecond::new(-5.0))
+            .is_err());
+        assert!(sc
+            .with_downlink(mec_types::BitsPerSecond::new(f64::NAN))
+            .is_err());
+    }
+
+    #[test]
+    fn evaluate_rejects_mismatched_dimensions() {
+        let sc = scenario(2, 2, 2, 1e-10);
+        let wrong = Assignment::with_dims(3, 2, 2);
+        assert!(Evaluator::new(&sc).evaluate(&wrong).is_err());
+    }
+}

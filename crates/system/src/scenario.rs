@@ -1,0 +1,414 @@
+//! JTORA problem instances.
+
+use crate::coefficients::UserCoefficients;
+use mec_radio::{ChannelGains, OfdmaConfig};
+use mec_types::{
+    constants, BitsPerSecond, Cycles, DbMilliwatts, DeviceProfile, Error, LocalCost,
+    ProviderPreference, ServerId, ServerProfile, Task, UserId, UserPreferences, Watts,
+};
+use serde::{Deserialize, Serialize};
+
+/// Everything the model needs to know about one user: its task, its
+/// hardware, and how it (and the provider) weighs time against energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserSpec {
+    /// The user's atomic computation task `⟨d_u, w_u⟩`.
+    pub task: Task,
+    /// The handset hardware profile (CPU, κ, transmit power).
+    pub device: DeviceProfile,
+    /// Time/energy preference weights `β_u`.
+    pub preferences: UserPreferences,
+    /// Provider priority `λ_u`.
+    pub lambda: ProviderPreference,
+}
+
+impl UserSpec {
+    /// A user with the paper's default device, preferences, priority and
+    /// input size (420 KB), with the given task workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `workload` is non-positive.
+    pub fn paper_default_with_workload(workload: Cycles) -> Result<Self, Error> {
+        Ok(Self {
+            task: Task::new(constants::DEFAULT_TASK_DATA, workload)?,
+            device: DeviceProfile::paper_default(),
+            preferences: UserPreferences::balanced(),
+            lambda: ProviderPreference::MAX,
+        })
+    }
+}
+
+/// A complete, validated JTORA problem instance.
+///
+/// Immutable once built; solvers share it by reference. All derived
+/// per-user quantities used in the objective (`t_local`, `E_local`,
+/// `φ/ψ/η`, transmit powers in watts) are precomputed at construction.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    users: Vec<UserSpec>,
+    servers: Vec<ServerProfile>,
+    ofdma: OfdmaConfig,
+    gains: ChannelGains,
+    noise: Watts,
+    downlink: Option<BitsPerSecond>,
+    // Precomputed, indexed by user.
+    local_costs: Vec<LocalCost>,
+    tx_powers_watts: Vec<f64>,
+    coefficients: Vec<UserCoefficients>,
+}
+
+impl Scenario {
+    /// Builds and validates a scenario.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if the gain tensor does not match the
+    ///   user/server/subchannel counts.
+    /// * [`Error::InvalidParameter`] if there are no users or servers, or
+    ///   the noise power is non-positive.
+    pub fn new(
+        users: Vec<UserSpec>,
+        servers: Vec<ServerProfile>,
+        ofdma: OfdmaConfig,
+        gains: ChannelGains,
+        noise: Watts,
+    ) -> Result<Self, Error> {
+        if users.is_empty() {
+            return Err(Error::invalid("U", "scenario needs at least one user"));
+        }
+        if servers.is_empty() {
+            return Err(Error::invalid("S", "scenario needs at least one server"));
+        }
+        if !noise.is_finite() || noise.as_watts() <= 0.0 {
+            return Err(Error::invalid("sigma2", "noise power must be positive"));
+        }
+        if gains.num_users() != users.len() {
+            return Err(Error::DimensionMismatch {
+                what: "channel gains vs users",
+                expected: users.len(),
+                actual: gains.num_users(),
+            });
+        }
+        if gains.num_servers() != servers.len() {
+            return Err(Error::DimensionMismatch {
+                what: "channel gains vs servers",
+                expected: servers.len(),
+                actual: gains.num_servers(),
+            });
+        }
+        if gains.num_subchannels() != ofdma.num_subchannels() {
+            return Err(Error::DimensionMismatch {
+                what: "channel gains vs subchannels",
+                expected: ofdma.num_subchannels(),
+                actual: gains.num_subchannels(),
+            });
+        }
+
+        let local_costs: Vec<LocalCost> =
+            users.iter().map(|u| u.task.local_cost(&u.device)).collect();
+        let tx_powers_watts: Vec<f64> = users
+            .iter()
+            .map(|u| u.device.tx_power_watts().as_watts())
+            .collect();
+        let subchannel_width = ofdma.subchannel_width();
+        let coefficients: Vec<UserCoefficients> = users
+            .iter()
+            .zip(&local_costs)
+            .map(|(u, lc)| UserCoefficients::compute(u, lc, subchannel_width, None))
+            .collect();
+
+        Ok(Self {
+            users,
+            servers,
+            ofdma,
+            gains,
+            noise,
+            downlink: None,
+            local_costs,
+            tx_powers_watts,
+            coefficients,
+        })
+    }
+
+    /// Enables the downlink extension (§III-A.2): results of size
+    /// [`Task::output`] are returned to the user at the given fixed rate,
+    /// and the per-user objective coefficients are recomputed to include
+    /// the download cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the rate is non-positive or
+    /// non-finite.
+    pub fn with_downlink(mut self, rate: BitsPerSecond) -> Result<Self, Error> {
+        if !rate.is_finite() || rate.as_bps() <= 0.0 {
+            return Err(Error::invalid("R_down", "downlink rate must be positive"));
+        }
+        self.downlink = Some(rate);
+        let width = self.ofdma.subchannel_width();
+        self.coefficients = self
+            .users
+            .iter()
+            .zip(&self.local_costs)
+            .map(|(u, lc)| UserCoefficients::compute(u, lc, width, Some(rate)))
+            .collect();
+        Ok(self)
+    }
+
+    /// The fixed downlink rate, if the downlink is modeled.
+    #[inline]
+    pub fn downlink(&self) -> Option<BitsPerSecond> {
+        self.downlink
+    }
+
+    /// Overrides user `u`'s uplink transmit power — the mutation hook for
+    /// the joint power-control extension (the paper keeps `p_u` fixed and
+    /// names power optimization as future work).
+    ///
+    /// The objective coefficients `φ/ψ/η` do not depend on `p_u` (it
+    /// enters Eq. 19 only as the `ψ_u·p_u` multiplier and through the
+    /// SINR), so only the cached linear power needs updating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEntity`] for an out-of-range user and
+    /// [`Error::InvalidParameter`] for a non-finite power.
+    pub fn set_tx_power(&mut self, u: UserId, power: DbMilliwatts) -> Result<(), Error> {
+        let Some(spec) = self.users.get_mut(u.index()) else {
+            return Err(Error::UnknownEntity {
+                kind: "user",
+                index: u.index(),
+                count: self.tx_powers_watts.len(),
+            });
+        };
+        spec.device = spec.device.with_tx_power(power)?;
+        self.tx_powers_watts[u.index()] = power.to_watts().as_watts();
+        Ok(())
+    }
+
+    /// Number of users `U`.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of servers `S`.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of subchannels `N`.
+    #[inline]
+    pub fn num_subchannels(&self) -> usize {
+        self.ofdma.num_subchannels()
+    }
+
+    /// All user specs, indexed by [`UserId`].
+    #[inline]
+    pub fn users(&self) -> &[UserSpec] {
+        &self.users
+    }
+
+    /// One user spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn user(&self, u: UserId) -> &UserSpec {
+        &self.users[u.index()]
+    }
+
+    /// All server profiles, indexed by [`ServerId`].
+    #[inline]
+    pub fn servers(&self) -> &[ServerProfile] {
+        &self.servers
+    }
+
+    /// One server profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn server(&self, s: ServerId) -> &ServerProfile {
+        &self.servers[s.index()]
+    }
+
+    /// The OFDMA band plan.
+    #[inline]
+    pub fn ofdma(&self) -> &OfdmaConfig {
+        &self.ofdma
+    }
+
+    /// The channel-gain tensor.
+    #[inline]
+    pub fn gains(&self) -> &ChannelGains {
+        &self.gains
+    }
+
+    /// Background noise power `σ²`.
+    #[inline]
+    pub fn noise(&self) -> Watts {
+        self.noise
+    }
+
+    /// Precomputed local execution cost of user `u`.
+    #[inline]
+    pub fn local_cost(&self, u: UserId) -> LocalCost {
+        self.local_costs[u.index()]
+    }
+
+    /// Per-user linear transmit powers in watts (indexed by user).
+    #[inline]
+    pub fn tx_powers_watts(&self) -> &[f64] {
+        &self.tx_powers_watts
+    }
+
+    /// Precomputed objective coefficients `(φ_u, ψ_u, η_u)` of user `u`.
+    #[inline]
+    pub fn coefficients(&self, u: UserId) -> &UserCoefficients {
+        &self.coefficients[u.index()]
+    }
+
+    /// Iterates over all user ids.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> + Clone {
+        UserId::all(self.users.len())
+    }
+
+    /// Iterates over all server ids.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> + Clone {
+        ServerId::all(self.servers.len())
+    }
+
+    /// Number of binary decision variables `n = U·S·N` (the exponent in
+    /// the exhaustive search space `2^n`).
+    pub fn num_decision_vars(&self) -> usize {
+        self.num_users() * self.num_servers() * self.num_subchannels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_radio::ChannelGains;
+    use mec_types::Hertz;
+
+    fn small() -> Scenario {
+        Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(1000.0)).unwrap(); 3],
+            vec![ServerProfile::paper_default(); 2],
+            OfdmaConfig::new(Hertz::from_mega(20.0), 2).unwrap(),
+            ChannelGains::uniform(3, 2, 2, 1e-10).unwrap(),
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_are_exposed() {
+        let s = small();
+        assert_eq!(s.num_users(), 3);
+        assert_eq!(s.num_servers(), 2);
+        assert_eq!(s.num_subchannels(), 2);
+        assert_eq!(s.num_decision_vars(), 12);
+        assert_eq!(s.user_ids().count(), 3);
+        assert_eq!(s.server_ids().count(), 2);
+    }
+
+    #[test]
+    fn precomputed_local_costs_match_task_model() {
+        let s = small();
+        for u in s.user_ids() {
+            let expected = s.user(u).task.local_cost(&s.user(u).device);
+            assert_eq!(s.local_cost(u), expected);
+        }
+        // 1000 Mcycles / 1 GHz = 1 s; κ f² w = 5 J.
+        assert!((s.local_cost(UserId::new(0)).time.as_secs() - 1.0).abs() < 1e-12);
+        assert!((s.local_cost(UserId::new(0)).energy.as_joules() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tx_powers_are_linear_watts() {
+        let s = small();
+        for p in s.tx_powers_watts() {
+            assert!((p - 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn set_tx_power_updates_cache_and_spec() {
+        let mut s = small();
+        s.set_tx_power(UserId::new(1), DbMilliwatts::new(20.0))
+            .unwrap();
+        assert!(
+            (s.tx_powers_watts()[1] - 0.1).abs() < 1e-12,
+            "20 dBm = 100 mW"
+        );
+        assert_eq!(s.user(UserId::new(1)).device.tx_power().as_dbm(), 20.0);
+        // Other users untouched; coefficients unchanged (p-independent).
+        assert!((s.tx_powers_watts()[0] - 0.01).abs() < 1e-12);
+        let before = *small().coefficients(UserId::new(1));
+        assert_eq!(*s.coefficients(UserId::new(1)), before);
+        // Errors.
+        assert!(s
+            .set_tx_power(UserId::new(9), DbMilliwatts::new(10.0))
+            .is_err());
+        assert!(s
+            .set_tx_power(UserId::new(0), DbMilliwatts::new(f64::NAN))
+            .is_err());
+    }
+
+    #[test]
+    fn mismatched_gains_are_rejected() {
+        let users =
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(1000.0)).unwrap(); 3];
+        let servers = vec![ServerProfile::paper_default(); 2];
+        let ofdma = OfdmaConfig::new(Hertz::from_mega(20.0), 2).unwrap();
+        // Wrong user count in the tensor.
+        let bad = ChannelGains::uniform(4, 2, 2, 1e-10).unwrap();
+        assert!(matches!(
+            Scenario::new(
+                users.clone(),
+                servers.clone(),
+                ofdma,
+                bad,
+                Watts::new(1e-13)
+            ),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        // Wrong subchannel count.
+        let bad = ChannelGains::uniform(3, 2, 3, 1e-10).unwrap();
+        assert!(Scenario::new(users, servers, ofdma, bad, Watts::new(1e-13)).is_err());
+    }
+
+    #[test]
+    fn empty_populations_are_rejected() {
+        let ofdma = OfdmaConfig::new(Hertz::from_mega(20.0), 2).unwrap();
+        let g = ChannelGains::uniform(0, 1, 2, 1e-10).unwrap();
+        assert!(Scenario::new(
+            vec![],
+            vec![ServerProfile::paper_default()],
+            ofdma,
+            g,
+            Watts::new(1e-13)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn nonpositive_noise_is_rejected() {
+        let users = vec![UserSpec::paper_default_with_workload(Cycles::from_mega(1000.0)).unwrap()];
+        let ofdma = OfdmaConfig::new(Hertz::from_mega(20.0), 1).unwrap();
+        let g = ChannelGains::uniform(1, 1, 1, 1e-10).unwrap();
+        assert!(Scenario::new(
+            users,
+            vec![ServerProfile::paper_default()],
+            ofdma,
+            g,
+            Watts::new(0.0)
+        )
+        .is_err());
+    }
+}

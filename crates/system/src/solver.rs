@@ -1,0 +1,114 @@
+//! The solver abstraction shared by TSAJS and every baseline.
+
+use crate::assignment::Assignment;
+use crate::evaluation::Evaluator;
+use crate::metrics::SystemEvaluation;
+use crate::scenario::Scenario;
+use mec_types::Error;
+use std::time::Duration;
+
+/// A JTORA solver: given a scenario, produce a feasible offloading
+/// decision whose score is the exact `J*(X)` of Eq. 24 (the KKT-optimal
+/// allocation is implied by the decision).
+///
+/// `solve` takes `&mut self` so stochastic solvers can carry their RNG
+/// state between calls; deterministic solvers simply ignore it.
+pub trait Solver {
+    /// A short display name ("TSAJS", "hJTORA", "Greedy", …) used in
+    /// experiment tables.
+    fn name(&self) -> &str;
+
+    /// Solves the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`Error::UnsupportedScenario`] when the
+    /// instance exceeds what they can handle (e.g. exhaustive search past
+    /// its size guard).
+    fn solve(&mut self, scenario: &Scenario) -> Result<Solution, Error>;
+}
+
+/// Execution counters reported alongside a solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// How many times `J*(X)` was evaluated.
+    pub objective_evaluations: u64,
+    /// Algorithm-specific iteration count (annealing proposals, improvement
+    /// rounds, enumerated leaves, …).
+    pub iterations: u64,
+    /// Wall-clock time spent in `solve`.
+    pub elapsed: Duration,
+}
+
+/// The outcome of a solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The chosen offloading decision.
+    pub assignment: Assignment,
+    /// Its exact objective value `J*(X)`.
+    pub utility: f64,
+    /// Execution counters.
+    pub stats: SolverStats,
+}
+
+impl Solution {
+    /// Produces the full per-user evaluation of this solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the assignment does not match the scenario (it
+    /// always matches the scenario it was solved on).
+    pub fn evaluate(&self, scenario: &Scenario) -> Result<SystemEvaluation, Error> {
+        Evaluator::new(scenario).evaluate(&self.assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::UserSpec;
+    use mec_radio::{ChannelGains, OfdmaConfig};
+    use mec_types::{Cycles, Hertz, ServerProfile, Watts};
+
+    /// A solver that always answers "everyone local".
+    struct AllLocal;
+
+    impl Solver for AllLocal {
+        fn name(&self) -> &str {
+            "AllLocal"
+        }
+
+        fn solve(&mut self, scenario: &Scenario) -> Result<Solution, Error> {
+            let assignment = Assignment::all_local(scenario);
+            let utility = Evaluator::new(scenario).objective(&assignment);
+            Ok(Solution {
+                assignment,
+                utility,
+                stats: SolverStats {
+                    objective_evaluations: 1,
+                    iterations: 0,
+                    elapsed: Duration::ZERO,
+                },
+            })
+        }
+    }
+
+    #[test]
+    fn trait_object_usage_works() {
+        let scenario = Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(1000.0)).unwrap(); 2],
+            vec![ServerProfile::paper_default()],
+            OfdmaConfig::new(Hertz::from_mega(20.0), 2).unwrap(),
+            ChannelGains::uniform(2, 1, 2, 1e-10).unwrap(),
+            Watts::new(1e-13),
+        )
+        .unwrap();
+        let mut solver: Box<dyn Solver> = Box::new(AllLocal);
+        assert_eq!(solver.name(), "AllLocal");
+        let solution = solver.solve(&scenario).unwrap();
+        assert_eq!(solution.utility, 0.0);
+        let eval = solution.evaluate(&scenario).unwrap();
+        assert_eq!(eval.num_offloaded, 0);
+        assert_eq!(solution.stats.objective_evaluations, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Hexagonal grid coordinates and spiral cell enumeration.
+//!
+//! Base stations sit on a triangular lattice so that adjacent stations are
+//! exactly one inter-site distance apart and each station's hexagonal cell
+//! tiles the plane. We use axial coordinates `(q, r)` (pointy-top
+//! orientation) and enumerate cells center-out in concentric rings, so the
+//! "first S cells" always form a compact cluster like the paper's figures.
+
+use crate::point::Point2;
+use mec_types::Meters;
+use serde::{Deserialize, Serialize};
+
+/// Axial hex-grid coordinates `(q, r)` (pointy-top orientation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct HexCoord {
+    /// Axial column.
+    pub q: i32,
+    /// Axial row.
+    pub r: i32,
+}
+
+/// The six axial neighbor directions, in the ring-walk order used by
+/// [`spiral`].
+const DIRECTIONS: [(i32, i32); 6] = [(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)];
+
+impl HexCoord {
+    /// The central cell.
+    pub const CENTER: Self = Self { q: 0, r: 0 };
+
+    /// Creates a coordinate.
+    pub const fn new(q: i32, r: i32) -> Self {
+        Self { q, r }
+    }
+
+    /// Hex lattice distance (number of steps between cells).
+    pub fn grid_distance(self, other: Self) -> u32 {
+        let dq = self.q - other.q;
+        let dr = self.r - other.r;
+        ((dq.abs() + dr.abs() + (dq + dr).abs()) / 2) as u32
+    }
+
+    /// The neighbor in direction `dir ∈ 0..6`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir >= 6`.
+    pub fn neighbor(self, dir: usize) -> Self {
+        let (dq, dr) = DIRECTIONS[dir];
+        Self::new(self.q + dq, self.r + dr)
+    }
+
+    /// Converts to plane coordinates for an inter-site distance `isd`
+    /// (pointy-top: `x = isd·(q + r/2)`, `y = isd·(√3/2)·r`).
+    pub fn to_point(self, isd: Meters) -> Point2 {
+        let d = isd.as_meters();
+        Point2::new(
+            d * (self.q as f64 + self.r as f64 / 2.0),
+            d * (3.0_f64.sqrt() / 2.0) * self.r as f64,
+        )
+    }
+}
+
+/// Enumerates hex cells in spiral (center-out, ring-by-ring) order,
+/// yielding exactly `count` coordinates.
+pub fn spiral(count: usize) -> Vec<HexCoord> {
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return out;
+    }
+    out.push(HexCoord::CENTER);
+    let mut ring = 1i32;
+    while out.len() < count {
+        // Start each ring at direction-4 offset scaled by the ring index
+        // (the red-blob-games ring walk), then take `ring` steps in each of
+        // the six directions.
+        let mut cur = HexCoord::new(DIRECTIONS[4].0 * ring, DIRECTIONS[4].1 * ring);
+        for dir in 0..6 {
+            for _ in 0..ring {
+                if out.len() == count {
+                    return out;
+                }
+                out.push(cur);
+                cur = cur.neighbor(dir);
+            }
+        }
+        ring += 1;
+    }
+    out
+}
+
+/// Base-station positions for `count` cells at inter-site distance `isd`,
+/// in spiral order (center first).
+pub fn hex_centers(count: usize, isd: Meters) -> Vec<Point2> {
+    spiral(count).into_iter().map(|h| h.to_point(isd)).collect()
+}
+
+/// Circumradius of a hexagonal cell whose neighbors are `isd` apart:
+/// `R = isd / √3`.
+pub fn cell_circumradius(isd: Meters) -> Meters {
+    Meters::new(isd.as_meters() / 3.0_f64.sqrt())
+}
+
+/// Tests whether `point` lies inside the pointy-top hexagon of circumradius
+/// `radius` centered at `center` (boundary counts as inside).
+pub fn hex_contains(center: Point2, radius: Meters, point: Point2) -> bool {
+    let r = radius.as_meters();
+    let dx = (point.x - center.x).abs();
+    let dy = (point.y - center.y).abs();
+    let s3 = 3.0_f64.sqrt();
+    // Pointy-top hexagon: flat sides left/right at x = ±(√3/2)R, slanted
+    // sides satisfying √3·|dy| + |dx| ≤ √3·R.
+    dx <= s3 / 2.0 * r + 1e-9 && s3 * dy + dx <= s3 * r + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const ISD: Meters = Meters::new(1000.0);
+
+    #[test]
+    fn spiral_counts_and_uniqueness() {
+        for count in [0, 1, 2, 7, 9, 19, 37] {
+            let cells = spiral(count);
+            assert_eq!(cells.len(), count);
+            let set: HashSet<_> = cells.iter().copied().collect();
+            assert_eq!(set.len(), count, "spiral must not repeat cells");
+        }
+    }
+
+    #[test]
+    fn spiral_is_center_out() {
+        let cells = spiral(19);
+        assert_eq!(cells[0], HexCoord::CENTER);
+        // Cells 1..=6 form ring 1, cells 7..=18 ring 2.
+        for c in &cells[1..7] {
+            assert_eq!(c.grid_distance(HexCoord::CENTER), 1);
+        }
+        for c in &cells[7..19] {
+            assert_eq!(c.grid_distance(HexCoord::CENTER), 2);
+        }
+    }
+
+    #[test]
+    fn adjacent_centers_are_one_isd_apart() {
+        let centers = hex_centers(7, ISD);
+        // The six ring-1 stations are all exactly 1 ISD from the center.
+        for p in &centers[1..7] {
+            assert!((centers[0].distance(*p).as_meters() - 1000.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn all_pairwise_distances_at_least_isd() {
+        let centers = hex_centers(19, ISD);
+        for (i, a) in centers.iter().enumerate() {
+            for b in centers.iter().skip(i + 1) {
+                assert!(a.distance(*b).as_meters() >= 1000.0 - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn circumradius_matches_geometry() {
+        let r = cell_circumradius(ISD);
+        assert!((r.as_meters() - 1000.0 / 3.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hex_contains_center_and_rejects_far_points() {
+        let r = cell_circumradius(ISD);
+        assert!(hex_contains(Point2::ORIGIN, r, Point2::ORIGIN));
+        // The top vertex (pointy-top) is at (0, R) — on the boundary.
+        assert!(hex_contains(
+            Point2::ORIGIN,
+            r,
+            Point2::new(0.0, r.as_meters())
+        ));
+        // Just beyond the flat side at x = √3/2·R.
+        let side = 3.0_f64.sqrt() / 2.0 * r.as_meters();
+        assert!(!hex_contains(
+            Point2::ORIGIN,
+            r,
+            Point2::new(side + 1.0, 0.0)
+        ));
+        assert!(!hex_contains(
+            Point2::ORIGIN,
+            r,
+            Point2::new(0.0, r.as_meters() + 1.0)
+        ));
+    }
+
+    #[test]
+    fn neighboring_hexagons_tile_without_overlap() {
+        // The midpoint between two adjacent centers sits on the shared edge;
+        // points slightly to either side belong to exactly one hexagon
+        // interior.
+        let centers = hex_centers(2, ISD);
+        let r = cell_circumradius(ISD);
+        let mid = Point2::new(
+            (centers[0].x + centers[1].x) / 2.0,
+            (centers[0].y + centers[1].y) / 2.0,
+        );
+        // Step a couple of meters along the center-to-center axis, which is
+        // perpendicular to the shared edge.
+        let len = centers[0].distance(centers[1]).as_meters();
+        let ux = (centers[0].x - centers[1].x) / len;
+        let uy = (centers[0].y - centers[1].y) / len;
+        let toward_0 = Point2::new(mid.x + 2.0 * ux, mid.y + 2.0 * uy);
+        let toward_1 = Point2::new(mid.x - 2.0 * ux, mid.y - 2.0 * uy);
+        assert!(hex_contains(centers[0], r, toward_0));
+        assert!(!hex_contains(centers[1], r, toward_0));
+        assert!(hex_contains(centers[1], r, toward_1));
+        assert!(!hex_contains(centers[0], r, toward_1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn neighbor_panics_on_bad_direction() {
+        let _ = HexCoord::CENTER.neighbor(6);
+    }
+}

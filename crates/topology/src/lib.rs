@@ -1,0 +1,40 @@
+//! # mec-topology
+//!
+//! Geometric substrate for the TSAJS reproduction: the hexagonal multi-cell
+//! layout used by the paper's evaluation (§V — hexagonal cells centered on
+//! base stations, 1 km inter-site distance) and uniform user placement over
+//! the network's coverage area.
+//!
+//! ## Example
+//!
+//! ```
+//! use mec_topology::{NetworkLayout, place_users_uniform};
+//! use mec_types::constants::INTER_SITE_DISTANCE;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), mec_types::Error> {
+//! // The paper's default 9-cell hexagonal network.
+//! let layout = NetworkLayout::hexagonal(9, INTER_SITE_DISTANCE)?;
+//! assert_eq!(layout.num_stations(), 9);
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let users = place_users_uniform(&layout, 30, &mut rng);
+//! assert_eq!(users.len(), 30);
+//! // Every user lands inside some cell of the network.
+//! assert!(users.iter().all(|p| layout.contains(*p)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hex;
+pub mod layout;
+pub mod placement;
+pub mod point;
+
+pub use hex::{hex_centers, HexCoord};
+pub use layout::NetworkLayout;
+pub use placement::{place_users_hotspots, place_users_uniform, sample_point_in_cell};
+pub use point::Point2;

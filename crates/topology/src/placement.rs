@@ -1,0 +1,237 @@
+//! Random user placement over the network coverage area.
+
+use crate::hex::hex_contains;
+use crate::layout::NetworkLayout;
+use crate::point::Point2;
+use mec_types::ServerId;
+use rand::Rng;
+
+/// Samples one point uniformly inside the hexagonal cell of station `cell`.
+///
+/// Uses rejection sampling from the cell's bounding box (acceptance
+/// probability ≈ 0.83 for a regular hexagon, so this terminates quickly).
+///
+/// # Panics
+///
+/// Panics if `cell` is out of range for the layout.
+pub fn sample_point_in_cell<R: Rng + ?Sized>(
+    layout: &NetworkLayout,
+    cell: ServerId,
+    rng: &mut R,
+) -> Point2 {
+    let center = layout
+        .station(cell)
+        .expect("cell id must be valid for the layout");
+    let r = layout.cell_radius().as_meters();
+    let half_width = 3.0_f64.sqrt() / 2.0 * r;
+    loop {
+        let candidate = Point2::new(
+            center.x + rng.gen_range(-half_width..=half_width),
+            center.y + rng.gen_range(-r..=r),
+        );
+        if hex_contains(center, layout.cell_radius(), candidate) {
+            return candidate;
+        }
+    }
+}
+
+/// Places `count` users uniformly at random over the network's coverage
+/// area (the paper's "users are randomly and uniformly distributed across
+/// the network's coverage area").
+///
+/// Since all cells are congruent hexagons, uniform-over-coverage is
+/// equivalent to picking a cell uniformly and then a uniform point within
+/// it.
+pub fn place_users_uniform<R: Rng + ?Sized>(
+    layout: &NetworkLayout,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Point2> {
+    (0..count)
+        .map(|_| {
+            let cell = ServerId::new(rng.gen_range(0..layout.num_stations()));
+            sample_point_in_cell(layout, cell, rng)
+        })
+        .collect()
+}
+
+/// Places `count` users in `hotspots` clusters: cluster centers are drawn
+/// uniformly over the coverage area, then users scatter around a center
+/// with a Gaussian of standard deviation `spread` meters (re-sampled until
+/// inside coverage). A standard "Matérn-like" hotspot model for stressing
+/// schedulers beyond the paper's uniform placement: load concentrates on
+/// a few cells while others idle.
+///
+/// # Panics
+///
+/// Panics if `hotspots` is zero (with `count > 0`) or `spread` is
+/// negative/non-finite.
+pub fn place_users_hotspots<R: Rng + ?Sized>(
+    layout: &NetworkLayout,
+    count: usize,
+    hotspots: usize,
+    spread: f64,
+    rng: &mut R,
+) -> Vec<Point2> {
+    assert!(
+        spread.is_finite() && spread >= 0.0,
+        "spread must be non-negative"
+    );
+    if count == 0 {
+        return Vec::new();
+    }
+    assert!(hotspots > 0, "need at least one hotspot");
+    let centers = place_users_uniform(layout, hotspots, rng);
+    let mut normal_spare: Option<f64> = None;
+    let mut sample_normal = |rng: &mut R| -> f64 {
+        // Box–Muller, local to keep mec-topology free of a radio dep.
+        if let Some(z) = normal_spare.take() {
+            return z;
+        }
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let t = 2.0 * std::f64::consts::PI * u2;
+        normal_spare = Some(r * t.sin());
+        r * t.cos()
+    };
+    (0..count)
+        .map(|i| {
+            let center = centers[i % hotspots];
+            loop {
+                let candidate = Point2::new(
+                    center.x + spread * sample_normal(rng),
+                    center.y + spread * sample_normal(rng),
+                );
+                if layout.contains(candidate) {
+                    return candidate;
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_types::Meters;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> NetworkLayout {
+        NetworkLayout::hexagonal(9, Meters::new(1000.0)).unwrap()
+    }
+
+    #[test]
+    fn sampled_points_stay_in_their_cell() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in 0..l.num_stations() {
+            let cell = ServerId::new(s);
+            let center = l.station(cell).unwrap();
+            for _ in 0..100 {
+                let p = sample_point_in_cell(&l, cell, &mut rng);
+                assert!(hex_contains(center, l.cell_radius(), p));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_placement_covers_all_cells_eventually() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(2);
+        let users = place_users_uniform(&l, 2000, &mut rng);
+        assert_eq!(users.len(), 2000);
+        let mut seen = vec![0usize; l.num_stations()];
+        for u in &users {
+            assert!(l.contains(*u));
+            seen[l.nearest_station(*u).index()] += 1;
+        }
+        // With 2000 uniform samples over 9 congruent cells, every cell gets
+        // plenty of users (expected ≈ 222 each).
+        for (i, n) in seen.iter().enumerate() {
+            assert!(*n > 100, "cell {i} received only {n} users");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_under_a_seed() {
+        let l = layout();
+        let a = place_users_uniform(&l, 50, &mut StdRng::seed_from_u64(42));
+        let b = place_users_uniform(&l, 50, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = place_users_uniform(&l, 50, &mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_users_is_fine() {
+        let l = layout();
+        let users = place_users_uniform(&l, 0, &mut StdRng::seed_from_u64(3));
+        assert!(users.is_empty());
+    }
+
+    #[test]
+    fn hotspot_placement_clusters_users() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(5);
+        let users = place_users_hotspots(&l, 60, 2, 80.0, &mut rng);
+        assert_eq!(users.len(), 60);
+        for u in &users {
+            assert!(l.contains(*u));
+        }
+        // Users concentrate on at most a few cells: the busiest two cells
+        // hold the large majority.
+        let mut per_cell = vec![0usize; l.num_stations()];
+        for u in &users {
+            per_cell[l.nearest_station(*u).index()] += 1;
+        }
+        per_cell.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            per_cell[0] + per_cell[1] >= 45,
+            "expected concentration, got {per_cell:?}"
+        );
+    }
+
+    #[test]
+    fn hotspot_degenerate_cases() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(place_users_hotspots(&l, 0, 3, 50.0, &mut rng).is_empty());
+        // Zero spread puts everyone exactly on the hotspot centers.
+        let users = place_users_hotspots(&l, 8, 2, 0.0, &mut rng);
+        let unique: std::collections::HashSet<(i64, i64)> = users
+            .iter()
+            .map(|p| ((p.x * 1e6) as i64, (p.y * 1e6) as i64))
+            .collect();
+        assert!(unique.len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot")]
+    fn zero_hotspots_panics() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = place_users_hotspots(&l, 5, 0, 50.0, &mut rng);
+    }
+
+    #[test]
+    fn samples_fill_the_cell_not_just_the_middle() {
+        // The empirical spread of samples should approach the hexagon's
+        // extent: max |x - cx| close to √3/2·R, max |y - cy| close to R.
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cell = ServerId::new(0);
+        let c = l.station(cell).unwrap();
+        let r = l.cell_radius().as_meters();
+        let mut max_dx = 0.0f64;
+        let mut max_dy = 0.0f64;
+        for _ in 0..5000 {
+            let p = sample_point_in_cell(&l, cell, &mut rng);
+            max_dx = max_dx.max((p.x - c.x).abs());
+            max_dy = max_dy.max((p.y - c.y).abs());
+        }
+        assert!(max_dx > 0.9 * 3.0_f64.sqrt() / 2.0 * r);
+        assert!(max_dy > 0.9 * r);
+    }
+}

@@ -1,0 +1,91 @@
+//! 2-D points in the network plane (meters).
+
+use mec_types::Meters;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in the horizontal plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// East-west coordinate in meters.
+    pub x: f64,
+    /// North-south coordinate in meters.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin.
+    pub const ORIGIN: Self = Self { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates in meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Self) -> Meters {
+        Meters::new(((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt())
+    }
+
+    /// Squared Euclidean distance (avoids the square root for comparisons).
+    pub fn distance_sq(self, other: Self) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1} m, {:.1} m)", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(b).as_meters(), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point2::new(-2.5, 7.0);
+        let b = Point2::new(10.0, -1.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a).as_meters(), 0.0);
+    }
+
+    #[test]
+    fn add_sub_are_componentwise() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, -4.0);
+        assert_eq!(a + b, Point2::new(4.0, -2.0));
+        assert_eq!(a - b, Point2::new(-2.0, 6.0));
+        assert_eq!(Point2::ORIGIN, Point2::default());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Point2::new(1.0, -2.0).to_string(), "(1.0 m, -2.0 m)");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the hexagonal geometry.
+
+use mec_topology::hex::{cell_circumradius, hex_contains, spiral};
+use mec_topology::{hex_centers, place_users_uniform, HexCoord, NetworkLayout, Point2};
+use mec_types::Meters;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn grid_distance_is_a_metric(
+        a in (-50i32..50, -50i32..50),
+        b in (-50i32..50, -50i32..50),
+        c in (-50i32..50, -50i32..50),
+    ) {
+        let (a, b, c) = (
+            HexCoord::new(a.0, a.1),
+            HexCoord::new(b.0, b.1),
+            HexCoord::new(c.0, c.1),
+        );
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(a.grid_distance(a), 0);
+        prop_assert_eq!(a.grid_distance(b), b.grid_distance(a));
+        prop_assert!(a.grid_distance(c) <= a.grid_distance(b) + b.grid_distance(c));
+    }
+
+    #[test]
+    fn grid_distance_matches_plane_distance_for_neighbors(
+        q in -20i32..20, r in -20i32..20, dir in 0usize..6,
+    ) {
+        let isd = Meters::new(1000.0);
+        let a = HexCoord::new(q, r);
+        let b = a.neighbor(dir);
+        prop_assert_eq!(a.grid_distance(b), 1);
+        let d = a.to_point(isd).distance(b.to_point(isd));
+        prop_assert!((d.as_meters() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spiral_is_unique_and_ring_ordered(count in 1usize..200) {
+        let cells = spiral(count);
+        prop_assert_eq!(cells.len(), count);
+        let unique: HashSet<_> = cells.iter().copied().collect();
+        prop_assert_eq!(unique.len(), count);
+        // Ring index never decreases along the spiral.
+        let mut prev_ring = 0;
+        for c in &cells {
+            let ring = c.grid_distance(HexCoord::CENTER);
+            prop_assert!(ring >= prev_ring);
+            prop_assert!(ring <= prev_ring + 1);
+            prev_ring = ring;
+        }
+    }
+
+    #[test]
+    fn stations_are_at_least_one_isd_apart(count in 2usize..40, isd_m in 100.0f64..5000.0) {
+        let isd = Meters::new(isd_m);
+        let centers = hex_centers(count, isd);
+        for (i, a) in centers.iter().enumerate() {
+            for b in centers.iter().skip(i + 1) {
+                prop_assert!(a.distance(*b).as_meters() >= isd_m - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn placed_users_are_in_coverage_and_near_their_cell(
+        num_cells in 1usize..15,
+        num_users in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        let layout = NetworkLayout::hexagonal(num_cells, Meters::new(1000.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let users = place_users_uniform(&layout, num_users, &mut rng);
+        let r = layout.cell_radius();
+        for p in &users {
+            prop_assert!(layout.contains(*p));
+            // The nearest station is within the cell circumradius (plus
+            // epsilon): points in a hexagon are within R of its center.
+            let nearest = layout.nearest_station(*p);
+            let d = layout.distance_to(nearest, *p).unwrap();
+            prop_assert!(d.as_meters() <= r.as_meters() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn hexagon_contains_its_center_and_inradius_disc(
+        cx in -1e4f64..1e4, cy in -1e4f64..1e4,
+        angle in 0.0f64..std::f64::consts::TAU,
+        frac in 0.0f64..0.99,
+    ) {
+        let center = Point2::new(cx, cy);
+        let r = cell_circumradius(Meters::new(1000.0));
+        // Any point within the inradius (√3/2·R) is inside.
+        let inradius = 3.0f64.sqrt() / 2.0 * r.as_meters();
+        let p = Point2::new(
+            cx + frac * inradius * angle.cos(),
+            cy + frac * inradius * angle.sin(),
+        );
+        prop_assert!(hex_contains(center, r, p));
+        // Any point beyond the circumradius is outside.
+        let q = Point2::new(
+            cx + 1.01 * r.as_meters() * angle.cos(),
+            cy + 1.01 * r.as_meters() * angle.sin(),
+        );
+        prop_assert!(!hex_contains(center, r, q));
+    }
+}

@@ -1,0 +1,73 @@
+//! Default simulation parameters from the paper's evaluation (§V).
+//!
+//! These are the values the experiments use "unless specified otherwise";
+//! they are collected here so every figure driver and example references a
+//! single source of truth.
+
+use crate::units::{Bits, DbMilliwatts, Hertz, Meters};
+
+/// Number of hexagonal cells `S` in the default network.
+pub const DEFAULT_NUM_SERVERS: usize = 9;
+
+/// Default number of OFDMA subchannels `N`.
+pub const DEFAULT_NUM_SUBCHANNELS: usize = 3;
+
+/// Inter-site distance between adjacent base stations (1 km).
+pub const INTER_SITE_DISTANCE: Meters = Meters::new(1_000.0);
+
+/// User uplink transmit power `P_u` = 10 dBm.
+pub const DEFAULT_TX_POWER: DbMilliwatts = DbMilliwatts::new(10.0);
+
+/// Total uplink system bandwidth `B` = 20 MHz.
+pub const DEFAULT_BANDWIDTH: Hertz = Hertz::new(20.0e6);
+
+/// Background noise variance `σ²` = −100 dBm.
+pub const DEFAULT_NOISE: DbMilliwatts = DbMilliwatts::new(-100.0);
+
+/// MEC server computing capacity `f_s` = 20 GHz.
+pub const DEFAULT_SERVER_CPU: Hertz = Hertz::new(20.0e9);
+
+/// User device computing capacity `f_u` = 1 GHz.
+pub const DEFAULT_USER_CPU: Hertz = Hertz::new(1.0e9);
+
+/// Chip energy-efficiency coefficient `κ` = 5·10⁻²⁷ (in the `ε = κ f²`
+/// per-cycle energy model).
+pub const DEFAULT_KAPPA: f64 = 5.0e-27;
+
+/// Default task input size `d_u` = 420 KB.
+pub const DEFAULT_TASK_DATA: Bits = Bits::new(420.0 * 8.0 * 1024.0);
+
+/// Path-loss model intercept: `L[dB] = 140.7 + 36.7 log10 d[km]`.
+pub const PATHLOSS_INTERCEPT_DB: f64 = 140.7;
+
+/// Path-loss model slope per decade of distance in km.
+pub const PATHLOSS_SLOPE_DB: f64 = 36.7;
+
+/// Lognormal shadowing standard deviation, 8 dB.
+pub const SHADOWING_STDDEV_DB: f64 = 8.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_values() {
+        assert_eq!(DEFAULT_NUM_SERVERS, 9);
+        assert_eq!(DEFAULT_NUM_SUBCHANNELS, 3);
+        assert_eq!(INTER_SITE_DISTANCE.as_kilometers(), 1.0);
+        assert!((DEFAULT_TX_POWER.to_watts().as_watts() - 0.01).abs() < 1e-12);
+        assert_eq!(DEFAULT_BANDWIDTH.as_mega(), 20.0);
+        assert!((DEFAULT_NOISE.to_watts().as_watts() - 1e-13).abs() < 1e-25);
+        assert_eq!(DEFAULT_SERVER_CPU.as_giga(), 20.0);
+        assert_eq!(DEFAULT_USER_CPU.as_giga(), 1.0);
+        assert_eq!(DEFAULT_KAPPA, 5.0e-27);
+        assert!((DEFAULT_TASK_DATA.as_kilobytes() - 420.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pathloss_at_one_km_is_intercept() {
+        // At d = 1 km the log term vanishes.
+        let l = PATHLOSS_INTERCEPT_DB + PATHLOSS_SLOPE_DB * 1.0f64.log10();
+        assert_eq!(l, 140.7);
+    }
+}

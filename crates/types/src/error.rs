@@ -1,0 +1,124 @@
+//! The shared error type for the TSAJS workspace.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while constructing or validating MEC model objects.
+///
+/// Every public fallible function in the workspace returns this type, so it
+/// deliberately covers problem-construction, feasibility and solver-input
+/// failure modes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A scalar parameter was outside its valid domain.
+    InvalidParameter {
+        /// The parameter name as it appears in the paper/API.
+        name: &'static str,
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+    /// Two containers that must describe the same population disagree in
+    /// length (e.g. a task list and a preference list).
+    DimensionMismatch {
+        /// What was being matched up.
+        what: &'static str,
+        /// The expected length.
+        expected: usize,
+        /// The actual length.
+        actual: usize,
+    },
+    /// An entity identifier was out of range for the scenario.
+    UnknownEntity {
+        /// The entity kind ("user", "server", "subchannel").
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of entities of that kind in the scenario.
+        count: usize,
+    },
+    /// An offloading decision violates one of the JTORA constraints
+    /// (12b)–(12d).
+    InfeasibleAssignment(String),
+    /// A resource allocation violates constraint (12e) or (12f).
+    InfeasibleAllocation(String),
+    /// A solver was asked to run on a scenario it cannot handle
+    /// (e.g. exhaustive search beyond its configured size limit).
+    UnsupportedScenario(String),
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch for {what}: expected {expected}, got {actual}"
+            ),
+            Error::UnknownEntity { kind, index, count } => {
+                write!(f, "unknown {kind} index {index} (scenario has {count})")
+            }
+            Error::InfeasibleAssignment(msg) => write!(f, "infeasible assignment: {msg}"),
+            Error::InfeasibleAllocation(msg) => write!(f, "infeasible allocation: {msg}"),
+            Error::UnsupportedScenario(msg) => write!(f, "unsupported scenario: {msg}"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::invalid("beta_time", "must lie in [0, 1]");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `beta_time`: must lie in [0, 1]"
+        );
+
+        let e = Error::DimensionMismatch {
+            what: "tasks vs preferences",
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expected 4, got 3"));
+
+        let e = Error::UnknownEntity {
+            kind: "server",
+            index: 9,
+            count: 4,
+        };
+        assert_eq!(e.to_string(), "unknown server index 9 (scenario has 4)");
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good_err<E: StdError + Send + Sync + 'static>() {}
+        assert_good_err::<Error>();
+    }
+
+    #[test]
+    fn errors_compare_equal_structurally() {
+        assert_eq!(Error::invalid("x", "bad"), Error::invalid("x", "bad"));
+        assert_ne!(Error::invalid("x", "bad"), Error::invalid("y", "bad"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # mec-types
+//!
+//! Domain vocabulary for the TSAJS reproduction: strongly-typed physical
+//! units, entity identifiers, task descriptions, device/server profiles,
+//! user and provider preferences, and the crate-wide error type.
+//!
+//! Everything downstream (`mec-radio`, `mec-system`, `tsajs`, …) builds on
+//! these types, so they are deliberately small, `Copy` where cheap, and
+//! eagerly implement the common std traits plus Serde.
+//!
+//! ## Example
+//!
+//! ```
+//! use mec_types::{Task, Bits, Cycles, DeviceProfile, UserPreferences};
+//!
+//! # fn main() -> Result<(), mec_types::Error> {
+//! // A task moving 420 KB of state that needs 1000 Megacycles of compute.
+//! let task = Task::new(Bits::from_kilobytes(420.0), Cycles::from_mega(1000.0))?;
+//! let device = DeviceProfile::paper_default();
+//! let prefs = UserPreferences::balanced();
+//!
+//! let local = task.local_cost(&device);
+//! assert!(local.time.as_secs() > 0.0);
+//! assert!(local.energy.as_joules() > 0.0);
+//! assert_eq!(prefs.beta_time() + prefs.beta_energy(), 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod device;
+pub mod error;
+pub mod ids;
+pub mod preferences;
+pub mod server;
+pub mod task;
+pub mod units;
+
+pub use device::{DeviceProfile, LocalCost};
+pub use error::Error;
+pub use ids::{ServerId, SubchannelId, UserId};
+pub use preferences::{ProviderPreference, UserPreferences};
+pub use server::ServerProfile;
+pub use task::Task;
+pub use units::{
+    Bits, BitsPerSecond, Cycles, DbMilliwatts, Decibels, Hertz, Joules, Meters, Seconds, Watts,
+};
+
+/// Crate-wide result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;

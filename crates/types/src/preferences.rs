@@ -1,0 +1,144 @@
+//! User and service-provider preferences.
+
+use crate::error::Error;
+use serde::{Deserialize, Serialize};
+
+/// A user's weighting between time savings and energy savings in the
+/// offloading benefit `J_u` (Eq. 10).
+///
+/// Invariants enforced at construction: `β_time, β_energy ∈ [0, 1]` and
+/// `β_time + β_energy = 1`.
+///
+/// # Example
+///
+/// ```
+/// use mec_types::UserPreferences;
+///
+/// # fn main() -> Result<(), mec_types::Error> {
+/// // A user with a low battery leans toward energy conservation.
+/// let prefs = UserPreferences::new(0.2)?;
+/// assert_eq!(prefs.beta_time(), 0.2);
+/// assert_eq!(prefs.beta_energy(), 0.8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserPreferences {
+    beta_time: f64,
+}
+
+impl UserPreferences {
+    /// Creates preferences from the time weight `β_time`; the energy weight
+    /// is implied as `1 − β_time`, which makes the sum-to-one invariant
+    /// unrepresentable to violate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `β_time ∉ [0, 1]` or is not
+    /// finite.
+    pub fn new(beta_time: f64) -> Result<Self, Error> {
+        if !beta_time.is_finite() || !(0.0..=1.0).contains(&beta_time) {
+            return Err(Error::invalid("beta_time", "must lie in [0, 1]"));
+        }
+        Ok(Self { beta_time })
+    }
+
+    /// The paper's default: `β_time = β_energy = 0.5`.
+    pub fn balanced() -> Self {
+        Self { beta_time: 0.5 }
+    }
+
+    /// The time-savings weight `β_u^time`.
+    #[inline]
+    pub fn beta_time(&self) -> f64 {
+        self.beta_time
+    }
+
+    /// The energy-savings weight `β_u^energy = 1 − β_u^time`.
+    #[inline]
+    pub fn beta_energy(&self) -> f64 {
+        1.0 - self.beta_time
+    }
+}
+
+impl Default for UserPreferences {
+    /// Defaults to [`UserPreferences::balanced`].
+    fn default() -> Self {
+        Self::balanced()
+    }
+}
+
+/// The service provider's priority weight `λ_u ∈ (0, 1]` for a user
+/// (Eq. 11) — e.g. raised for first responders or premium subscribers.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ProviderPreference(f64);
+
+impl ProviderPreference {
+    /// Creates a provider preference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `λ ∈ (0, 1]`.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 || lambda > 1.0 {
+            return Err(Error::invalid("lambda_u", "must lie in (0, 1]"));
+        }
+        Ok(Self(lambda))
+    }
+
+    /// The maximum priority, `λ = 1` (the paper's default for all users).
+    pub const MAX: Self = Self(1.0);
+
+    /// The raw weight value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for ProviderPreference {
+    /// Defaults to the paper's `λ_u = 1`.
+    fn default() -> Self {
+        Self::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_always_sum_to_one() {
+        for bt in [0.0, 0.05, 0.5, 0.95, 1.0] {
+            let p = UserPreferences::new(bt).unwrap();
+            assert_eq!(p.beta_time() + p.beta_energy(), 1.0);
+        }
+    }
+
+    #[test]
+    fn balanced_is_half_half() {
+        let p = UserPreferences::balanced();
+        assert_eq!(p.beta_time(), 0.5);
+        assert_eq!(p.beta_energy(), 0.5);
+        assert_eq!(UserPreferences::default(), p);
+    }
+
+    #[test]
+    fn rejects_out_of_range_beta() {
+        assert!(UserPreferences::new(-0.01).is_err());
+        assert!(UserPreferences::new(1.01).is_err());
+        assert!(UserPreferences::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn provider_preference_domain_is_half_open() {
+        assert!(ProviderPreference::new(0.0).is_err());
+        assert!(ProviderPreference::new(-0.5).is_err());
+        assert!(ProviderPreference::new(1.0).is_ok());
+        assert!(ProviderPreference::new(1.5).is_err());
+        assert!(ProviderPreference::new(f64::INFINITY).is_err());
+        assert_eq!(ProviderPreference::default(), ProviderPreference::MAX);
+        assert_eq!(ProviderPreference::MAX.value(), 1.0);
+    }
+}

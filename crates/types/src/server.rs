@@ -1,0 +1,70 @@
+//! MEC server (base station) profiles.
+
+use crate::constants;
+use crate::error::Error;
+use crate::units::Hertz;
+use serde::{Deserialize, Serialize};
+
+/// Computing characteristics of an MEC server co-located with a base
+/// station.
+///
+/// The model only needs the aggregate computation rate `f_s` the server can
+/// split among its offloaded users (constraint 12f).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerProfile {
+    capacity: Hertz,
+}
+
+impl ServerProfile {
+    /// Creates a server profile from its total computing capacity `f_s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the capacity is non-positive
+    /// or non-finite.
+    pub fn new(capacity: Hertz) -> Result<Self, Error> {
+        if !capacity.is_finite() || capacity.as_hz() <= 0.0 {
+            return Err(Error::invalid("f_s", "server capacity must be positive"));
+        }
+        Ok(Self { capacity })
+    }
+
+    /// The paper's default server: `f_s` = 20 GHz.
+    pub fn paper_default() -> Self {
+        Self {
+            capacity: constants::DEFAULT_SERVER_CPU,
+        }
+    }
+
+    /// Total computing capacity `f_s`.
+    #[inline]
+    pub fn capacity(&self) -> Hertz {
+        self.capacity
+    }
+}
+
+impl Default for ServerProfile {
+    /// Defaults to [`ServerProfile::paper_default`].
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_20_ghz() {
+        assert_eq!(ServerProfile::paper_default().capacity().as_giga(), 20.0);
+        assert_eq!(ServerProfile::default(), ServerProfile::paper_default());
+    }
+
+    #[test]
+    fn rejects_nonpositive_capacity() {
+        assert!(ServerProfile::new(Hertz::new(0.0)).is_err());
+        assert!(ServerProfile::new(Hertz::new(-1.0)).is_err());
+        assert!(ServerProfile::new(Hertz::new(f64::NAN)).is_err());
+        assert!(ServerProfile::new(Hertz::from_giga(20.0)).is_ok());
+    }
+}

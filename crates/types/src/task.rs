@@ -1,0 +1,182 @@
+//! User computation tasks.
+
+use crate::device::{DeviceProfile, LocalCost};
+use crate::error::Error;
+use crate::units::{Bits, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// An atomic (non-divisible) computation task `T_u = ⟨d_u, w_u⟩`.
+///
+/// * `data` (`d_u`) is the volume of state that must be shipped uplink to
+///   relocate execution (program, settings, inputs).
+/// * `workload` (`w_u`) is the CPU work needed to complete the task.
+///
+/// # Example
+///
+/// ```
+/// use mec_types::{Task, Bits, Cycles, DeviceProfile};
+///
+/// # fn main() -> Result<(), mec_types::Error> {
+/// let task = Task::new(Bits::from_kilobytes(420.0), Cycles::from_mega(1000.0))?;
+/// let cost = task.local_cost(&DeviceProfile::paper_default());
+/// // 1000 Megacycles on a 1 GHz CPU takes exactly one second.
+/// assert!((cost.time.as_secs() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    data: Bits,
+    workload: Cycles,
+    #[serde(default = "Bits::default")]
+    output: Bits,
+}
+
+impl Task {
+    /// Creates a task from its input size and computational load. The
+    /// result size is zero (the paper's default — downlink transfer is
+    /// ignored because results are small); use [`Task::with_output`] when
+    /// modeling the downlink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if either quantity is
+    /// non-positive or non-finite — a task with no data or no work is not
+    /// meaningful in the offloading model (its local/offload cost ratios
+    /// would divide by zero).
+    pub fn new(data: Bits, workload: Cycles) -> Result<Self, Error> {
+        if !data.is_finite() || data.as_bits() <= 0.0 {
+            return Err(Error::invalid(
+                "d_u",
+                "task data size must be positive and finite",
+            ));
+        }
+        if !workload.is_finite() || workload.as_cycles() <= 0.0 {
+            return Err(Error::invalid(
+                "w_u",
+                "task workload must be positive and finite",
+            ));
+        }
+        Ok(Self {
+            data,
+            workload,
+            output: Bits::ZERO,
+        })
+    }
+
+    /// Creates a task that also returns `output` bits of results over the
+    /// downlink (§III-A.2's extension: "if the downlink latency becomes
+    /// significant, our algorithm can still adapt by taking into account
+    /// the actual downlink rate and the output data size").
+    ///
+    /// # Errors
+    ///
+    /// As [`Task::new`]; additionally rejects a negative or non-finite
+    /// output size (zero is allowed).
+    pub fn with_output(data: Bits, workload: Cycles, output: Bits) -> Result<Self, Error> {
+        if !output.is_finite() || output.as_bits() < 0.0 {
+            return Err(Error::invalid(
+                "d_out",
+                "task output size must be non-negative and finite",
+            ));
+        }
+        let mut task = Self::new(data, workload)?;
+        task.output = output;
+        Ok(task)
+    }
+
+    /// The uplink data volume `d_u`.
+    #[inline]
+    pub fn data(&self) -> Bits {
+        self.data
+    }
+
+    /// The computational load `w_u`.
+    #[inline]
+    pub fn workload(&self) -> Cycles {
+        self.workload
+    }
+
+    /// The result size returned over the downlink (zero unless the task
+    /// was built with [`Task::with_output`]).
+    #[inline]
+    pub fn output(&self) -> Bits {
+        self.output
+    }
+
+    /// Computes the cost of executing this task locally on `device`:
+    /// `t_local = w_u / f_local` and `E_local = κ f_local² w_u` (Eq. 1).
+    pub fn local_cost(&self, device: &DeviceProfile) -> LocalCost {
+        device.local_cost(self.workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Hertz;
+
+    fn task() -> Task {
+        Task::new(Bits::from_kilobytes(420.0), Cycles::from_mega(1000.0)).unwrap()
+    }
+
+    #[test]
+    fn accessors_return_inputs() {
+        let t = task();
+        assert!((t.data().as_kilobytes() - 420.0).abs() < 1e-9);
+        assert_eq!(t.workload().as_mega(), 1000.0);
+    }
+
+    #[test]
+    fn rejects_nonpositive_data() {
+        assert!(Task::new(Bits::new(0.0), Cycles::from_mega(1.0)).is_err());
+        assert!(Task::new(Bits::new(-1.0), Cycles::from_mega(1.0)).is_err());
+        assert!(Task::new(Bits::new(f64::NAN), Cycles::from_mega(1.0)).is_err());
+    }
+
+    #[test]
+    fn rejects_nonpositive_workload() {
+        assert!(Task::new(Bits::new(1.0), Cycles::new(0.0)).is_err());
+        assert!(Task::new(Bits::new(1.0), Cycles::new(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn local_cost_matches_paper_formulas() {
+        let t = task();
+        let d = DeviceProfile::paper_default();
+        let cost = t.local_cost(&d);
+        // t_local = w / f = 1e9 / 1e9 = 1 s.
+        assert!((cost.time.as_secs() - 1.0).abs() < 1e-12);
+        // E_local = κ f² w = 5e-27 * (1e9)^2 * 1e9 = 5e-27 * 1e27 = 5 J... no:
+        // 5e-27 * 1e18 * 1e9 = 5e0 = 5 J.
+        assert!((cost.energy.as_joules() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_defaults_to_zero_and_validates() {
+        assert_eq!(task().output(), Bits::ZERO);
+        let t = Task::with_output(
+            Bits::from_kilobytes(420.0),
+            Cycles::from_mega(1000.0),
+            Bits::from_kilobytes(50.0),
+        )
+        .unwrap();
+        assert!((t.output().as_kilobytes() - 50.0).abs() < 1e-9);
+        // Zero output is fine; negative or NaN is not.
+        assert!(Task::with_output(Bits::new(1.0), Cycles::new(1.0), Bits::ZERO).is_ok());
+        assert!(Task::with_output(Bits::new(1.0), Cycles::new(1.0), Bits::new(-1.0)).is_err());
+        assert!(Task::with_output(Bits::new(1.0), Cycles::new(1.0), Bits::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn local_time_scales_inversely_with_cpu() {
+        let t = task();
+        let slow = DeviceProfile::new(
+            Hertz::from_giga(0.5),
+            5.0e-27,
+            crate::constants::DEFAULT_TX_POWER,
+        )
+        .unwrap();
+        assert!((t.local_cost(&slow).time.as_secs() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the unit system.
+
+use mec_types::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dbm_watts_roundtrip(dbm in -150.0f64..60.0) {
+        let w = DbMilliwatts::new(dbm).to_watts();
+        prop_assert!(w.as_watts() > 0.0);
+        prop_assert!((w.to_dbm().as_dbm() - dbm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_linear_roundtrip(db in -200.0f64..100.0) {
+        let lin = Decibels::new(db).to_linear();
+        prop_assert!(lin > 0.0);
+        prop_assert!((Decibels::from_linear(lin).as_db() - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmission_time_scales_correctly(
+        bits in 1.0f64..1e12,
+        rate in 1.0f64..1e12,
+    ) {
+        let t = Bits::new(bits) / BitsPerSecond::new(rate);
+        prop_assert!((t.as_secs() - bits / rate).abs() <= 1e-12 * (bits / rate));
+        // Doubling the rate halves the time.
+        let t2 = Bits::new(bits) / BitsPerSecond::new(2.0 * rate);
+        prop_assert!((t.as_secs() / t2.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_is_bilinear(power in 1e-6f64..100.0, time in 1e-6f64..1e4) {
+        let e = Watts::new(power) * Seconds::new(time);
+        prop_assert!((e.as_joules() - power * time).abs() <= 1e-12 * power * time);
+        let e2 = Watts::new(2.0 * power) * Seconds::new(time);
+        prop_assert!((e2.as_joules() / e.as_joules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_addition_is_commutative_and_associative(
+        a in -1e9f64..1e9, b in -1e9f64..1e9, c in -1e9f64..1e9,
+    ) {
+        let (x, y, z) = (Seconds::new(a), Seconds::new(b), Seconds::new(c));
+        prop_assert_eq!(x + y, y + x);
+        let left = (x + y) + z;
+        let right = x + (y + z);
+        prop_assert!((left.as_secs() - right.as_secs()).abs() <= 1e-6 * left.as_secs().abs().max(1.0));
+    }
+
+    #[test]
+    fn conversions_roundtrip(kb in 0.001f64..1e6, mega in 0.001f64..1e6) {
+        prop_assert!((Bits::from_kilobytes(kb).as_kilobytes() - kb).abs() < 1e-9 * kb.max(1.0));
+        prop_assert!((Cycles::from_mega(mega).as_mega() - mega).abs() < 1e-9 * mega.max(1.0));
+        prop_assert!((Hertz::from_giga(mega).as_giga() - mega).abs() < 1e-9 * mega.max(1.0));
+        prop_assert!(
+            (Meters::from_kilometers(kb).as_kilometers() - kb).abs() < 1e-9 * kb.max(1.0)
+        );
+    }
+
+    #[test]
+    fn local_cost_scales_with_workload(
+        mega in 1.0f64..1e5,
+        factor in 1.01f64..100.0,
+    ) {
+        let device = DeviceProfile::paper_default();
+        let small = device.local_cost(Cycles::from_mega(mega));
+        let large = device.local_cost(Cycles::from_mega(mega * factor));
+        // Both time and energy are linear in the workload.
+        prop_assert!((large.time.as_secs() / small.time.as_secs() - factor).abs() < 1e-9 * factor);
+        prop_assert!(
+            (large.energy.as_joules() / small.energy.as_joules() - factor).abs() < 1e-9 * factor
+        );
+    }
+
+    #[test]
+    fn preferences_always_sum_to_one(beta in 0.0f64..=1.0) {
+        let p = UserPreferences::new(beta).unwrap();
+        prop_assert_eq!(p.beta_time() + p.beta_energy(), 1.0);
+    }
+
+    #[test]
+    fn task_validation_accepts_positive_rejects_nonpositive(
+        data in 1.0f64..1e12,
+        work in 1.0f64..1e15,
+    ) {
+        prop_assert!(Task::new(Bits::new(data), Cycles::new(work)).is_ok());
+        prop_assert!(Task::new(Bits::new(-data), Cycles::new(work)).is_err());
+        prop_assert!(Task::new(Bits::new(data), Cycles::new(-work)).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Ablations of TSAJS's design choices (not paper figures; evidence for
+//! DESIGN.md):
+//!
+//! 1. threshold-triggered vs plain geometric cooling,
+//! 2. KKT vs equal-share computing allocation on identical decisions,
+//! 3. the paper's 55/25/15/5 move mix vs a uniform mix.
+
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::runner::run_trials;
+use crate::stats::SampleStats;
+use crate::ScenarioGenerator;
+use mec_system::{equal_share_allocation, kkt_allocation, Evaluator, Solver};
+use mec_types::{Cycles, Error};
+use tsajs::{Cooling, MoveMix, TsajsSolver, TtsaConfig};
+
+/// Ablation experiment configuration.
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    /// Network parameters. Heterogeneous preferences (`beta_time_spread`)
+    /// and a crowded network make the ablated choices observable.
+    pub params: ExperimentParams,
+    /// Monte-Carlo trials per variant.
+    pub trials: usize,
+    /// TTSA termination temperature.
+    pub min_temperature: f64,
+    /// Base RNG seed.
+    pub base_seed: u64,
+}
+
+impl AblationConfig {
+    /// The default ablation scenario: 45 users on the 9-cell network with
+    /// `β_time ~ U[0.1, 0.9]` and 2000-Mcycle tasks.
+    pub fn paper(preset: Preset) -> Self {
+        Self {
+            params: ExperimentParams::paper_default()
+                .with_users(45)
+                .with_workload(Cycles::from_mega(2000.0))
+                .with_beta_time_spread(0.4),
+            trials: preset.trials(),
+            min_temperature: preset.ttsa_min_temperature(),
+            base_seed: 500,
+        }
+    }
+}
+
+fn utility_stats(
+    generator: &ScenarioGenerator,
+    trials: usize,
+    base_seed: u64,
+    make: impl Fn(u64) -> Box<dyn Solver> + Sync,
+) -> Result<SampleStats, Error> {
+    let outcomes = run_trials(generator, trials, base_seed, make)?;
+    Ok(SampleStats::from_sample(
+        &outcomes.iter().map(|o| o.utility).collect::<Vec<_>>(),
+    ))
+}
+
+/// Cooling-schedule ablation: utility and epoch count per schedule.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn cooling(config: &AblationConfig) -> Result<Table, Error> {
+    let generator = ScenarioGenerator::new(config.params);
+    let mut table = Table::new(
+        "Ablation: threshold-triggered vs geometric cooling (avg utility)",
+        vec!["schedule".into(), "avg utility".into(), "epochs".into()],
+    );
+    let schedules: Vec<(&str, Cooling)> = vec![
+        (
+            "threshold-triggered (paper)",
+            Cooling::ThresholdTriggered {
+                alpha_slow: 0.97,
+                alpha_fast: 0.90,
+                max_count_factor: 1.75,
+            },
+        ),
+        ("geometric alpha=0.97", Cooling::Geometric { alpha: 0.97 }),
+        ("geometric alpha=0.90", Cooling::Geometric { alpha: 0.90 }),
+    ];
+    for (name, schedule) in schedules {
+        let stats = utility_stats(&generator, config.trials, config.base_seed, |seed| {
+            Box::new(TsajsSolver::new(
+                TtsaConfig::paper_default()
+                    .with_cooling(schedule)
+                    .with_min_temperature(config.min_temperature)
+                    .with_seed(seed),
+            ))
+        })?;
+        // Epoch count from one representative traced run.
+        let scenario = generator.generate(config.base_seed)?;
+        let mut probe = TsajsSolver::new(
+            TtsaConfig::paper_default()
+                .with_cooling(schedule)
+                .with_min_temperature(config.min_temperature)
+                .with_seed(config.base_seed)
+                .with_trace(),
+        );
+        probe.solve(&scenario)?;
+        let epochs = probe.last_trace().map(|t| t.len()).unwrap_or(0);
+        table.push_row(vec![name.into(), stats.display(3), epochs.to_string()]);
+    }
+    Ok(table)
+}
+
+/// Allocation ablation: the utility of TSAJS decisions re-scored under an
+/// equal split instead of the KKT rule.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn allocation(config: &AblationConfig) -> Result<Table, Error> {
+    let generator = ScenarioGenerator::new(config.params);
+    let mut table = Table::new(
+        "Ablation: KKT vs equal-share computing allocation (avg utility on TSAJS decisions)",
+        vec!["allocation".into(), "avg utility".into()],
+    );
+    let mut kkt_samples = Vec::with_capacity(config.trials);
+    let mut equal_samples = Vec::with_capacity(config.trials);
+    for i in 0..config.trials as u64 {
+        let seed = config.base_seed + 100 + i;
+        let scenario = generator.generate(seed)?;
+        let mut solver = TsajsSolver::new(
+            TtsaConfig::paper_default()
+                .with_min_temperature(config.min_temperature)
+                .with_seed(seed),
+        );
+        let solution = solver.solve(&scenario)?;
+        kkt_samples.push(solution.utility);
+
+        // Same decision, equal split: only the execution-time terms move.
+        let x = &solution.assignment;
+        let eval = Evaluator::new(&scenario).evaluate(x)?;
+        let kkt = kkt_allocation(&scenario, x);
+        let equal = equal_share_allocation(&scenario, x);
+        let mut equal_utility = eval.system_utility;
+        for (m, u) in eval.users.iter().zip(scenario.user_ids()) {
+            if m.offloaded {
+                let spec = scenario.user(u);
+                let w = spec.task.workload().as_cycles();
+                let t_local = scenario.local_cost(u).time.as_secs();
+                let dt = w / equal.share(u).as_hz() - w / kkt.share(u).as_hz();
+                equal_utility -= spec.lambda.value() * spec.preferences.beta_time() * dt / t_local;
+            }
+        }
+        equal_samples.push(equal_utility);
+    }
+    table.push_row(vec![
+        "KKT closed form (paper)".into(),
+        SampleStats::from_sample(&kkt_samples).display(3),
+    ]);
+    table.push_row(vec![
+        "equal share".into(),
+        SampleStats::from_sample(&equal_samples).display(3),
+    ]);
+    Ok(table)
+}
+
+/// Move-mix ablation: the paper's 55/25/15/5 split vs a uniform mix.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn move_mix(config: &AblationConfig) -> Result<Table, Error> {
+    let generator = ScenarioGenerator::new(config.params);
+    let mut table = Table::new(
+        "Ablation: neighborhood move mix (avg utility)",
+        vec!["mix".into(), "avg utility".into()],
+    );
+    for (name, mix) in [
+        ("paper 55/25/15/5", MoveMix::paper_default()),
+        ("uniform 25/25/25/25", MoveMix::uniform()),
+    ] {
+        let stats = utility_stats(&generator, config.trials, config.base_seed, |seed| {
+            Box::new(
+                TsajsSolver::new(
+                    TtsaConfig::paper_default()
+                        .with_min_temperature(config.min_temperature)
+                        .with_seed(seed),
+                )
+                .with_move_mix(mix),
+            )
+        })?;
+        table.push_row(vec![name.into(), stats.display(3)]);
+    }
+    Ok(table)
+}
+
+/// Runs all three ablations.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn run(config: &AblationConfig) -> Result<Vec<Table>, Error> {
+    Ok(vec![
+        cooling(config)?,
+        allocation(config)?,
+        move_mix(config)?,
+    ])
+}
+
+/// Runs the default ablation scenario at the given preset.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    run(&AblationConfig::paper(preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> AblationConfig {
+        AblationConfig {
+            params: ExperimentParams::paper_default()
+                .with_users(8)
+                .with_servers(3)
+                .with_beta_time_spread(0.4),
+            trials: 2,
+            min_temperature: 1e-2,
+            base_seed: 0,
+        }
+    }
+
+    #[test]
+    fn all_three_ablations_produce_tables() {
+        let tables = run(&quick()).unwrap();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows.len(), 3, "three schedules");
+        assert_eq!(tables[1].rows.len(), 2, "KKT vs equal");
+        assert_eq!(tables[2].rows.len(), 2, "two mixes");
+    }
+
+    #[test]
+    fn kkt_never_loses_to_equal_share() {
+        let table = allocation(&quick()).unwrap();
+        let parse =
+            |cell: &str| -> f64 { cell.split('±').next().unwrap().trim().parse().unwrap() };
+        let kkt = parse(&table.rows[0][1]);
+        let equal = parse(&table.rows[1][1]);
+        assert!(
+            kkt >= equal - 1e-9,
+            "equal share beat the KKT optimum: {kkt} vs {equal}"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Certified quality at scale: TSAJS vs the interference-free matching
+//! upper bound.
+//!
+//! Exhaustive verification (Fig. 3) stops at toy sizes; the
+//! [`mec_baselines::upper_bound()`] matching bound certifies the optimum
+//! from *above* at any scale, so `utility / bound` is a provable quality
+//! floor. Not a paper figure — it is the missing quantitative leg of the
+//! paper's "near-optimal at scale" claim.
+
+use super::{run_cell, Scheme};
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::stats::SampleStats;
+use crate::ScenarioGenerator;
+use mec_baselines::upper_bound;
+use mec_types::Error;
+
+/// Bound-gap experiment configuration.
+#[derive(Debug, Clone)]
+pub struct BoundGapConfig {
+    /// User counts to certify at.
+    pub user_counts: Vec<usize>,
+    /// Monte-Carlo trials per scale.
+    pub trials: usize,
+    /// Effort preset.
+    pub preset: Preset,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Network parameters.
+    pub params: ExperimentParams,
+}
+
+impl BoundGapConfig {
+    /// Default sweep over the paper's scales.
+    pub fn paper(preset: Preset) -> Self {
+        Self {
+            user_counts: vec![10, 30, 50, 70, 90],
+            trials: preset.trials(),
+            preset,
+            base_seed: 11_000,
+            params: ExperimentParams::paper_default(),
+        }
+    }
+}
+
+/// Runs the bound-gap experiment: TSAJS utility, the matching bound, and
+/// the certified quality floor per scale.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn run(config: &BoundGapConfig) -> Result<Vec<Table>, Error> {
+    let mut table = Table::new(
+        "Bound gap: TSAJS vs the interference-free matching upper bound",
+        vec![
+            "U".into(),
+            "TSAJS utility".into(),
+            "upper bound".into(),
+            "certified quality".into(),
+        ],
+    );
+    for users in &config.user_counts {
+        let params = config.params.with_users(*users);
+        let generator = ScenarioGenerator::new(params);
+        let cell = run_cell(
+            &generator,
+            Scheme::TSAJS,
+            config.preset,
+            config.trials,
+            config.base_seed,
+        )?;
+        let mut bounds = Vec::with_capacity(config.trials);
+        let mut qualities = Vec::with_capacity(config.trials);
+        for outcome in &cell.outcomes {
+            let scenario = generator.generate(outcome.seed)?;
+            let bound = upper_bound(&scenario);
+            bounds.push(bound.assignment_bound);
+            qualities.push(bound.quality(outcome.utility));
+        }
+        table.push_row(vec![
+            users.to_string(),
+            cell.utility().display(3),
+            SampleStats::from_sample(&bounds).display(3),
+            SampleStats::from_sample(&qualities).display(3),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+/// Runs the default sweep at the given preset.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    run(&BoundGapConfig::paper(preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_dominates_tsajs_at_every_scale() {
+        let config = BoundGapConfig {
+            user_counts: vec![4, 8],
+            trials: 2,
+            preset: Preset::Quick,
+            base_seed: 0,
+            params: ExperimentParams::paper_default().with_servers(3),
+        };
+        let tables = run(&config).unwrap();
+        assert_eq!(tables.len(), 1);
+        for row in &tables[0].rows {
+            let parse = |c: &str| -> f64 { c.split('±').next().unwrap().trim().parse().unwrap() };
+            let utility = parse(&row[1]);
+            let bound = parse(&row[2]);
+            let quality = parse(&row[3]);
+            assert!(bound >= utility - 1e-9, "bound below achieved utility");
+            assert!((0.0..=1.0).contains(&quality));
+        }
+    }
+}

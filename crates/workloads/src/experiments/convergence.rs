@@ -1,0 +1,173 @@
+//! Convergence curves: best objective vs epoch for different cooling
+//! schedules.
+//!
+//! Not a figure in the paper, but the data that justifies its central
+//! design choice: the threshold trigger reaches the quality of slow
+//! geometric cooling in fewer epochs. One table row per sampled epoch,
+//! one column per schedule; curves are padded with their final value so
+//! shorter runs stay comparable.
+
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::ScenarioGenerator;
+use mec_system::Solver;
+use mec_types::Error;
+use tsajs::{Cooling, TsajsSolver, TtsaConfig};
+
+/// Convergence experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ConvergenceConfig {
+    /// Network parameters.
+    pub params: ExperimentParams,
+    /// Scenario / solver seed.
+    pub seed: u64,
+    /// Schedules to compare, with display names.
+    pub schedules: Vec<(String, Cooling)>,
+    /// Termination temperature.
+    pub min_temperature: f64,
+    /// Record every k-th epoch in the table (1 = all).
+    pub sample_every: usize,
+}
+
+impl ConvergenceConfig {
+    /// The default comparison: the paper's threshold-triggered schedule
+    /// against plain geometric cooling at both of its rates.
+    pub fn default_comparison() -> Self {
+        Self {
+            params: ExperimentParams::paper_default().with_users(40),
+            seed: 0,
+            schedules: vec![
+                (
+                    "threshold-triggered".into(),
+                    Cooling::ThresholdTriggered {
+                        alpha_slow: 0.97,
+                        alpha_fast: 0.90,
+                        max_count_factor: 1.75,
+                    },
+                ),
+                ("geometric-0.97".into(), Cooling::Geometric { alpha: 0.97 }),
+                ("geometric-0.90".into(), Cooling::Geometric { alpha: 0.90 }),
+            ],
+            min_temperature: 1e-6,
+            sample_every: 10,
+        }
+    }
+}
+
+/// Runs the convergence experiment: one table of best-objective curves.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors; errors if
+/// `sample_every` is zero or no schedules are given.
+pub fn run(config: &ConvergenceConfig) -> Result<Vec<Table>, Error> {
+    if config.sample_every == 0 {
+        return Err(Error::invalid("sample_every", "must be at least 1"));
+    }
+    if config.schedules.is_empty() {
+        return Err(Error::invalid("schedules", "need at least one schedule"));
+    }
+    let scenario = ScenarioGenerator::new(config.params).generate(config.seed)?;
+
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for (_, cooling) in &config.schedules {
+        let mut solver = TsajsSolver::new(
+            TtsaConfig::paper_default()
+                .with_cooling(*cooling)
+                .with_min_temperature(config.min_temperature)
+                .with_seed(config.seed)
+                .with_trace(),
+        );
+        solver.solve(&scenario)?;
+        let trace = solver.last_trace().expect("trace was requested");
+        curves.push(trace.epochs.iter().map(|e| e.best_objective).collect());
+    }
+
+    let mut headers = vec!["epoch".to_string()];
+    headers.extend(config.schedules.iter().map(|(name, _)| name.clone()));
+    let mut table = Table::new(
+        format!(
+            "Convergence: best J vs epoch (U={}, seed={})",
+            config.params.num_users, config.seed
+        ),
+        headers,
+    );
+    let longest = curves.iter().map(Vec::len).max().unwrap_or(0);
+    for epoch in (0..longest).step_by(config.sample_every) {
+        let mut row = vec![epoch.to_string()];
+        for curve in &curves {
+            // Pad finished runs with their final best.
+            let v = curve
+                .get(epoch)
+                .or(curve.last())
+                .copied()
+                .unwrap_or(f64::NAN);
+            row.push(format!("{v:.4}"));
+        }
+        table.push_row(row);
+    }
+    Ok(vec![table])
+}
+
+/// Runs the default comparison; the preset only controls the schedule
+/// depth (`Quick` truncates at 1e-3 for smoke runs).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    let mut config = ConvergenceConfig::default_comparison();
+    config.min_temperature = match preset {
+        Preset::Quick => 1e-3,
+        Preset::Full => 1e-6,
+    };
+    run(&config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ConvergenceConfig {
+        let mut c = ConvergenceConfig::default_comparison();
+        c.params = ExperimentParams::paper_default()
+            .with_users(6)
+            .with_servers(3);
+        c.min_temperature = 1e-2;
+        c.sample_every = 5;
+        c
+    }
+
+    #[test]
+    fn produces_one_column_per_schedule() {
+        let tables = run(&quick_config()).unwrap();
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.headers.len(), 4, "epoch + 3 schedules");
+        assert!(!t.rows.is_empty());
+    }
+
+    #[test]
+    fn best_objective_is_nondecreasing_down_each_column() {
+        let tables = run(&quick_config()).unwrap();
+        let t = &tables[0];
+        for col in 1..t.headers.len() {
+            let mut prev = f64::NEG_INFINITY;
+            for row in &t.rows {
+                let v: f64 = row[col].parse().unwrap();
+                assert!(v >= prev - 1e-9, "column {col} decreased: {prev} -> {v}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let mut c = quick_config();
+        c.sample_every = 0;
+        assert!(run(&c).is_err());
+        let mut c = quick_config();
+        c.schedules.clear();
+        assert!(run(&c).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 4 — system utility vs number of users.
+//!
+//! Six panels: workloads `w ∈ {1000, 2000, 3000}` Mcycles × TSAJS epoch
+//! lengths `L ∈ {10, 30}`, each sweeping the user count on the default
+//! 9-cell network. Expected shape: utility rises with users, then
+//! saturates/declines as contention for subchannels and compute bites;
+//! TSAJS (especially `L=30`) degrades last.
+
+use super::{run_cell, Scheme};
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::ScenarioGenerator;
+use mec_types::{Cycles, Error};
+
+/// Fig. 4 sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Fig4Config {
+    /// User counts (x-axis).
+    pub user_counts: Vec<usize>,
+    /// Panel workloads in Megacycles.
+    pub workloads_mcycles: Vec<f64>,
+    /// Panel TSAJS epoch lengths.
+    pub inner_iterations: Vec<usize>,
+    /// Monte-Carlo trials per cell.
+    pub trials: usize,
+    /// Effort preset.
+    pub preset: Preset,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Network parameters (user count is overridden by the sweep).
+    pub params: ExperimentParams,
+}
+
+impl Fig4Config {
+    /// The paper's six panels on the default network.
+    pub fn paper(preset: Preset) -> Self {
+        Self {
+            user_counts: vec![10, 30, 50, 70, 90],
+            workloads_mcycles: vec![1000.0, 2000.0, 3000.0],
+            inner_iterations: vec![10, 30],
+            trials: preset.trials(),
+            preset,
+            base_seed: 4_000,
+            params: ExperimentParams::paper_default(),
+        }
+    }
+}
+
+/// Runs the Fig. 4 experiment: one table per (workload, L) panel.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn run(config: &Fig4Config) -> Result<Vec<Table>, Error> {
+    let mut tables = Vec::new();
+    for w in &config.workloads_mcycles {
+        for l in &config.inner_iterations {
+            let schemes = Scheme::lineup(*l);
+            let mut headers = vec!["U".to_string()];
+            headers.extend(schemes.iter().map(|s| s.name()));
+            let mut table = Table::new(
+                format!("Fig. 4: avg system utility vs users (w={w:.0} Mcycles, L={l})"),
+                headers,
+            );
+            for users in &config.user_counts {
+                let params = config
+                    .params
+                    .with_users(*users)
+                    .with_workload(Cycles::from_mega(*w));
+                let generator = ScenarioGenerator::new(params);
+                let mut row = vec![users.to_string()];
+                for scheme in &schemes {
+                    let cell = run_cell(
+                        &generator,
+                        *scheme,
+                        config.preset,
+                        config.trials,
+                        config.base_seed,
+                    )?;
+                    row.push(cell.utility().display(3));
+                }
+                table.push_row(row);
+            }
+            tables.push(table);
+        }
+    }
+    Ok(tables)
+}
+
+/// Runs Fig. 4 with the paper's sweep at the given preset.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    run(&Fig4Config::paper(preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_fig4_emits_one_table_per_panel() {
+        let config = Fig4Config {
+            user_counts: vec![4, 8],
+            workloads_mcycles: vec![2000.0],
+            inner_iterations: vec![10, 30],
+            trials: 2,
+            preset: Preset::Quick,
+            base_seed: 0,
+            params: ExperimentParams::paper_default().with_servers(3),
+        };
+        let tables = run(&config).unwrap();
+        assert_eq!(tables.len(), 2, "1 workload × 2 L values");
+        for t in &tables {
+            assert_eq!(t.rows.len(), 2);
+            assert_eq!(t.headers.len(), 5, "U + 4 schemes");
+        }
+        assert!(tables[0].title.contains("L=10"));
+        assert!(tables[1].title.contains("L=30"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 5 — system utility vs task input size.
+//!
+//! Sweeps `d_u` on the default network. Expected shape: utility decreases
+//! as the input grows (more uplink time/energy per unit of benefit); the
+//! ordering TSAJS ≥ hJTORA ≥ LocalSearch ≥ Greedy is preserved throughout.
+
+use super::{run_cell, Scheme};
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::ScenarioGenerator;
+use mec_types::{Bits, Error};
+
+/// Fig. 5 sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Fig5Config {
+    /// Task input sizes in KB (x-axis).
+    pub data_sizes_kb: Vec<f64>,
+    /// Schemes compared.
+    pub schemes: Vec<Scheme>,
+    /// Monte-Carlo trials per cell.
+    pub trials: usize,
+    /// Effort preset.
+    pub preset: Preset,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Network parameters (task data size is overridden by the sweep).
+    pub params: ExperimentParams,
+}
+
+impl Fig5Config {
+    /// The paper-style sweep around the 420 KB default.
+    pub fn paper(preset: Preset) -> Self {
+        Self {
+            data_sizes_kb: vec![105.0, 210.0, 420.0, 840.0, 1680.0],
+            schemes: Scheme::lineup(30),
+            trials: preset.trials(),
+            preset,
+            base_seed: 5_000,
+            params: ExperimentParams::paper_default().with_users(30),
+        }
+    }
+}
+
+/// Runs the Fig. 5 experiment.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn run(config: &Fig5Config) -> Result<Vec<Table>, Error> {
+    let mut headers = vec!["d_u (KB)".to_string()];
+    headers.extend(config.schemes.iter().map(|s| s.name()));
+    let mut table = Table::new("Fig. 5: average system utility vs task input size", headers);
+    for kb in &config.data_sizes_kb {
+        let params = config.params.with_task_data(Bits::from_kilobytes(*kb));
+        let generator = ScenarioGenerator::new(params);
+        let mut row = vec![format!("{kb:.0}")];
+        for scheme in &config.schemes {
+            let cell = run_cell(
+                &generator,
+                *scheme,
+                config.preset,
+                config.trials,
+                config.base_seed,
+            )?;
+            row.push(cell.utility().display(3));
+        }
+        table.push_row(row);
+    }
+    Ok(vec![table])
+}
+
+/// Runs Fig. 5 with the paper's sweep at the given preset.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    run(&Fig5Config::paper(preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_fig5_shape_and_trend() {
+        let config = Fig5Config {
+            data_sizes_kb: vec![105.0, 1680.0],
+            schemes: vec![Scheme::Greedy],
+            trials: 3,
+            preset: Preset::Quick,
+            base_seed: 0,
+            params: ExperimentParams::paper_default()
+                .with_users(8)
+                .with_servers(3),
+        };
+        let tables = run(&config).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn larger_inputs_reduce_utility() {
+        // Direct numeric check of the monotone trend Fig. 5 reports.
+        let base = ExperimentParams::paper_default()
+            .with_users(8)
+            .with_servers(3);
+        let small = ScenarioGenerator::new(base.with_task_data(Bits::from_kilobytes(105.0)));
+        let large = ScenarioGenerator::new(base.with_task_data(Bits::from_kilobytes(1680.0)));
+        let u_small = run_cell(&small, Scheme::Greedy, Preset::Quick, 5, 42)
+            .unwrap()
+            .utility()
+            .mean;
+        let u_large = run_cell(&large, Scheme::Greedy, Preset::Quick, 5, 42)
+            .unwrap()
+            .utility()
+            .mean;
+        assert!(
+            u_small > u_large,
+            "utility should fall with input size: {u_small} vs {u_large}"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Fig. 6 — system utility vs task workload at fixed user counts.
+//!
+//! Two panels (`U = 50` and `U = 90`) sweeping `w_u`. Expected shape:
+//! utility increases with workload for every scheme (heavier tasks gain
+//! more from offloading), with TSAJS on top.
+
+use super::{run_cell, Scheme};
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::ScenarioGenerator;
+use mec_types::{Cycles, Error};
+
+/// Fig. 6 sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Fig6Config {
+    /// Task workloads in Megacycles (x-axis).
+    pub workloads_mcycles: Vec<f64>,
+    /// Panel user counts.
+    pub user_counts: Vec<usize>,
+    /// Schemes compared.
+    pub schemes: Vec<Scheme>,
+    /// Monte-Carlo trials per cell.
+    pub trials: usize,
+    /// Effort preset.
+    pub preset: Preset,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Network parameters.
+    pub params: ExperimentParams,
+}
+
+impl Fig6Config {
+    /// The paper's two panels.
+    pub fn paper(preset: Preset) -> Self {
+        Self {
+            workloads_mcycles: vec![1000.0, 2000.0, 3000.0, 4000.0],
+            user_counts: vec![50, 90],
+            schemes: Scheme::lineup(30),
+            trials: preset.trials(),
+            preset,
+            base_seed: 6_000,
+            params: ExperimentParams::paper_default(),
+        }
+    }
+}
+
+/// Runs the Fig. 6 experiment: one table per user-count panel.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn run(config: &Fig6Config) -> Result<Vec<Table>, Error> {
+    let mut tables = Vec::new();
+    for users in &config.user_counts {
+        let mut headers = vec!["w_u (Mcycles)".to_string()];
+        headers.extend(config.schemes.iter().map(|s| s.name()));
+        let mut table = Table::new(
+            format!("Fig. 6: avg system utility vs workload (U={users})"),
+            headers,
+        );
+        for w in &config.workloads_mcycles {
+            let params = config
+                .params
+                .with_users(*users)
+                .with_workload(Cycles::from_mega(*w));
+            let generator = ScenarioGenerator::new(params);
+            let mut row = vec![format!("{w:.0}")];
+            for scheme in &config.schemes {
+                let cell = run_cell(
+                    &generator,
+                    *scheme,
+                    config.preset,
+                    config.trials,
+                    config.base_seed,
+                )?;
+                row.push(cell.utility().display(3));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+/// Runs Fig. 6 with the paper's sweep at the given preset.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    run(&Fig6Config::paper(preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_fig6_emits_one_table_per_user_count() {
+        let config = Fig6Config {
+            workloads_mcycles: vec![1000.0, 4000.0],
+            user_counts: vec![6, 10],
+            schemes: vec![Scheme::Greedy],
+            trials: 2,
+            preset: Preset::Quick,
+            base_seed: 0,
+            params: ExperimentParams::paper_default().with_servers(3),
+        };
+        let tables = run(&config).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].title.contains("U=6"));
+        assert!(tables[1].title.contains("U=10"));
+    }
+
+    #[test]
+    fn heavier_workloads_increase_utility() {
+        let base = ExperimentParams::paper_default()
+            .with_users(8)
+            .with_servers(3);
+        let light = ScenarioGenerator::new(base.with_workload(Cycles::from_mega(1000.0)));
+        let heavy = ScenarioGenerator::new(base.with_workload(Cycles::from_mega(4000.0)));
+        let u_light = run_cell(&light, Scheme::Greedy, Preset::Quick, 5, 7)
+            .unwrap()
+            .utility()
+            .mean;
+        let u_heavy = run_cell(&heavy, Scheme::Greedy, Preset::Quick, 5, 7)
+            .unwrap()
+            .utility()
+            .mean;
+        assert!(
+            u_heavy > u_light,
+            "utility should rise with workload: {u_light} vs {u_heavy}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Fig. 7 — system utility vs number of subchannels.
+//!
+//! Two panels (`L = 30` and `L = 50`) sweeping `N`. Expected shape:
+//! utility first rises with `N` (the `S·N` offloading slots stop binding
+//! and contention eases) then falls (each subchannel gets a sliver of
+//! bandwidth and some stand idle), with TSAJS best around and past the
+//! peak. The paper does not state the user count for this figure; we use
+//! `U = 90` (its largest scale), where the capacity-limited regime at
+//! small `N` produces the reported rise-then-fall.
+
+use super::{run_cell, Scheme};
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::ScenarioGenerator;
+use mec_types::Error;
+
+/// Fig. 7 sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    /// Subchannel counts (x-axis).
+    pub subchannel_counts: Vec<usize>,
+    /// Panel TSAJS epoch lengths.
+    pub inner_iterations: Vec<usize>,
+    /// Monte-Carlo trials per cell.
+    pub trials: usize,
+    /// Effort preset.
+    pub preset: Preset,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Network parameters (subchannel count is overridden by the sweep).
+    pub params: ExperimentParams,
+}
+
+impl Fig7Config {
+    /// The paper's two panels.
+    pub fn paper(preset: Preset) -> Self {
+        Self {
+            subchannel_counts: vec![1, 2, 3, 5, 10, 20, 30, 40, 50],
+            inner_iterations: vec![30, 50],
+            trials: preset.trials(),
+            preset,
+            base_seed: 7_000,
+            params: ExperimentParams::paper_default().with_users(90),
+        }
+    }
+}
+
+/// Runs the Fig. 7 experiment: one table per `L` panel.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn run(config: &Fig7Config) -> Result<Vec<Table>, Error> {
+    let mut tables = Vec::new();
+    for l in &config.inner_iterations {
+        let schemes = Scheme::lineup(*l);
+        let mut headers = vec!["N".to_string()];
+        headers.extend(schemes.iter().map(|s| s.name()));
+        let mut table = Table::new(
+            format!("Fig. 7: avg system utility vs sub-channels (L={l})"),
+            headers,
+        );
+        for n in &config.subchannel_counts {
+            let params = config.params.with_subchannels(*n);
+            let generator = ScenarioGenerator::new(params);
+            let mut row = vec![n.to_string()];
+            for scheme in &schemes {
+                let cell = run_cell(
+                    &generator,
+                    *scheme,
+                    config.preset,
+                    config.trials,
+                    config.base_seed,
+                )?;
+                row.push(cell.utility().display(3));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+/// Runs Fig. 7 with the paper's sweep at the given preset.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    run(&Fig7Config::paper(preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_fig7_emits_one_table_per_l() {
+        let config = Fig7Config {
+            subchannel_counts: vec![2, 4],
+            inner_iterations: vec![10],
+            trials: 2,
+            preset: Preset::Quick,
+            base_seed: 0,
+            params: ExperimentParams::paper_default()
+                .with_users(6)
+                .with_servers(3),
+        };
+        let tables = run(&config).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 2);
+        assert_eq!(tables[0].rows[0][0], "2");
+    }
+}

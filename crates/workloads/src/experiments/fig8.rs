@@ -1,0 +1,137 @@
+//! Fig. 8 — average computation time vs number of subchannels.
+//!
+//! Same sweep as Fig. 7 but measuring solver wall-clock time, for
+//! `L ∈ {10, 50}`. Expected shape: every stochastic scheme slows as the
+//! search space grows with `N`; hJTORA grows fastest (its improvement
+//! rounds scan `O(U·S·N)` candidates), while Greedy and LocalSearch stay
+//! nearly flat (fixed search procedure / fixed proposal budget).
+
+use super::{run_cell, Scheme};
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::ScenarioGenerator;
+use mec_types::Error;
+
+/// Fig. 8 sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Fig8Config {
+    /// Subchannel counts (x-axis).
+    pub subchannel_counts: Vec<usize>,
+    /// Panel TSAJS epoch lengths.
+    pub inner_iterations: Vec<usize>,
+    /// Monte-Carlo trials per cell.
+    pub trials: usize,
+    /// Effort preset.
+    pub preset: Preset,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Network parameters (subchannel count is overridden by the sweep).
+    pub params: ExperimentParams,
+}
+
+impl Fig8Config {
+    /// The paper's two timing panels.
+    pub fn paper(preset: Preset) -> Self {
+        Self {
+            subchannel_counts: vec![1, 2, 3, 5, 10, 20, 30, 40, 50],
+            inner_iterations: vec![10, 50],
+            trials: preset.trials(),
+            preset,
+            base_seed: 8_000,
+            params: ExperimentParams::paper_default().with_users(90),
+        }
+    }
+}
+
+/// Runs the Fig. 8 experiment: one table per `L` panel, cells are mean
+/// solver time in milliseconds ± CI.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn run(config: &Fig8Config) -> Result<Vec<Table>, Error> {
+    let mut tables = Vec::new();
+    for l in &config.inner_iterations {
+        let schemes = Scheme::lineup(*l);
+        let mut headers = vec!["N".to_string()];
+        headers.extend(schemes.iter().map(|s| s.name()));
+        let mut table = Table::new(
+            format!("Fig. 8: avg computation time [ms] vs sub-channels (L={l})"),
+            headers,
+        );
+        for n in &config.subchannel_counts {
+            let params = config.params.with_subchannels(*n);
+            let generator = ScenarioGenerator::new(params);
+            let mut row = vec![n.to_string()];
+            for scheme in &schemes {
+                let cell = run_cell(
+                    &generator,
+                    *scheme,
+                    config.preset,
+                    config.trials,
+                    config.base_seed,
+                )?;
+                row.push(cell.time_ms().display(2));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+/// Runs Fig. 8 with the paper's sweep at the given preset.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    run(&Fig8Config::paper(preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_fig8_reports_times() {
+        let config = Fig8Config {
+            subchannel_counts: vec![2],
+            inner_iterations: vec![10],
+            trials: 2,
+            preset: Preset::Quick,
+            base_seed: 0,
+            params: ExperimentParams::paper_default()
+                .with_users(5)
+                .with_servers(3),
+        };
+        let tables = run(&config).unwrap();
+        assert_eq!(tables.len(), 1);
+        // Cells parse as "x.xx ± y.yy" with non-negative mean.
+        for cell in &tables[0].rows[0][1..] {
+            let mean: f64 = cell.split('±').next().unwrap().trim().parse().unwrap();
+            assert!(mean >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hjtora_work_grows_with_subchannels() {
+        // The trend behind Fig. 8, asserted on evaluation counts (stable)
+        // rather than wall-clock (noisy under test concurrency).
+        let base = ExperimentParams::paper_default()
+            .with_users(8)
+            .with_servers(3);
+        let small = ScenarioGenerator::new(base.with_subchannels(2));
+        let large = ScenarioGenerator::new(base.with_subchannels(8));
+        let a = run_cell(&small, Scheme::HJtora, Preset::Quick, 3, 0).unwrap();
+        let b = run_cell(&large, Scheme::HJtora, Preset::Quick, 3, 0).unwrap();
+        let evals = |c: &super::super::CellResult| -> f64 {
+            c.outcomes
+                .iter()
+                .map(|o| o.objective_evaluations as f64)
+                .sum::<f64>()
+                / c.outcomes.len() as f64
+        };
+        assert!(evals(&b) > evals(&a));
+    }
+}

@@ -1,0 +1,136 @@
+//! Fig. 9 — the time/energy preference trade-off.
+//!
+//! Sweeps `β_time` from 0.05 to 0.95 (`β_energy = 1 − β_time`) for TSAJS
+//! at three user scales, reporting the all-user average energy (panel a)
+//! and average completion delay (panel b). Expected shape: as `β_time`
+//! grows, average delay falls and average energy rises.
+
+use super::{run_cell, Scheme};
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::ScenarioGenerator;
+use mec_types::Error;
+
+/// Fig. 9 sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Fig9Config {
+    /// Time-preference values `β_time` (x-axis).
+    pub beta_times: Vec<f64>,
+    /// User scales (one series per scale).
+    pub user_counts: Vec<usize>,
+    /// Monte-Carlo trials per cell.
+    pub trials: usize,
+    /// Effort preset.
+    pub preset: Preset,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Network parameters.
+    pub params: ExperimentParams,
+}
+
+impl Fig9Config {
+    /// The paper's sweep: `β_time ∈ {0.05, 0.15, …, 0.95}` at three user
+    /// scales.
+    pub fn paper(preset: Preset) -> Self {
+        Self {
+            beta_times: (0..10).map(|i| 0.05 + 0.1 * i as f64).collect(),
+            user_counts: vec![30, 60, 90],
+            trials: preset.trials(),
+            preset,
+            base_seed: 9_000,
+            params: ExperimentParams::paper_default(),
+        }
+    }
+}
+
+/// Runs the Fig. 9 experiment: two tables (average energy, average delay),
+/// rows = `β_time`, one column per user scale.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn run(config: &Fig9Config) -> Result<Vec<Table>, Error> {
+    let mut headers = vec!["beta_time".to_string()];
+    headers.extend(config.user_counts.iter().map(|u| format!("U={u}")));
+    let mut energy = Table::new(
+        "Fig. 9(a): average energy consumption [J] vs beta_time",
+        headers.clone(),
+    );
+    let mut delay = Table::new(
+        "Fig. 9(b): average computation delay [s] vs beta_time",
+        headers,
+    );
+
+    for beta in &config.beta_times {
+        let mut energy_row = vec![format!("{beta:.2}")];
+        let mut delay_row = vec![format!("{beta:.2}")];
+        for users in &config.user_counts {
+            let params = config.params.with_users(*users).with_beta_time(*beta);
+            let generator = ScenarioGenerator::new(params);
+            let cell = run_cell(
+                &generator,
+                Scheme::TSAJS,
+                config.preset,
+                config.trials,
+                config.base_seed,
+            )?;
+            energy_row.push(cell.average_energy().display(3));
+            delay_row.push(cell.average_delay().display(3));
+        }
+        energy.push_row(energy_row);
+        delay.push_row(delay_row);
+    }
+    Ok(vec![energy, delay])
+}
+
+/// Runs Fig. 9 with the paper's sweep at the given preset.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    run(&Fig9Config::paper(preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_fig9_emits_energy_and_delay_tables() {
+        let config = Fig9Config {
+            beta_times: vec![0.25, 0.75],
+            user_counts: vec![5],
+            trials: 2,
+            preset: Preset::Quick,
+            base_seed: 0,
+            params: ExperimentParams::paper_default().with_servers(3),
+        };
+        let tables = run(&config).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].title.contains("energy"));
+        assert!(tables[1].title.contains("delay"));
+        assert_eq!(tables[0].rows.len(), 2);
+        assert_eq!(tables[0].headers, vec!["beta_time", "U=5"]);
+    }
+
+    #[test]
+    fn higher_beta_time_trades_energy_for_delay() {
+        // The defining trade-off of Fig. 9, checked numerically with
+        // deterministic channels to keep the quick test stable.
+        let params = ExperimentParams::paper_default()
+            .with_servers(3)
+            .with_users(6)
+            .without_shadowing();
+        let energy_minded = ScenarioGenerator::new(params.with_beta_time(0.05));
+        let time_minded = ScenarioGenerator::new(params.with_beta_time(0.95));
+        let a = run_cell(&energy_minded, Scheme::TSAJS, Preset::Quick, 3, 11).unwrap();
+        let b = run_cell(&time_minded, Scheme::TSAJS, Preset::Quick, 3, 11).unwrap();
+        assert!(
+            b.average_delay().mean <= a.average_delay().mean,
+            "time-minded users should see lower delay: {} vs {}",
+            b.average_delay().mean,
+            a.average_delay().mean
+        );
+    }
+}

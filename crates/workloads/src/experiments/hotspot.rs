@@ -1,0 +1,135 @@
+//! Hotspot sensitivity (extension): does the scheme ordering survive when
+//! load concentrates on a few cells instead of the paper's uniform
+//! placement?
+//!
+//! Under hotspots most users share one or two cells, so the subchannel
+//! cap binds and inter-cell interference concentrates — the regime where
+//! a search-based scheduler should earn its keep over greedy admission.
+
+use super::{run_cell, Scheme};
+use crate::params::{ExperimentParams, Preset};
+use crate::report::Table;
+use crate::ScenarioGenerator;
+use mec_types::Error;
+
+/// Hotspot-study configuration.
+#[derive(Debug, Clone)]
+pub struct HotspotConfig {
+    /// `(label, params)` placement variants to compare.
+    pub variants: Vec<(String, ExperimentParams)>,
+    /// Schemes compared.
+    pub schemes: Vec<Scheme>,
+    /// Monte-Carlo trials per cell.
+    pub trials: usize,
+    /// Effort preset.
+    pub preset: Preset,
+    /// Base RNG seed.
+    pub base_seed: u64,
+}
+
+impl HotspotConfig {
+    /// Default study: uniform vs 3 loose hotspots vs 1 tight hotspot, at
+    /// U = 40 on the default network.
+    pub fn paper(preset: Preset) -> Self {
+        let base = ExperimentParams::paper_default()
+            .with_users(40)
+            .with_workload(mec_types::Cycles::from_mega(2000.0));
+        Self {
+            variants: vec![
+                ("uniform (paper)".into(), base),
+                ("3 hotspots, 200 m".into(), base.with_hotspots(3, 200.0)),
+                ("1 hotspot, 100 m".into(), base.with_hotspots(1, 100.0)),
+            ],
+            schemes: Scheme::lineup(30),
+            trials: preset.trials(),
+            preset,
+            base_seed: 12_000,
+        }
+    }
+}
+
+/// Runs the hotspot study: one row per placement variant.
+///
+/// # Errors
+///
+/// Propagates scenario-generation and solver errors.
+pub fn run(config: &HotspotConfig) -> Result<Vec<Table>, Error> {
+    let mut headers = vec!["placement".to_string()];
+    headers.extend(config.schemes.iter().map(|s| s.name()));
+    let mut table = Table::new(
+        "Hotspot sensitivity: avg system utility under load concentration (U=40)",
+        headers,
+    );
+    for (label, params) in &config.variants {
+        let generator = ScenarioGenerator::new(*params);
+        let mut row = vec![label.clone()];
+        for scheme in &config.schemes {
+            let cell = run_cell(
+                &generator,
+                *scheme,
+                config.preset,
+                config.trials,
+                config.base_seed,
+            )?;
+            row.push(cell.utility().display(3));
+        }
+        table.push_row(row);
+    }
+    Ok(vec![table])
+}
+
+/// Runs the default study at the given preset.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
+    run(&HotspotConfig::paper(preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_variant() {
+        let base = ExperimentParams::paper_default()
+            .with_users(8)
+            .with_servers(3);
+        let config = HotspotConfig {
+            variants: vec![
+                ("uniform".into(), base),
+                ("hotspot".into(), base.with_hotspots(1, 80.0)),
+            ],
+            schemes: vec![Scheme::Greedy, Scheme::LocalSearch],
+            trials: 2,
+            preset: Preset::Quick,
+            base_seed: 0,
+        };
+        let tables = run(&config).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 2);
+        assert_eq!(tables[0].rows[0][0], "uniform");
+        assert_eq!(tables[0].headers.len(), 3);
+    }
+
+    #[test]
+    fn concentration_reduces_utility() {
+        // A single tight hotspot starves most cells and saturates one:
+        // total utility must fall versus uniform placement.
+        let base = ExperimentParams::paper_default()
+            .with_users(24)
+            .with_servers(9);
+        let uniform = ScenarioGenerator::new(base);
+        let hotspot = ScenarioGenerator::new(base.with_hotspots(1, 80.0));
+        let u = run_cell(&uniform, Scheme::Greedy, Preset::Quick, 4, 3)
+            .unwrap()
+            .utility()
+            .mean;
+        let h = run_cell(&hotspot, Scheme::Greedy, Preset::Quick, 4, 3)
+            .unwrap()
+            .utility()
+            .mean;
+        assert!(h < u, "hotspot {h} should trail uniform {u}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Result tables: markdown and CSV rendering.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// A rectangular result table (one per figure panel).
+///
+/// # Example
+///
+/// ```
+/// use mec_workloads::Table;
+///
+/// let mut t = Table::new("demo", vec!["x".into(), "y".into()]);
+/// t.push_row(vec!["1".into(), "2.0".into()]);
+/// assert!(t.to_markdown().contains("| 1 | 2.0 |"));
+/// assert_eq!(t.to_csv(), "x,y\n1,2.0\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Fig. 4(a): w=1000 Mcycles, L=10"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells; every row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders as a GitHub-flavored markdown table with a title line.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders as CSV (headers first, comma-separated, quoted only when a
+    /// cell contains a comma or quote).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation or writing.
+    pub fn save_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "Fig. X",
+            vec!["w (Mcycles)".into(), "TSAJS".into(), "Greedy".into()],
+        );
+        t.push_row(vec![
+            "1000".into(),
+            "3.10 ± 0.05".into(),
+            "2.95 ± 0.04".into(),
+        ]);
+        t.push_row(vec![
+            "2000".into(),
+            "3.90 ± 0.06".into(),
+            "3.70 ± 0.07".into(),
+        ]);
+        t
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### Fig. X\n"));
+        assert!(md.contains("| w (Mcycles) | TSAJS | Greedy |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| 1000 | 3.10 ± 0.05 | 2.95 ± 0.04 |"));
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new("t", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrips_to_disk() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("tsajs-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.csv");
+        t.save_csv(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, t.to_csv());
+    }
+}

@@ -1,0 +1,138 @@
+//! A heterogeneous "smart city" scenario built with the low-level API:
+//! mixed device classes, mixed application workloads, and prioritized
+//! first responders (higher provider preference `λ_u`) — the use case the
+//! paper's §III-B motivates.
+//!
+//! Demonstrates composing `mec-topology` + `mec-radio` + `mec-system`
+//! directly instead of going through `ExperimentParams`.
+//!
+//! ```text
+//! cargo run --release --example city_scale
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsajs_mec::prelude::*;
+use tsajs_mec::radio::ChannelModel;
+use tsajs_mec::topology::place_users_uniform;
+
+/// An application profile from the paper's motivating scenarios.
+#[derive(Clone, Copy)]
+struct AppProfile {
+    name: &'static str,
+    data_kb: f64,
+    workload_mcycles: f64,
+    beta_time: f64,
+}
+
+const APPS: [AppProfile; 3] = [
+    // Interactive AR overlay: small input, heavy compute, latency-critical.
+    AppProfile {
+        name: "ar-overlay",
+        data_kb: 150.0,
+        workload_mcycles: 3000.0,
+        beta_time: 0.8,
+    },
+    // Traffic-camera video analytics: big input, heavy compute, balanced.
+    AppProfile {
+        name: "video-analytics",
+        data_kb: 1200.0,
+        workload_mcycles: 4000.0,
+        beta_time: 0.5,
+    },
+    // Navigation re-planning on a battery-constrained wearable.
+    AppProfile {
+        name: "navigation",
+        data_kb: 80.0,
+        workload_mcycles: 800.0,
+        beta_time: 0.2,
+    },
+];
+
+fn main() -> Result<(), Error> {
+    let mut rng = StdRng::seed_from_u64(777);
+    let num_users = 45;
+
+    // 9 hexagonal cells, 1 km apart, users uniform over the coverage area.
+    let layout = NetworkLayout::hexagonal(9, constants::INTER_SITE_DISTANCE)?;
+    let positions = place_users_uniform(&layout, num_users, &mut rng);
+    let gains = ChannelModel::paper_default().generate(
+        &layout,
+        &positions,
+        constants::DEFAULT_NUM_SUBCHANNELS,
+        &mut rng,
+    );
+
+    // Heterogeneous population: random app mix, two device classes, and
+    // every 9th user is a first responder with top provider priority.
+    let mut users = Vec::with_capacity(num_users);
+    let mut app_of = Vec::with_capacity(num_users);
+    for i in 0..num_users {
+        let app = APPS[rng.gen_range(0..APPS.len())];
+        app_of.push(app.name);
+        let flagship = rng.gen_bool(0.4);
+        let device = DeviceProfile::new(
+            if flagship {
+                Hertz::from_giga(1.5)
+            } else {
+                Hertz::from_giga(0.8)
+            },
+            constants::DEFAULT_KAPPA,
+            constants::DEFAULT_TX_POWER,
+        )?;
+        let lambda = if i % 9 == 0 {
+            ProviderPreference::MAX // first responder
+        } else {
+            ProviderPreference::new(0.6)?
+        };
+        users.push(UserSpec {
+            task: Task::new(
+                Bits::from_kilobytes(app.data_kb),
+                Cycles::from_mega(app.workload_mcycles),
+            )?,
+            device,
+            preferences: UserPreferences::new(app.beta_time)?,
+            lambda,
+        });
+    }
+
+    let scenario = Scenario::new(
+        users,
+        vec![ServerProfile::paper_default(); layout.num_stations()],
+        OfdmaConfig::paper_default(),
+        gains,
+        constants::DEFAULT_NOISE.to_watts(),
+    )?;
+
+    let mut solver = TsajsSolver::new(TtsaConfig::paper_default().with_seed(777));
+    let solution = solver.solve(&scenario)?;
+    let report = solution.evaluate(&scenario)?;
+
+    println!("city-scale TSAJS schedule (45 users, 9 cells):");
+    println!("  system utility : {:.3}", solution.utility);
+    println!(
+        "  offloaded      : {}/{}",
+        report.num_offloaded,
+        scenario.num_users()
+    );
+
+    // Offloading rate per application class.
+    for app in APPS {
+        let (total, offloaded): (usize, usize) = scenario
+            .user_ids()
+            .filter(|u| app_of[u.index()] == app.name)
+            .fold((0, 0), |(t, o), u| {
+                (t + 1, o + usize::from(solution.assignment.is_offloaded(u)))
+            });
+        println!("  {:<16} {:>2}/{:<2} offloaded", app.name, offloaded, total);
+    }
+
+    // First responders should be served preferentially.
+    let responders_offloaded = scenario
+        .user_ids()
+        .filter(|u| u.index() % 9 == 0)
+        .filter(|u| solution.assignment.is_offloaded(*u))
+        .count();
+    println!("  first responders offloaded: {responders_offloaded}/5");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Embedding the C-RAN scheduling service: several operator consoles
+//! (threads) share one controller handle, submit scheduling requests for
+//! different cells-of-interest concurrently, and collect tagged results.
+//!
+//! ```text
+//! cargo run --release --example controller_service
+//! ```
+
+use tsajs_mec::controller::{SchedulerService, SchemeChoice};
+use tsajs_mec::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = SchedulerService::spawn();
+
+    // Three "operator consoles" submit work concurrently; the controller
+    // serializes the solves (one BBU) and tags every response.
+    std::thread::scope(|scope| {
+        for console in 0..3u64 {
+            let handle = service.clone();
+            scope.spawn(move || {
+                for round in 0..2u64 {
+                    let seed = console * 10 + round;
+                    let params = ExperimentParams::paper_default()
+                        .with_users(12 + 4 * console as usize);
+                    let scenario = ScenarioGenerator::new(params)
+                        .generate(seed)
+                        .expect("scenario");
+                    let response = handle
+                        .schedule(scenario, SchemeChoice::TsajsQuick, seed)
+                        .expect("service alive");
+                    println!(
+                        "console {console} round {round}: request #{:<3} J = {:.3} ({} offloaded, {:.1} ms)",
+                        response.id,
+                        response.solution.utility,
+                        response.solution.assignment.num_offloaded(),
+                        response.solution.stats.elapsed.as_secs_f64() * 1e3,
+                    );
+                }
+            });
+        }
+    });
+
+    service.shutdown();
+    println!("controller drained and stopped.");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Watch TTSA converge: record the per-epoch search trace and print the
+//! temperature schedule, the threshold triggers, and the best-objective
+//! curve — the diagnostics behind the "threshold-triggered" design.
+//!
+//! ```text
+//! cargo run --release --example convergence
+//! ```
+
+use tsajs_mec::prelude::*;
+
+fn main() -> Result<(), Error> {
+    let params = ExperimentParams::paper_default()
+        .with_users(40)
+        .with_workload(Cycles::from_mega(2000.0));
+    let scenario = ScenarioGenerator::new(params).generate(3)?;
+
+    let mut solver = TsajsSolver::new(
+        TtsaConfig::paper_default()
+            .with_min_temperature(1e-6)
+            .with_seed(3)
+            .with_trace(),
+    );
+    let solution = solver.solve(&scenario)?;
+    let trace = solver.last_trace().expect("trace was requested");
+
+    println!(
+        "TTSA converged to J* = {:.4} over {} epochs",
+        solution.utility,
+        trace.len()
+    );
+    println!(
+        "fast-cooling trigger fired {} times ({} proposals total)\n",
+        trace.trigger_count(),
+        solution.stats.iterations
+    );
+    println!("epoch | temperature | current J | best J   | worse/better | trigger");
+    println!("------|-------------|-----------|----------|--------------|--------");
+    // Print every 25th epoch plus every trigger epoch.
+    for (i, e) in trace.epochs.iter().enumerate() {
+        if i % 25 == 0 || e.trigger_fired {
+            println!(
+                "{:>5} | {:>11.5} | {:>9.4} | {:>8.4} | {:>5} /{:>5} | {}",
+                i,
+                e.temperature,
+                e.current_objective,
+                e.best_objective,
+                e.accepted_worse,
+                e.accepted_better,
+                if e.trigger_fired { "FIRED" } else { "" }
+            );
+        }
+    }
+
+    // A coarse ASCII sparkline of the best-objective curve.
+    let best: Vec<f64> = trace.epochs.iter().map(|e| e.best_objective).collect();
+    let (lo, hi) = best
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(*v), hi.max(*v))
+        });
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let line: String = best
+        .chunks(best.len().div_ceil(72).max(1))
+        .map(|c| {
+            let v = c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let t = if hi > lo { (v - lo) / (hi - lo) } else { 1.0 };
+            glyphs[((t * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)]
+        })
+        .collect();
+    println!("\nbest J over time  [{lo:.3} → {hi:.3}]");
+    println!("  {line}");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build a paper-default MEC network, schedule it with TSAJS,
+//! and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tsajs_mec::prelude::*;
+
+fn main() -> Result<(), Error> {
+    // A 9-cell hexagonal network (1 km inter-site distance) with 20 users,
+    // each holding a 420 KB / 2000-Megacycle task — the paper's defaults.
+    let params = ExperimentParams::paper_default()
+        .with_users(20)
+        .with_workload(Cycles::from_mega(2000.0));
+    let scenario = ScenarioGenerator::new(params).generate(2024)?;
+
+    // TSAJS = threshold-triggered simulated annealing for the offloading
+    // decision + closed-form KKT compute allocation.
+    let mut solver = TsajsSolver::new(TtsaConfig::paper_default().with_seed(2024));
+    let solution = solver.solve(&scenario)?;
+
+    println!("TSAJS finished:");
+    println!("  system utility J*(X) : {:.4}", solution.utility);
+    println!(
+        "  offloaded users      : {}/{}",
+        solution.assignment.num_offloaded(),
+        scenario.num_users()
+    );
+    println!(
+        "  objective evals      : {}",
+        solution.stats.objective_evaluations
+    );
+    println!(
+        "  wall clock           : {:.1} ms",
+        solution.stats.elapsed.as_secs_f64() * 1e3
+    );
+
+    // Full per-user report (times, energies, individual utilities).
+    let report = solution.evaluate(&scenario)?;
+    println!("\n  user | decision     | t_total  | energy   | J_u");
+    println!("  -----|--------------|----------|----------|------");
+    for (u, m) in scenario.user_ids().zip(&report.users) {
+        let decision = match solution.assignment.slot(u) {
+            Some((s, j)) => format!("offload {s}/{j}"),
+            None => "local".to_string(),
+        };
+        println!(
+            "  {:>4} | {:<12} | {:>6.3} s | {:>6.3} J | {:+.3}",
+            u.index(),
+            decision,
+            m.completion_time.as_secs(),
+            m.energy.as_joules(),
+            m.utility
+        );
+    }
+    println!(
+        "\n  fleet averages: delay {:.3} s, energy {:.3} J",
+        report.average_completion_time().as_secs(),
+        report.average_energy().as_joules()
+    );
+    Ok(())
+}

@@ -1,0 +1,140 @@
+//! Smoke tests for every figure driver: reduced sweeps must produce
+//! well-formed tables with parseable cells.
+
+use mec_workloads::experiments::{fig3, fig4, fig5, fig6, fig7, fig8, fig9, Scheme};
+use mec_workloads::{ExperimentParams, Preset, Table};
+
+fn assert_well_formed(tables: &[Table]) {
+    assert!(!tables.is_empty());
+    for t in tables {
+        assert!(!t.title.is_empty());
+        assert!(t.headers.len() >= 2);
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            assert_eq!(row.len(), t.headers.len());
+            // Every measurement cell is "mean ± ci" with finite numbers.
+            for cell in &row[1..] {
+                let mut parts = cell.split('±');
+                let mean: f64 = parts.next().unwrap().trim().parse().unwrap();
+                let ci: f64 = parts.next().unwrap().trim().parse().unwrap();
+                assert!(mean.is_finite(), "bad cell {cell} in {}", t.title);
+                assert!(ci >= 0.0);
+            }
+        }
+        // Markdown and CSV renderings stay consistent with the data.
+        let md = t.to_markdown();
+        assert!(md.contains(&t.title));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), t.rows.len() + 1);
+    }
+}
+
+fn tiny_params() -> ExperimentParams {
+    ExperimentParams::paper_default()
+        .with_users(4)
+        .with_servers(3)
+}
+
+#[test]
+fn fig3_smoke() {
+    let config = fig3::Fig3Config {
+        workloads_mcycles: vec![1000.0],
+        schemes: vec![Scheme::Exhaustive, Scheme::TSAJS, Scheme::Greedy],
+        trials: 2,
+        preset: Preset::Quick,
+        base_seed: 0,
+        params: ExperimentParams::small_network().with_users(4),
+    };
+    let tables = fig3::run(&config).unwrap();
+    // The first table is the numeric utility table; the second is the
+    // paired-significance table whose last column is a yes/no verdict.
+    assert_well_formed(&tables[..1]);
+    assert_eq!(tables.len(), 2);
+    for row in &tables[1].rows {
+        assert!(row[2] == "yes" || row[2] == "no");
+    }
+}
+
+#[test]
+fn fig4_smoke() {
+    let config = fig4::Fig4Config {
+        user_counts: vec![4],
+        workloads_mcycles: vec![1000.0],
+        inner_iterations: vec![10],
+        trials: 2,
+        preset: Preset::Quick,
+        base_seed: 0,
+        params: tiny_params(),
+    };
+    assert_well_formed(&fig4::run(&config).unwrap());
+}
+
+#[test]
+fn fig5_smoke() {
+    let config = fig5::Fig5Config {
+        data_sizes_kb: vec![210.0, 840.0],
+        schemes: vec![Scheme::Greedy, Scheme::LocalSearch],
+        trials: 2,
+        preset: Preset::Quick,
+        base_seed: 0,
+        params: tiny_params(),
+    };
+    assert_well_formed(&fig5::run(&config).unwrap());
+}
+
+#[test]
+fn fig6_smoke() {
+    let config = fig6::Fig6Config {
+        workloads_mcycles: vec![1000.0],
+        user_counts: vec![3, 5],
+        schemes: vec![Scheme::Greedy],
+        trials: 2,
+        preset: Preset::Quick,
+        base_seed: 0,
+        params: tiny_params(),
+    };
+    let tables = fig6::run(&config).unwrap();
+    assert_eq!(tables.len(), 2);
+    assert_well_formed(&tables);
+}
+
+#[test]
+fn fig7_smoke() {
+    let config = fig7::Fig7Config {
+        subchannel_counts: vec![2, 3],
+        inner_iterations: vec![10],
+        trials: 2,
+        preset: Preset::Quick,
+        base_seed: 0,
+        params: tiny_params(),
+    };
+    assert_well_formed(&fig7::run(&config).unwrap());
+}
+
+#[test]
+fn fig8_smoke() {
+    let config = fig8::Fig8Config {
+        subchannel_counts: vec![2],
+        inner_iterations: vec![10],
+        trials: 2,
+        preset: Preset::Quick,
+        base_seed: 0,
+        params: tiny_params(),
+    };
+    assert_well_formed(&fig8::run(&config).unwrap());
+}
+
+#[test]
+fn fig9_smoke() {
+    let config = fig9::Fig9Config {
+        beta_times: vec![0.25, 0.75],
+        user_counts: vec![4],
+        trials: 2,
+        preset: Preset::Quick,
+        base_seed: 0,
+        params: tiny_params(),
+    };
+    let tables = fig9::run(&config).unwrap();
+    assert_eq!(tables.len(), 2, "energy and delay panels");
+    assert_well_formed(&tables);
+}

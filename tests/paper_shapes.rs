@@ -1,0 +1,171 @@
+//! Trend tests: the qualitative shapes the paper's figures report, checked
+//! numerically on reduced configurations.
+
+use tsajs_mec::prelude::*;
+
+fn quick_tsajs(seed: u64) -> TsajsSolver {
+    TsajsSolver::new(
+        TtsaConfig::paper_default()
+            .with_min_temperature(1e-3)
+            .with_seed(seed),
+    )
+}
+
+/// Average TSAJS utility over a few seeds for the given parameters.
+fn avg_utility(params: ExperimentParams, seeds: std::ops::Range<u64>) -> f64 {
+    let n = seeds.end - seeds.start;
+    let mut total = 0.0;
+    for seed in seeds {
+        let scenario = ScenarioGenerator::new(params).generate(seed).unwrap();
+        total += quick_tsajs(seed).solve(&scenario).unwrap().utility;
+    }
+    total / n as f64
+}
+
+#[test]
+fn utility_rises_with_task_workload_fig3_fig6() {
+    let base = ExperimentParams::paper_default()
+        .with_users(10)
+        .with_servers(4);
+    let light = avg_utility(base.with_workload(Cycles::from_mega(1000.0)), 0..4);
+    let heavy = avg_utility(base.with_workload(Cycles::from_mega(4000.0)), 0..4);
+    assert!(
+        heavy > light,
+        "utility should rise with workload: {light:.3} → {heavy:.3}"
+    );
+}
+
+#[test]
+fn utility_falls_with_task_input_size_fig5() {
+    let base = ExperimentParams::paper_default()
+        .with_users(10)
+        .with_servers(4);
+    let small = avg_utility(base.with_task_data(Bits::from_kilobytes(105.0)), 0..4);
+    let large = avg_utility(base.with_task_data(Bits::from_kilobytes(1680.0)), 0..4);
+    assert!(
+        small > large,
+        "utility should fall with input size: {small:.3} vs {large:.3}"
+    );
+}
+
+#[test]
+fn beta_time_trades_delay_for_energy_fig9() {
+    // Same network, deterministic channels; only the preference moves.
+    let base = ExperimentParams::paper_default()
+        .with_users(9)
+        .with_servers(3)
+        .without_shadowing();
+    let measure = |beta: f64| -> (f64, f64) {
+        let mut delay = 0.0;
+        let mut energy = 0.0;
+        let seeds = 3u64;
+        for seed in 0..seeds {
+            let scenario = ScenarioGenerator::new(base.with_beta_time(beta))
+                .generate(seed)
+                .unwrap();
+            let solution = quick_tsajs(seed).solve(&scenario).unwrap();
+            let eval = solution.evaluate(&scenario).unwrap();
+            delay += eval.average_completion_time().as_secs();
+            energy += eval.average_energy().as_joules();
+        }
+        (delay / seeds as f64, energy / seeds as f64)
+    };
+    let (delay_energy_minded, _) = measure(0.05);
+    let (delay_time_minded, _) = measure(0.95);
+    assert!(
+        delay_time_minded <= delay_energy_minded + 1e-9,
+        "raising beta_time should not increase delay: {delay_energy_minded:.3} → {delay_time_minded:.3}"
+    );
+}
+
+#[test]
+fn hjtora_cost_grows_with_subchannels_fig8() {
+    let base = ExperimentParams::paper_default()
+        .with_users(8)
+        .with_servers(3);
+    let evals = |n: usize| -> u64 {
+        let scenario = ScenarioGenerator::new(base.with_subchannels(n))
+            .generate(0)
+            .unwrap();
+        HJtoraSolver::new()
+            .solve(&scenario)
+            .unwrap()
+            .stats
+            .objective_evaluations
+    };
+    let small = evals(2);
+    let large = evals(10);
+    assert!(
+        large > small,
+        "hJTORA work should grow with N: {small} vs {large}"
+    );
+}
+
+#[test]
+fn greedy_and_local_search_cost_stays_flat_with_subchannels_fig8() {
+    // "The average computation time of the LocalSearch and Greedy schemes
+    // remains relatively stable ... attributed to their fixed search
+    // approach." Greedy's evaluation count is O(prune rounds); local
+    // search's is bounded by its fixed proposal budget.
+    let base = ExperimentParams::paper_default()
+        .with_users(8)
+        .with_servers(3);
+    let greedy_evals = |n: usize| -> u64 {
+        let scenario = ScenarioGenerator::new(base.with_subchannels(n))
+            .generate(0)
+            .unwrap();
+        GreedySolver::new()
+            .solve(&scenario)
+            .unwrap()
+            .stats
+            .objective_evaluations
+    };
+    assert!(greedy_evals(10) <= greedy_evals(2) + 10);
+
+    let ls_evals = |n: usize| -> u64 {
+        let scenario = ScenarioGenerator::new(base.with_subchannels(n))
+            .generate(0)
+            .unwrap();
+        LocalSearchSolver::with_seed(0)
+            .solve(&scenario)
+            .unwrap()
+            .stats
+            .objective_evaluations
+    };
+    let budget = mec_baselines::LocalSearchSolver::DEFAULT_MAX_ITERATIONS;
+    assert!(ls_evals(2) <= budget && ls_evals(10) <= budget);
+}
+
+#[test]
+fn more_users_saturate_then_crowd_the_system_fig4() {
+    // With capacity S·N = 6 offloading slots, pushing far more users into
+    // the network cannot keep raising utility linearly: the per-user
+    // average gain falls as contention grows.
+    let base = ExperimentParams::paper_default()
+        .with_servers(3)
+        .with_subchannels(2)
+        .with_workload(Cycles::from_mega(2000.0));
+    let few = avg_utility(base.with_users(6), 0..3);
+    let many = avg_utility(base.with_users(24), 0..3);
+    let per_user_few = few / 6.0;
+    let per_user_many = many / 24.0;
+    assert!(
+        per_user_many < per_user_few,
+        "per-user utility should fall under contention: {per_user_few:.3} vs {per_user_many:.3}"
+    );
+}
+
+#[test]
+fn interference_limits_subchannel_scaling_fig7() {
+    // Splitting 20 MHz into very many subchannels shrinks W = B/N, so with
+    // few users the achievable utility eventually drops.
+    let base = ExperimentParams::paper_default()
+        .with_users(6)
+        .with_servers(3);
+    let moderate = avg_utility(base.with_subchannels(2), 0..3);
+    let excessive = avg_utility(base.with_subchannels(40), 0..3);
+    assert!(
+        moderate > excessive,
+        "excessive subchannels should hurt: {moderate:.3} vs {excessive:.3}"
+    );
+}

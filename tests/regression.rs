@@ -1,0 +1,91 @@
+//! Golden regression tests: pin concrete numbers for fixed seeds so that
+//! accidental semantic changes to the generator, the objective or the
+//! solvers show up as test failures rather than silently shifted
+//! experiment results.
+//!
+//! If one of these fails after an *intentional* model change, update the
+//! constants — and say so in the changelog, because every number in
+//! EXPERIMENTS.md shifts with them.
+
+use tsajs_mec::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+fn scenario(seed: u64) -> Scenario {
+    let params = ExperimentParams::paper_default()
+        .with_users(12)
+        .with_workload(Cycles::from_mega(2000.0));
+    ScenarioGenerator::new(params).generate(seed).unwrap()
+}
+
+#[test]
+fn generator_channel_stream_is_pinned() {
+    let sc = scenario(42);
+    // First gain of the tensor and a couple of spot checks.
+    let g0 = sc
+        .gains()
+        .gain(UserId::new(0), ServerId::new(0), SubchannelId::new(0));
+    let g1 = sc
+        .gains()
+        .gain(UserId::new(11), ServerId::new(8), SubchannelId::new(2));
+    // These constants pin the placement + shadowing RNG streams.
+    assert!(
+        (g0.log10() - (-13.3818161366)).abs() < 1e-6,
+        "gain[0,0,0] stream moved: log10 = {}",
+        g0.log10()
+    );
+    assert!(
+        (g1.log10() - (-16.9710793577)).abs() < 1e-6,
+        "gain[11,8,2] stream moved: log10 = {}",
+        g1.log10()
+    );
+}
+
+#[test]
+fn objective_of_a_fixed_decision_is_pinned() {
+    let sc = scenario(42);
+    let mut x = Assignment::all_local(&sc);
+    x.assign(UserId::new(0), ServerId::new(0), SubchannelId::new(0))
+        .unwrap();
+    x.assign(UserId::new(1), ServerId::new(1), SubchannelId::new(0))
+        .unwrap();
+    x.assign(UserId::new(2), ServerId::new(1), SubchannelId::new(1))
+        .unwrap();
+    let j = Evaluator::new(&sc).objective(&x);
+    #[allow(clippy::excessive_precision)]
+    let expected = -21.114_946_092_927_901_6;
+    assert!(
+        (j - expected).abs() < TOL,
+        "objective moved: {j} (expected {expected})"
+    );
+}
+
+#[test]
+fn greedy_decision_is_pinned() {
+    let sc = scenario(42);
+    let solution = GreedySolver::new().solve(&sc).unwrap();
+    let expected = 2.051_803_601_834_282;
+    assert!(
+        (solution.utility - expected).abs() < TOL,
+        "greedy moved: {} (expected {expected})",
+        solution.utility
+    );
+    assert_eq!(solution.assignment.num_offloaded(), 3);
+}
+
+#[test]
+fn tsajs_quick_run_is_pinned() {
+    let sc = scenario(42);
+    let mut solver = TsajsSolver::new(
+        TtsaConfig::paper_default()
+            .with_min_temperature(1e-2)
+            .with_seed(7),
+    );
+    let solution = solver.solve(&sc).unwrap();
+    let expected = 2.051_803_601_834_282;
+    assert!(
+        (solution.utility - expected).abs() < TOL,
+        "tsajs moved: {} (expected {expected})",
+        solution.utility
+    );
+}

@@ -1,0 +1,74 @@
+//! A full "day in the life" integration test: generate a network, persist
+//! it as a spec, schedule it through the C-RAN controller service, certify
+//! the result against the upper bound, render it to SVG, then follow the
+//! users through a mobility episode with incremental re-scheduling.
+
+use rand::SeedableRng;
+use tsajs_mec::baselines::upper_bound;
+use tsajs_mec::controller::{SchedulerService, SchemeChoice};
+use tsajs_mec::mobility::{DynamicSimulation, MobilityConfig};
+use tsajs_mec::prelude::*;
+use tsajs_mec::system::ScenarioSpec;
+use tsajs_mec::topology::place_users_uniform;
+use tsajs_mec::viz::SvgScene;
+
+#[test]
+fn end_to_end_story() {
+    // 1. Build the network and keep the user positions for rendering.
+    let params = ExperimentParams::paper_default()
+        .with_users(14)
+        .with_workload(Cycles::from_mega(2000.0));
+    let generator = ScenarioGenerator::new(params);
+    let layout = generator.layout().unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let positions = place_users_uniform(&layout, 14, &mut rng);
+    let scenario = generator.generate_at(&positions, 77).unwrap();
+
+    // 2. Persist and reload through the spec — the reloaded instance must
+    //    behave identically.
+    let spec = ScenarioSpec::from_scenario(&scenario);
+    let reloaded = spec.into_scenario().unwrap();
+    assert_eq!(reloaded.gains(), scenario.gains());
+
+    // 3. Schedule through the controller service.
+    let service = SchedulerService::spawn();
+    let response = service
+        .schedule(reloaded, SchemeChoice::TsajsQuick, 77)
+        .unwrap();
+    let solution = &response.solution;
+    solution.assignment.verify_feasible(&scenario).unwrap();
+
+    // 4. Certify against the interference-free bound.
+    let bound = upper_bound(&scenario);
+    assert!(bound.assignment_bound >= solution.utility - 1e-9);
+    let quality = bound.quality(solution.utility);
+    assert!(
+        quality > 0.5,
+        "certified quality suspiciously low: {quality}"
+    );
+
+    // 5. Render the schedule.
+    let svg = SvgScene::new(&layout)
+        .with_users(&positions)
+        .with_assignment(&solution.assignment)
+        .render();
+    assert!(svg.contains("<polygon"));
+    assert_eq!(
+        svg.matches("<line").count(),
+        solution.assignment.num_offloaded(),
+        "one link per offloaded user"
+    );
+
+    // 6. Mobility episode with incremental re-scheduling.
+    let mut sim = DynamicSimulation::new(params, MobilityConfig::vehicular(), 77).unwrap();
+    let base = TtsaConfig::paper_default().with_min_temperature(1e-3);
+    let history = sim.run_incremental(4, base, 150).unwrap();
+    assert_eq!(history.epochs.len(), 4);
+    assert!(history.average_utility().is_finite());
+    // Refresh epochs stay within their budget (rounded up to an epoch).
+    for e in &history.epochs[1..] {
+        assert!(e.proposals <= 150 + base.inner_iterations as u64);
+    }
+
+    service.shutdown();
+}
