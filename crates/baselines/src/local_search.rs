@@ -1,6 +1,6 @@
 //! First-improvement hill climbing (the *LocalSearch* baseline).
 
-use mec_system::{Assignment, EvalScratch, Evaluator, Scenario, Solution, Solver, SolverStats};
+use mec_system::{Assignment, IncrementalObjective, Scenario, Solution, Solver, SolverStats};
 use mec_types::Error;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,6 +29,11 @@ impl LocalSearchSolver {
     pub const DEFAULT_MAX_ITERATIONS: u64 = 20_000;
     /// Default convergence patience (consecutive non-improving proposals).
     pub const DEFAULT_PATIENCE: u64 = 1_500;
+
+    /// Proposals between full re-synchronizations of the incremental
+    /// objective state (bounds floating-point drift; see
+    /// [`IncrementalObjective::resync`]).
+    const RESYNC_INTERVAL: u64 = 4_096;
 
     /// Creates the solver with default limits and the given seed.
     pub fn with_seed(seed: u64) -> Self {
@@ -59,32 +64,40 @@ impl Solver for LocalSearchSolver {
 
     fn solve(&mut self, scenario: &Scenario) -> Result<Solution, Error> {
         let start = Instant::now();
-        let evaluator = Evaluator::new(scenario);
         let kernel = NeighborhoodKernel::new();
 
-        let mut scratch = EvalScratch::default();
-        let mut current = Assignment::all_local(scenario);
+        // Delta-evaluation hot loop: propose a compact move, apply it to
+        // the maintained sums, and roll it back bit-exactly unless it
+        // improves — no clone and no full O(T·S) re-evaluation per
+        // proposal. Draw order matches the historical cloning loop.
+        let mut inc = IncrementalObjective::new(scenario, Assignment::all_local(scenario))?;
         let mut current_obj = 0.0;
         let mut evals: u64 = 0;
         let mut stale: u64 = 0;
         let mut iterations: u64 = 0;
 
         while iterations < self.max_iterations && stale < self.patience {
-            let (candidate, _) = kernel.propose(scenario, &current, &mut self.rng);
-            let obj = evaluator.objective_with(&candidate, &mut scratch);
+            let (mv, _) = kernel.propose_move(scenario, inc.assignment(), &mut self.rng);
+            inc.apply(&mv);
+            let obj = inc.current();
             evals += 1;
             iterations += 1;
             if obj > current_obj {
-                current = candidate;
+                inc.commit();
                 current_obj = obj;
                 stale = 0;
             } else {
+                inc.undo();
                 stale += 1;
+            }
+            if iterations.is_multiple_of(Self::RESYNC_INTERVAL) {
+                inc.resync();
+                current_obj = inc.current();
             }
         }
 
         Ok(Solution {
-            assignment: current,
+            assignment: inc.into_assignment(),
             utility: current_obj,
             stats: SolverStats {
                 objective_evaluations: evals,

@@ -1,13 +1,16 @@
 //! The objective-evaluation hot path: exact J*(X) at various populations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mec_system::{Assignment, Evaluator};
+use mec_system::{Assignment, Evaluator, IncrementalObjective};
 use mec_types::{ServerId, UserId};
 use mec_workloads::{ExperimentParams, ScenarioGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsajs::NeighborhoodKernel;
 
 fn bench_objective(c: &mut Criterion) {
     let mut group = c.benchmark_group("objective");
-    for users in [10usize, 50, 100] {
+    for users in [10usize, 50, 90, 100] {
         let generator = ScenarioGenerator::new(ExperimentParams::paper_default().with_users(users));
         let scenario = generator.generate(1).expect("scenario");
         // Populate roughly half the users.
@@ -26,6 +29,43 @@ fn bench_objective(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("full_evaluate", users), &x, |b, x| {
             b.iter(|| evaluator.evaluate(x).expect("evaluate"))
+        });
+        // Move generation alone (no evaluation): the cost shared by both
+        // proposal paths below, so their evaluation-only costs can be
+        // separated out.
+        group.bench_with_input(BenchmarkId::new("propose_only", users), &x, |b, x| {
+            let kernel = NeighborhoodKernel::new();
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| kernel.propose_move(&scenario, x, &mut rng))
+        });
+        // One full TTSA-style proposal on the historical path: clone the
+        // current decision, mutate the clone, and re-evaluate J*(X) from
+        // scratch. This is what the annealing inner loop paid per proposal
+        // before delta evaluation.
+        let kernel = NeighborhoodKernel::new();
+        group.bench_with_input(BenchmarkId::new("cloning_proposal", users), &x, |b, x| {
+            let mut scratch = mec_system::EvalScratch::default();
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let (candidate, _) = kernel.propose(&scenario, x, &mut rng);
+                evaluator.objective_with(&candidate, &mut scratch)
+            })
+        });
+        // One full TTSA-style proposal on the delta-evaluation path:
+        // propose a compact move, apply it to the maintained sums, read the
+        // objective, and roll it back bit-exactly. This is the per-proposal
+        // cost the annealing hot loop actually pays, to be compared against
+        // `cloning_proposal` (the historical clone + re-evaluation cost).
+        group.bench_with_input(BenchmarkId::new("incremental_delta", users), &x, |b, x| {
+            let mut inc = IncrementalObjective::new(&scenario, x.clone()).expect("feasible");
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let (mv, _) = kernel.propose_move(&scenario, inc.assignment(), &mut rng);
+                inc.apply(&mv);
+                let obj = inc.current();
+                inc.undo();
+                obj
+            })
         });
     }
     group.finish();

@@ -7,7 +7,7 @@ use mec_workloads::{ExperimentParams, ScenarioGenerator};
 fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers");
     group.sample_size(10);
-    for users in [10usize, 30, 50] {
+    for users in [10usize, 30, 50, 90] {
         let generator = ScenarioGenerator::new(ExperimentParams::paper_default().with_users(users));
         let scenario = generator.generate(1).expect("scenario");
 

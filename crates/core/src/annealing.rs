@@ -3,7 +3,7 @@
 use crate::config::{Cooling, InitialSolution, InitialTemperature, TtsaConfig};
 use crate::moves::NeighborhoodKernel;
 use crate::trace::{EpochRecord, SearchTrace};
-use mec_system::{Assignment, EvalScratch, Evaluator, Scenario};
+use mec_system::{Assignment, IncrementalObjective, Scenario};
 use mec_types::{ServerId, UserId};
 use rand::Rng;
 
@@ -69,6 +69,11 @@ pub fn anneal<R: Rng + ?Sized>(
     anneal_from(scenario, config, kernel, rng, initial)
 }
 
+/// Proposal budget between full re-synchronizations of the incremental
+/// objective state (bounds floating-point drift; matches
+/// `LocalSearchSolver::RESYNC_INTERVAL`). Checked at epoch boundaries.
+const RESYNC_INTERVAL: u64 = 4_096;
+
 /// [`anneal`] with an explicit starting decision (warm start): the
 /// incremental re-scheduling path, where the previous epoch's schedule
 /// seeds the walk and a tight [`proposal_budget`] makes the refresh
@@ -90,10 +95,6 @@ pub fn anneal_from<R: Rng + ?Sized>(
     config
         .validate()
         .expect("TtsaConfig must be valid; call validate() first");
-    initial
-        .verify_feasible(scenario)
-        .expect("warm-start decision must fit the scenario");
-    let evaluator = Evaluator::new(scenario);
 
     // Line 3: T ← N (or an explicit override).
     let mut temperature = match config.initial_temperature {
@@ -107,15 +108,19 @@ pub fn anneal_from<R: Rng + ?Sized>(
         Cooling::Geometric { .. } => u64::MAX,
     };
 
-    // Line 5-6: the (possibly warm) initial feasible solution.
-    let mut scratch = EvalScratch::default();
-    let mut current = initial;
-    let mut current_obj = evaluator.objective_with(&current, &mut scratch);
-    let mut best = current.clone();
+    // Line 5-6: the (possibly warm) initial feasible solution, held as
+    // incremental delta-evaluation state: each proposal below costs
+    // O(S · affected subchannels) instead of a clone plus a full O(T·S)
+    // re-evaluation.
+    let mut inc = IncrementalObjective::new(scenario, initial)
+        .expect("warm-start decision must fit the scenario");
+    let mut current_obj = inc.current();
+    let mut best = inc.assignment().clone();
     let mut best_obj = current_obj;
 
     let mut count: u64 = 0; // Accepted-worse counter (line 4).
     let mut proposals: u64 = 0;
+    let mut last_resync: u64 = 0;
     let mut epochs: u64 = 0;
     let mut trace = config.record_trace.then(SearchTrace::default);
 
@@ -127,27 +132,46 @@ pub fn anneal_from<R: Rng + ?Sized>(
         let mut accepted_worse_epoch: u32 = 0;
         let mut accepted_better_epoch: u32 = 0;
 
-        // Lines 9-25: L proposals at this temperature.
+        // Lines 9-25: L proposals at this temperature, each evaluated as a
+        // delta against the maintained state and rolled back bit-exactly on
+        // rejection. The RNG draw order matches the historical clone-and-
+        // re-evaluate loop, so seeded trajectories are preserved.
         for _ in 0..config.inner_iterations {
-            let (candidate, _kind) = kernel.propose(scenario, &current, rng);
-            let candidate_obj = evaluator.objective_with(&candidate, &mut scratch);
+            let (mv, _kind) = kernel.propose_move(scenario, inc.assignment(), rng);
+            inc.apply(&mv);
+            let candidate_obj = inc.current();
             proposals += 1;
             let delta = candidate_obj - current_obj;
             if delta > 0.0 {
-                current = candidate;
+                inc.commit();
                 current_obj = candidate_obj;
                 accepted_better_epoch += 1;
                 if current_obj > best_obj {
-                    best = current.clone();
+                    best.clone_from(inc.assignment());
                     best_obj = current_obj;
                 }
             } else if (delta / temperature).exp() > rng.gen::<f64>() {
                 // Metropolis acceptance of a worsening move (line 20-22).
-                current = candidate;
+                inc.commit();
                 current_obj = candidate_obj;
                 count += 1;
                 accepted_worse_epoch += 1;
+            } else {
+                inc.undo();
             }
+        }
+
+        // Drift control: re-synchronize the incremental sums against the
+        // assignment to discard the floating-point drift accumulated by
+        // the accepted in-place updates (~ulp per accepted move; the
+        // equivalence property test bounds it below 1e-9 relative over
+        // long walks). Epochs are short, so resyncing each one would cost
+        // more than the proposals it guards — every `RESYNC_INTERVAL`
+        // proposals matches the LocalSearch baseline's policy.
+        if proposals - last_resync >= RESYNC_INTERVAL {
+            inc.resync();
+            current_obj = inc.current();
+            last_resync = proposals;
         }
 
         // Lines 26-30: threshold-triggered cooling.
@@ -205,7 +229,7 @@ pub fn anneal_from<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use mec_radio::{ChannelGains, OfdmaConfig};
-    use mec_system::UserSpec;
+    use mec_system::{Evaluator, UserSpec};
     use mec_types::{Cycles, Hertz, ServerProfile, Watts};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -15,7 +15,7 @@
 //! "allocate one randomly if none are free" evicts the previous occupant
 //! to local execution so constraint (12d) can never be violated.
 
-use mec_system::{Assignment, Scenario};
+use mec_system::{Assignment, MoveDesc, Scenario};
 use mec_types::{ServerId, SubchannelId, UserId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -97,34 +97,58 @@ impl NeighborhoodKernel {
     /// Produces a neighbor of `current` (Algorithm 2). Returns the mutated
     /// copy and the move kind applied.
     ///
-    /// Every returned assignment is feasible by construction.
+    /// Every returned assignment is feasible by construction. This is the
+    /// cloning convenience wrapper over [`propose_move`]; search hot loops
+    /// use `propose_move` directly with an
+    /// [`IncrementalObjective`](mec_system::IncrementalObjective) so a
+    /// proposal costs neither a clone nor a full re-evaluation. Both paths
+    /// consume the identical RNG stream.
+    ///
+    /// [`propose_move`]: Self::propose_move
     pub fn propose<R: Rng + ?Sized>(
         &self,
         scenario: &Scenario,
         current: &Assignment,
         rng: &mut R,
     ) -> (Assignment, MoveKind) {
+        let (mv, kind) = self.propose_move(scenario, current, rng);
         let mut next = current.clone();
+        mv.apply_to(&mut next)
+            .expect("proposed moves are feasible against the decision they were built for");
+        (next, kind)
+    }
+
+    /// In-place variant of [`propose`](Self::propose): draws the same move
+    /// from the same RNG stream but returns it as a compact [`MoveDesc`]
+    /// (at most four primitive assign/release ops) instead of a mutated
+    /// clone of `current`.
+    pub fn propose_move<R: Rng + ?Sized>(
+        &self,
+        scenario: &Scenario,
+        current: &Assignment,
+        rng: &mut R,
+    ) -> (MoveDesc, MoveKind) {
         let user = UserId::new(rng.gen_range(0..scenario.num_users()));
         let r: f64 = rng.gen();
 
-        let kind = if r > self.mix.swap_below {
+        if r > self.mix.swap_below {
             if r < self.mix.move_server_below || scenario.num_subchannels() == 1 {
-                self.move_server(scenario, &mut next, user, rng);
-                MoveKind::MoveServer
+                (
+                    self.move_server(scenario, current, user, rng),
+                    MoveKind::MoveServer,
+                )
             } else {
-                self.change_subchannel(scenario, &mut next, user, rng);
-                MoveKind::ChangeSubchannel
+                (
+                    self.change_subchannel(scenario, current, user, rng),
+                    MoveKind::ChangeSubchannel,
+                )
             }
         } else if r > self.mix.toggle_below {
             let other = self.pick_other_user(scenario, user, rng);
-            next.swap(user, other);
-            MoveKind::Swap
+            (MoveDesc::swap(current, user, other), MoveKind::Swap)
         } else {
-            self.toggle(scenario, &mut next, user, rng);
-            MoveKind::Toggle
-        };
-        (next, kind)
+            (self.toggle(scenario, current, user, rng), MoveKind::Toggle)
+        }
     }
 
     fn pick_other_user<R: Rng + ?Sized>(
@@ -147,20 +171,25 @@ impl NeighborhoodKernel {
     /// Attach `user` to `(server, j)` where `j` is a free subchannel if one
     /// exists, otherwise a uniformly random one whose occupant gets evicted
     /// to local execution.
+    ///
+    /// Draw-compatible with the historical cloning implementation: the
+    /// free-slot pick is `gen_range(0..free_count)` and the eviction pick
+    /// is the same rejection loop, so seeded runs are unchanged.
     fn attach<R: Rng + ?Sized>(
         &self,
         scenario: &Scenario,
-        x: &mut Assignment,
+        x: &Assignment,
         user: UserId,
         server: ServerId,
         exclude: Option<SubchannelId>,
         rng: &mut R,
-    ) {
-        let mut free = x.free_subchannels(server);
-        if let Some(ex) = exclude {
-            free.retain(|j| *j != ex);
-        }
-        let j = if free.is_empty() {
+    ) -> MoveDesc {
+        let is_free = |j: SubchannelId| x.occupant(server, j).is_none() && exclude != Some(j);
+        let free_count = (0..scenario.num_subchannels())
+            .map(SubchannelId::new)
+            .filter(|j| is_free(*j))
+            .count();
+        let j = if free_count == 0 {
             // "Allocate one randomly if none are free" — pick any (except
             // the excluded one) and evict its occupant.
             loop {
@@ -170,25 +199,28 @@ impl NeighborhoodKernel {
                 }
             }
         } else {
-            free[rng.gen_range(0..free.len())]
+            let pick = rng.gen_range(0..free_count);
+            (0..scenario.num_subchannels())
+                .map(SubchannelId::new)
+                .filter(|j| is_free(*j))
+                .nth(pick)
+                .expect("pick is below the free count")
         };
-        x.assign_evicting(user, server, j)
-            .expect("ids validated by construction");
+        MoveDesc::relocate_evicting(x, user, server, j)
     }
 
     fn move_server<R: Rng + ?Sized>(
         &self,
         scenario: &Scenario,
-        x: &mut Assignment,
+        x: &Assignment,
         user: UserId,
         rng: &mut R,
-    ) {
+    ) -> MoveDesc {
         let current_server = x.slot(user).map(|(s, _)| s);
         if scenario.num_servers() == 1 && current_server.is_some() {
             // No "other" server exists; fall back to a subchannel change so
             // the proposal still explores.
-            self.change_subchannel(scenario, x, user, rng);
-            return;
+            return self.change_subchannel(scenario, x, user, rng);
         }
         let target = loop {
             let s = ServerId::new(rng.gen_range(0..scenario.num_servers()));
@@ -196,28 +228,30 @@ impl NeighborhoodKernel {
                 break s;
             }
         };
-        self.attach(scenario, x, user, target, None, rng);
+        self.attach(scenario, x, user, target, None, rng)
     }
 
     fn change_subchannel<R: Rng + ?Sized>(
         &self,
         scenario: &Scenario,
-        x: &mut Assignment,
+        x: &Assignment,
         user: UserId,
         rng: &mut R,
-    ) {
+    ) -> MoveDesc {
         match x.slot(user) {
             Some((s, j)) => {
                 if scenario.num_subchannels() > 1 {
-                    self.attach(scenario, x, user, s, Some(j), rng);
+                    self.attach(scenario, x, user, s, Some(j), rng)
+                } else {
+                    // K == 1: Algorithm 2 leaves X unchanged.
+                    MoveDesc::noop()
                 }
-                // K == 1: Algorithm 2 leaves X unchanged (no else-branch).
             }
             None => {
                 // Local target user: interpret as "start offloading" to a
                 // random server (DESIGN.md interpretation note 1).
                 let s = ServerId::new(rng.gen_range(0..scenario.num_servers()));
-                self.attach(scenario, x, user, s, None, rng);
+                self.attach(scenario, x, user, s, None, rng)
             }
         }
     }
@@ -225,15 +259,15 @@ impl NeighborhoodKernel {
     fn toggle<R: Rng + ?Sized>(
         &self,
         scenario: &Scenario,
-        x: &mut Assignment,
+        x: &Assignment,
         user: UserId,
         rng: &mut R,
-    ) {
+    ) -> MoveDesc {
         if x.is_offloaded(user) {
-            x.release(user);
+            MoveDesc::relocate(x, user, None)
         } else {
             let s = ServerId::new(rng.gen_range(0..scenario.num_servers()));
-            self.attach(scenario, x, user, s, None, rng);
+            self.attach(scenario, x, user, s, None, rng)
         }
     }
 }

@@ -66,9 +66,12 @@ impl Assignment {
         }
     }
 
+    // Per-subchannel layout (`[j][s]`): the incremental evaluator refreshes
+    // every occupant of one subchannel across servers, so that scan walks
+    // contiguous memory.
     #[inline]
     fn occ_index(&self, s: ServerId, j: SubchannelId) -> usize {
-        s.index() * self.num_subchannels + j.index()
+        j.index() * self.num_servers + s.index()
     }
 
     fn check_ids(&self, u: UserId, s: ServerId, j: SubchannelId) -> Result<(), Error> {
@@ -197,6 +200,17 @@ impl Assignment {
         let idx = self.occ_index(s, j);
         self.occupancy[idx] = Some(u);
         Ok(())
+    }
+
+    /// Re-applies a logged `Assign` op without feasibility checks — the
+    /// undo path of the incremental evaluator, whose inverse ops are valid
+    /// by construction (checked in debug builds).
+    pub(crate) fn restore_assign(&mut self, u: UserId, s: ServerId, j: SubchannelId) {
+        debug_assert!(self.slots[u.index()].is_none(), "user already offloads");
+        let idx = self.occ_index(s, j);
+        debug_assert!(self.occupancy[idx].is_none(), "slot occupied");
+        self.slots[u.index()] = Some((s, j));
+        self.occupancy[idx] = Some(u);
     }
 
     /// Releases user `u` back to local execution, returning its previous

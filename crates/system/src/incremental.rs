@@ -1,0 +1,1098 @@
+//! Incremental (delta) evaluation of `J*(X)` for search hot loops.
+//!
+//! [`Evaluator::objective_with`] recomputes the whole objective from
+//! scratch: `O(T·S)` for the received-power totals plus `O(T)` for the
+//! cost sums, for every candidate. But a neighborhood move touches at
+//! most four `(server, subchannel)` slots, and `J*(X)` decomposes into
+//! sums whose terms depend only on local state:
+//!
+//! * the benefit sum `Σ (gain_u − download_u)` — `O(1)` per join/leave;
+//! * the execution cost `Λ = Σ_s (Σ_{u∈U_s} √η_u)²/f_s` — `O(1)` per
+//!   affected server;
+//! * the uplink cost `Γ = Σ_u (φ_u + ψ_u·p_u)/log2(1+γ_u)` — a user's
+//!   SINR depends only on the totals `T[s][j] = Σ_{k on j} p_k·h[k][s][j]`
+//!   of its own subchannel, so a membership change on subchannel `j`
+//!   invalidates exactly the Γ terms of users transmitting on `j`.
+//!
+//! [`IncrementalObjective`] keeps all of that as persistent state and
+//! exposes [`apply`](IncrementalObjective::apply) /
+//! [`undo`](IncrementalObjective::undo): a proposal costs
+//! `O(S · |affected subchannels|)` instead of `O(T·S)`, with no
+//! allocation after warm-up. [`MoveDesc`] is the compact move language
+//! the kernels speak — at most four primitive assign/release operations.
+//!
+//! ## Exactness and drift
+//!
+//! `undo` restores state *bit-exactly*. Expensive per-slot refreshes
+//! (totals, fresh Γ terms) are write-behind: buffered as new values in
+//! the move log, flushed into the persistent arrays only on commit, so
+//! a reject simply drops them. The few eager writes (retiring a moved
+//! user's Γ term, its cached signal, the server `Σ√η` sums, the mutated
+//! assignment) journal their old values and are replayed in reverse;
+//! scalar sums restore from snapshots. Rejected proposals therefore
+//! leave no trace. Accepted moves update the sums in place, which
+//! accumulates floating-point drift relative to a fresh evaluation — on
+//! the order of an ulp per accepted move. Callers bound it by calling
+//! [`resync`](IncrementalObjective::resync) periodically (the TTSA and
+//! local-search loops do so every 4096 proposals); a property test in
+//! `tests/proptests.rs` pins the drift below `1e-9` relative.
+
+use crate::assignment::Assignment;
+use crate::scenario::Scenario;
+use mec_types::{Error, ServerId, SubchannelId, UserId};
+
+/// One primitive mutation of an [`Assignment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimOp {
+    /// Attach `user` (currently local) to the free slot `(server, subchannel)`.
+    Assign {
+        /// The user to attach.
+        user: UserId,
+        /// Target server.
+        server: ServerId,
+        /// Target subchannel.
+        subchannel: SubchannelId,
+    },
+    /// Release `user` (currently offloaded) back to local execution.
+    Release {
+        /// The user to release.
+        user: UserId,
+    },
+}
+
+/// The most primitive operations any neighborhood move decomposes into
+/// (a swap of two offloaded users: two releases plus two assigns).
+pub const MAX_MOVE_OPS: usize = 4;
+
+/// A compact, allocation-free description of one neighborhood move: a
+/// sequence of at most [`MAX_MOVE_OPS`] primitive operations that is
+/// valid when applied in order against the assignment it was built for.
+///
+/// Constructors take the current assignment so the op sequence respects
+/// the mid-sequence invariants (`Assign` targets a free slot and a local
+/// user, `Release` targets an offloaded user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MoveDesc {
+    ops: [Option<PrimOp>; MAX_MOVE_OPS],
+    len: u8,
+}
+
+impl MoveDesc {
+    /// The empty move (e.g. a swap of two local users).
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Appends a primitive op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move already holds [`MAX_MOVE_OPS`] ops.
+    pub fn push(&mut self, op: PrimOp) {
+        let i = self.len as usize;
+        assert!(i < MAX_MOVE_OPS, "a move holds at most {MAX_MOVE_OPS} ops");
+        self.ops[i] = Some(op);
+        self.len += 1;
+    }
+
+    /// The ops, in application order.
+    pub fn ops(&self) -> impl Iterator<Item = PrimOp> + '_ {
+        self.ops
+            .iter()
+            .take(self.len as usize)
+            .map(|op| op.expect("ops below len are set"))
+    }
+
+    /// Number of primitive ops.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the move changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the move changes nothing (alias of [`is_empty`](Self::is_empty)).
+    pub fn is_noop(&self) -> bool {
+        self.is_empty()
+    }
+
+    /// Moves `user` to `target` (`None` = back to local execution),
+    /// assuming the target slot is free in `x`.
+    pub fn relocate(
+        x: &Assignment,
+        user: UserId,
+        target: Option<(ServerId, SubchannelId)>,
+    ) -> Self {
+        let mut mv = Self::noop();
+        if x.slot(user) == target {
+            return mv;
+        }
+        if x.is_offloaded(user) {
+            mv.push(PrimOp::Release { user });
+        }
+        if let Some((server, subchannel)) = target {
+            mv.push(PrimOp::Assign {
+                user,
+                server,
+                subchannel,
+            });
+        }
+        mv
+    }
+
+    /// Moves `user` to `(server, subchannel)`, evicting the slot's current
+    /// occupant (if any) to local execution — the kernel's realization of
+    /// Algorithm 2's "allocate one randomly if none are free".
+    pub fn relocate_evicting(
+        x: &Assignment,
+        user: UserId,
+        server: ServerId,
+        subchannel: SubchannelId,
+    ) -> Self {
+        let mut mv = Self::noop();
+        if x.slot(user) == Some((server, subchannel)) {
+            return mv;
+        }
+        if let Some(victim) = x.occupant(server, subchannel) {
+            mv.push(PrimOp::Release { user: victim });
+        }
+        if x.is_offloaded(user) {
+            mv.push(PrimOp::Release { user });
+        }
+        mv.push(PrimOp::Assign {
+            user,
+            server,
+            subchannel,
+        });
+        mv
+    }
+
+    /// Exchanges the slots of `a` and `b` (either may be local), matching
+    /// [`Assignment::swap`].
+    pub fn swap(x: &Assignment, a: UserId, b: UserId) -> Self {
+        let mut mv = Self::noop();
+        if a == b {
+            return mv;
+        }
+        let slot_a = x.slot(a);
+        let slot_b = x.slot(b);
+        if slot_a.is_none() && slot_b.is_none() {
+            return mv;
+        }
+        if slot_a.is_some() {
+            mv.push(PrimOp::Release { user: a });
+        }
+        if slot_b.is_some() {
+            mv.push(PrimOp::Release { user: b });
+        }
+        if let Some((server, subchannel)) = slot_b {
+            mv.push(PrimOp::Assign {
+                user: a,
+                server,
+                subchannel,
+            });
+        }
+        if let Some((server, subchannel)) = slot_a {
+            mv.push(PrimOp::Assign {
+                user: b,
+                server,
+                subchannel,
+            });
+        }
+        mv
+    }
+
+    /// Applies the move to a plain assignment (no incremental state).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an op violates feasibility — i.e. the move was built for a
+    /// different assignment. The assignment may be partially mutated on
+    /// error.
+    pub fn apply_to(&self, x: &mut Assignment) -> Result<(), Error> {
+        for op in self.ops() {
+            match op {
+                PrimOp::Assign {
+                    user,
+                    server,
+                    subchannel,
+                } => x.assign(user, server, subchannel)?,
+                PrimOp::Release { user } => {
+                    if x.release(user).is_none() {
+                        return Err(Error::InfeasibleAssignment(format!(
+                            "release of local user {user} in a MoveDesc"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Log of the last [`IncrementalObjective::apply`]: totals and Γ writes are
+/// buffered here (write-behind) and only flushed into the persistent arrays
+/// by [`commit`](IncrementalObjective::commit), so
+/// [`undo`](IncrementalObjective::undo) merely drops them — a rejected
+/// proposal never touches the big arrays at all. The scalar sums and the
+/// per-server Λ state *are* updated eagerly (they feed
+/// [`current`](IncrementalObjective::current)), so their old values are
+/// snapshotted for a bit-exact rollback. Buffers are reused across moves, so
+/// steady-state applies do not allocate.
+#[derive(Debug, Clone, Default)]
+struct MoveLog {
+    valid: bool,
+    /// New values of every totals row the move rewrites — one group of
+    /// `num_servers` values per entry of `touched_subs`, in the same
+    /// order — flushed on commit.
+    new_totals: Vec<f64>,
+    /// Subchannel index of each buffered totals row in `new_totals`.
+    touched_subs: Vec<usize>,
+    /// `(user, new Γ term, new non-finite flag)` of every Γ term the move
+    /// writes, flushed on commit.
+    new_gammas: Vec<(usize, f64, bool)>,
+    /// `(user, old Γ term, old non-finite flag)` of the moved users whose
+    /// Γ terms were retired eagerly, replayed in reverse on undo.
+    old_gammas: Vec<(usize, f64, bool)>,
+    /// `(user, old cached signal)` of the moved users whose `p·h` cache was
+    /// rewritten eagerly, replayed in reverse on undo.
+    old_signals: Vec<(usize, f64)>,
+    /// `(server, old Σ√η, old user count)` of every server sum written
+    /// eagerly, replayed in reverse on undo.
+    servers: Vec<(usize, f64, u32)>,
+    /// Inverse assignment ops, in undo order.
+    inverse: MoveDesc,
+    gain_sum: f64,
+    gamma_sum: f64,
+    lambda_sum: f64,
+    nonfinite: u32,
+    num_offloaded: usize,
+}
+
+/// Persistent incremental state for `J*(X)` (Eq. 24) over one scenario.
+///
+/// Owns the current [`Assignment`] and keeps the per-`(s,j)` received-power
+/// totals, per-user cached Γ terms, per-server `Σ√η` sums and the benefit
+/// sum synchronized with it under [`apply`](Self::apply) /
+/// [`undo`](Self::undo).
+///
+/// # Example
+///
+/// ```
+/// use mec_radio::{ChannelGains, OfdmaConfig};
+/// use mec_system::{Assignment, Evaluator, IncrementalObjective, MoveDesc, Scenario, UserSpec};
+/// use mec_types::*;
+///
+/// # fn main() -> std::result::Result<(), mec_types::Error> {
+/// let scenario = Scenario::new(
+///     vec![UserSpec::paper_default_with_workload(Cycles::from_mega(1000.0))?; 2],
+///     vec![ServerProfile::paper_default(); 1],
+///     OfdmaConfig::new(Hertz::from_mega(20.0), 2)?,
+///     ChannelGains::uniform(2, 1, 2, 1e-10)?,
+///     Watts::new(1e-13),
+/// )?;
+/// let mut inc = IncrementalObjective::new(&scenario, Assignment::all_local(&scenario))?;
+/// assert_eq!(inc.current(), 0.0);
+///
+/// let mv = MoveDesc::relocate(
+///     inc.assignment(),
+///     UserId::new(0),
+///     Some((ServerId::new(0), SubchannelId::new(0))),
+/// );
+/// let delta = inc.apply(&mv);
+/// assert!((inc.current() - delta).abs() < 1e-12);
+/// assert!((inc.current() - Evaluator::new(&scenario).objective(inc.assignment())).abs() < 1e-12);
+/// inc.undo();
+/// assert_eq!(inc.current(), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalObjective<'a> {
+    scenario: &'a Scenario,
+    x: Assignment,
+    num_sub: usize,
+    noise: f64,
+    // Per-user constants, hoisted out of the hot loop.
+    sqrt_eta: Vec<f64>,
+    /// `φ_u + ψ_u·p_u`, the numerator of the Γ term.
+    gamma_num: Vec<f64>,
+    /// `gain_constant − download_cost`, the benefit of offloading `u`.
+    gain_const: Vec<f64>,
+    capacity: Vec<f64>,
+    /// Weighted gains `p_u·h[u][s][j]`, laid out `[u][j][s]` so the fused
+    /// totals pass sweeps a contiguous per-server row per op.
+    wgain: Vec<f64>,
+    // Persistent sums.
+    /// `totals[j·S + s] = Σ_{k transmitting on j} p_k·h[k][s][j]` — the
+    /// per-subchannel layout keeps each row the hot loops touch contiguous.
+    totals: Vec<f64>,
+    /// Cached Γ term per user (`0.0` for local users and non-finite terms).
+    gamma_of: Vec<f64>,
+    /// Cached received signal `p_u·h[u][s][j]` of each user at its current
+    /// slot (stale while local — only read for slot occupants).
+    signal_of: Vec<f64>,
+    /// Whether a user's Γ term is non-finite (zero SINR ⇒ `+∞` cost).
+    gamma_bad: Vec<bool>,
+    /// `Σ_{u∈U_s} √η_u` per server.
+    sum_sqrt_eta: Vec<f64>,
+    users_on: Vec<u32>,
+    gain_sum: f64,
+    gamma_sum: f64,
+    lambda_sum: f64,
+    nonfinite: u32,
+    num_offloaded: usize,
+    log: MoveLog,
+}
+
+impl<'a> IncrementalObjective<'a> {
+    /// Builds the incremental state for `x` in `O(T·S)` — the same cost as
+    /// one full evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `x` does not fit the scenario's geometry.
+    pub fn new(scenario: &'a Scenario, x: Assignment) -> Result<Self, Error> {
+        x.verify_feasible(scenario)?;
+        let users = scenario.num_users();
+        let servers = scenario.num_servers();
+        let num_sub = scenario.num_subchannels();
+        let powers = scenario.tx_powers_watts();
+        let gains = scenario.gains();
+        let mut wgain = vec![0.0; users * num_sub * servers];
+        for u in 0..users {
+            for j in 0..num_sub {
+                for s in 0..servers {
+                    wgain[(u * num_sub + j) * servers + s] = powers[u]
+                        * gains.gain(UserId::new(u), ServerId::new(s), SubchannelId::new(j));
+                }
+            }
+        }
+        let mut inc = Self {
+            scenario,
+            x,
+            num_sub,
+            noise: scenario.noise().as_watts(),
+            sqrt_eta: (0..users)
+                .map(|u| scenario.coefficients(UserId::new(u)).eta.sqrt())
+                .collect(),
+            gamma_num: (0..users)
+                .map(|u| {
+                    let c = scenario.coefficients(UserId::new(u));
+                    c.phi + c.psi * powers[u]
+                })
+                .collect(),
+            gain_const: (0..users)
+                .map(|u| {
+                    let c = scenario.coefficients(UserId::new(u));
+                    c.gain_constant - c.download_cost
+                })
+                .collect(),
+            capacity: (0..servers)
+                .map(|s| scenario.server(ServerId::new(s)).capacity().as_hz())
+                .collect(),
+            wgain,
+            totals: vec![0.0; servers * num_sub],
+            gamma_of: vec![0.0; users],
+            signal_of: vec![0.0; users],
+            gamma_bad: vec![false; users],
+            sum_sqrt_eta: vec![0.0; servers],
+            users_on: vec![0; servers],
+            gain_sum: 0.0,
+            gamma_sum: 0.0,
+            lambda_sum: 0.0,
+            nonfinite: 0,
+            num_offloaded: 0,
+            log: MoveLog::with_capacity(servers),
+        };
+        inc.resync();
+        Ok(inc)
+    }
+
+    /// The scenario this state is bound to.
+    pub fn scenario(&self) -> &'a Scenario {
+        self.scenario
+    }
+
+    /// The current decision.
+    pub fn assignment(&self) -> &Assignment {
+        &self.x
+    }
+
+    /// Consumes the state, returning the current decision.
+    pub fn into_assignment(self) -> Assignment {
+        self.x
+    }
+
+    /// The current `J*(X)`: `0.0` for the all-local decision, `−∞` when any
+    /// offloaded user has a non-finite Γ term (zero SINR), otherwise the
+    /// maintained `gain − Γ − Λ`.
+    #[inline]
+    pub fn current(&self) -> f64 {
+        if self.num_offloaded == 0 {
+            return 0.0;
+        }
+        if self.nonfinite > 0 {
+            return f64::NEG_INFINITY;
+        }
+        self.gain_sum - self.gamma_sum - self.lambda_sum
+    }
+
+    /// The contiguous weighted-gain row `p_u·h[u][·][j]` over all servers.
+    #[inline]
+    fn wgain_row(&self, u: usize, j: usize) -> &[f64] {
+        let servers = self.capacity.len();
+        &self.wgain[(u * self.num_sub + j) * servers..][..servers]
+    }
+
+    /// Λ term of one server from its current `Σ√η` sum (Eq. 23).
+    #[inline]
+    fn lambda_term(&self, s: usize) -> f64 {
+        let sum = self.sum_sqrt_eta[s];
+        if sum > 0.0 {
+            sum * sum / self.capacity[s]
+        } else {
+            0.0
+        }
+    }
+
+    /// Rebuilds every sum from the assignment, discarding accumulated
+    /// drift and any pending undo state. Iterates in the same order as
+    /// [`Evaluator::objective_with`] so the rebuilt value tracks the
+    /// reference as closely as summation order allows.
+    ///
+    /// [`Evaluator::objective_with`]: crate::Evaluator::objective_with
+    pub fn resync(&mut self) {
+        self.log.discard();
+        let servers = self.scenario.num_servers();
+        self.totals.iter_mut().for_each(|t| *t = 0.0);
+        for (u, _, j) in self.x.offloaded() {
+            let row = (u.index() * self.num_sub + j.index()) * servers;
+            for s in 0..servers {
+                self.totals[j.index() * servers + s] += self.wgain[row + s];
+            }
+        }
+
+        self.gain_sum = 0.0;
+        self.gamma_sum = 0.0;
+        self.nonfinite = 0;
+        self.num_offloaded = 0;
+        self.gamma_of.iter_mut().for_each(|g| *g = 0.0);
+        self.gamma_bad.iter_mut().for_each(|b| *b = false);
+        for (u, s, j) in self.x.offloaded() {
+            self.num_offloaded += 1;
+            self.gain_sum += self.gain_const[u.index()];
+            self.signal_of[u.index()] = self.wgain_row(u.index(), j.index())[s.index()];
+            let term = self.gamma_term(u, s, j);
+            if term.is_finite() {
+                self.gamma_sum += term;
+                self.gamma_of[u.index()] = term;
+            } else {
+                self.gamma_bad[u.index()] = true;
+                self.nonfinite += 1;
+            }
+        }
+
+        self.lambda_sum = 0.0;
+        for s in 0..servers {
+            let mut sum = 0.0;
+            let mut count = 0;
+            for j in 0..self.num_sub {
+                if let Some(u) = self.x.occupant(ServerId::new(s), SubchannelId::new(j)) {
+                    sum += self.sqrt_eta[u.index()];
+                    count += 1;
+                }
+            }
+            self.sum_sqrt_eta[s] = sum;
+            self.users_on[s] = count;
+            self.lambda_sum += self.lambda_term(s);
+        }
+    }
+
+    /// The Γ term of user `u` transmitting at `(s, j)`, from the current
+    /// totals — the exact expression of the reference evaluator.
+    #[inline]
+    fn gamma_term(&self, u: UserId, s: ServerId, j: SubchannelId) -> f64 {
+        let signal = self.wgain_row(u.index(), j.index())[s.index()];
+        let interference =
+            (self.totals[j.index() * self.capacity.len() + s.index()] - signal).max(0.0);
+        let sinr = signal / (interference + self.noise);
+        self.gamma_num[u.index()] / (1.0 + sinr).log2()
+    }
+
+    /// Applies `mv` to the assignment and all sums, returning
+    /// `J*(X_new) − J*(X_old)`. Writes to the totals and Γ arrays are
+    /// buffered; call [`undo`](Self::undo) to roll back bit-exactly or
+    /// [`commit`](Self::commit) to flush them. Applying a new move
+    /// implicitly commits the previous one.
+    ///
+    /// Cost: `O(S)` per primitive op (totals update) plus `O(S)` per
+    /// distinct affected subchannel (Γ refresh) — independent of the
+    /// number of transmitters `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op is invalid against the current assignment (the
+    /// move was built for a different decision).
+    pub fn apply(&mut self, mv: &MoveDesc) -> f64 {
+        self.commit();
+        let before = self.current();
+        self.log.begin(
+            self.gain_sum,
+            self.gamma_sum,
+            self.lambda_sum,
+            self.nonfinite,
+            self.num_offloaded,
+        );
+
+        // Subchannels whose membership changed: every user transmitting on
+        // one of them needs its Γ term refreshed.
+        let mut touched: [Option<SubchannelId>; MAX_MOVE_OPS] = [None; MAX_MOVE_OPS];
+        let mut touch = |j: SubchannelId| {
+            for slot in touched.iter_mut() {
+                match slot {
+                    Some(seen) if *seen == j => return,
+                    None => {
+                        *slot = Some(j);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        };
+        // Power contributions to fold into the totals, in op order:
+        // `(user, subchannel, joined)`. Kept out of `leave`/`join` so the
+        // totals pass below can journal each affected `(s, j)` slot once
+        // instead of once per op.
+        let mut changes: [Option<(UserId, SubchannelId, bool)>; MAX_MOVE_OPS] =
+            [None; MAX_MOVE_OPS];
+        let mut num_changes = 0usize;
+
+        for op in mv.ops() {
+            match op {
+                PrimOp::Release { user } => {
+                    let (s, j) = self
+                        .x
+                        .release(user)
+                        .expect("MoveDesc releases an offloaded user");
+                    self.leave(user, s);
+                    touch(j);
+                    changes[num_changes] = Some((user, j, false));
+                    self.log.inverse.push(PrimOp::Assign {
+                        user,
+                        server: s,
+                        subchannel: j,
+                    });
+                }
+                PrimOp::Assign {
+                    user,
+                    server,
+                    subchannel,
+                } => {
+                    self.x
+                        .assign(user, server, subchannel)
+                        .expect("MoveDesc assigns into a free slot");
+                    self.join(user, server, subchannel);
+                    touch(subchannel);
+                    changes[num_changes] = Some((user, subchannel, true));
+                    self.log.inverse.push(PrimOp::Release { user });
+                }
+            }
+            num_changes += 1;
+        }
+        self.log.inverse.reverse();
+        let changes = &changes[..num_changes];
+
+        // Fused totals + Γ pass over each affected subchannel: seed the
+        // buffered totals row from the committed values, sweep each op's
+        // contiguous weighted-gain row over it (per-slot add order is the
+        // op order, so the float rounding matches sequential per-op
+        // updates), then refresh every slot occupant's Γ term from the
+        // buffered value.
+        let servers = self.scenario.num_servers();
+        for j in touched.iter().flatten() {
+            let ji = j.index();
+            self.log.touched_subs.push(ji);
+            let base = self.log.new_totals.len();
+            self.log
+                .new_totals
+                .extend_from_slice(&self.totals[ji * servers..][..servers]);
+            for (user, ja, joined) in changes.iter().flatten() {
+                if ja != j {
+                    continue;
+                }
+                let row = &self.wgain[(user.index() * self.num_sub + ji) * servers..][..servers];
+                let slots = &mut self.log.new_totals[base..];
+                if *joined {
+                    for (slot, &w) in slots.iter_mut().zip(row) {
+                        *slot += w;
+                    }
+                } else {
+                    for (slot, &w) in slots.iter_mut().zip(row) {
+                        *slot -= w;
+                    }
+                }
+            }
+            // Two independent accumulators (retired and fresh terms) keep
+            // the adds off the serial `gamma_sum` dependency chain; the
+            // sum is folded in once per subchannel.
+            let mut row_old = 0.0;
+            let mut row_new = 0.0;
+            for t in 0..servers {
+                let v = self.log.new_totals[base + t];
+                let t = ServerId::new(t);
+                if let Some(occupant) = self.x.occupant(t, *j) {
+                    let (old, new) = self.refresh_gamma(occupant, v);
+                    row_old += old;
+                    row_new += new;
+                }
+            }
+            self.gamma_sum += row_new - row_old;
+        }
+
+        self.log.valid = true;
+        self.current() - before
+    }
+
+    /// Membership bookkeeping when `user` leaves server `s`: benefit sum,
+    /// server Λ term, and retirement of its Γ term. The totals row of its
+    /// subchannel is updated by the caller's fused totals pass.
+    fn leave(&mut self, user: UserId, s: ServerId) {
+        let u = user.index();
+        self.gain_sum -= self.gain_const[u];
+        self.num_offloaded -= 1;
+
+        // Retire the user's Γ term eagerly (journaling the old cache), so
+        // the refresh pass can read `gamma_of` without tracking which users
+        // the in-flight move relocated.
+        self.log
+            .old_gammas
+            .push((u, self.gamma_of[u], self.gamma_bad[u]));
+        if self.gamma_bad[u] {
+            self.nonfinite -= 1;
+            self.gamma_bad[u] = false;
+        } else {
+            self.gamma_sum -= self.gamma_of[u];
+        }
+        self.gamma_of[u] = 0.0;
+
+        let si = s.index();
+        self.log
+            .servers
+            .push((si, self.sum_sqrt_eta[si], self.users_on[si]));
+        let old_term = self.lambda_term(si);
+        self.users_on[si] -= 1;
+        if self.users_on[si] == 0 {
+            // Pin the empty-server sum to exactly zero so drift cannot
+            // leave a phantom Λ term behind.
+            self.sum_sqrt_eta[si] = 0.0;
+        } else {
+            self.sum_sqrt_eta[si] -= self.sqrt_eta[u];
+        }
+        self.lambda_sum += self.lambda_term(si) - old_term;
+    }
+
+    /// Membership bookkeeping when `user` joins slot `(s, j)`. Its Γ term
+    /// is installed by the caller's refresh pass (its subchannel is
+    /// touched) and the totals row by the caller's fused totals pass; the
+    /// received-signal cache is rewritten here, eagerly and journaled.
+    fn join(&mut self, user: UserId, s: ServerId, j: SubchannelId) {
+        let u = user.index();
+        self.gain_sum += self.gain_const[u];
+        self.num_offloaded += 1;
+
+        self.log.old_signals.push((u, self.signal_of[u]));
+        self.signal_of[u] = self.wgain_row(u, j.index())[s.index()];
+
+        let si = s.index();
+        self.log
+            .servers
+            .push((si, self.sum_sqrt_eta[si], self.users_on[si]));
+        let old_term = self.lambda_term(si);
+        self.users_on[si] += 1;
+        self.sum_sqrt_eta[si] += self.sqrt_eta[u];
+        self.lambda_sum += self.lambda_term(si) - old_term;
+    }
+
+    /// Recomputes the Γ term of slot occupant `v` against the slot's
+    /// post-move total, buffering the write, and returns the `(retired,
+    /// fresh)` finite contributions for the caller to fold into
+    /// `gamma_sum`. Reads the committed Γ cache directly — users the
+    /// in-flight move relocated were already retired eagerly by
+    /// [`leave`](Self::leave), and the received signal comes from the
+    /// `p·h` cache maintained by [`join`](Self::join).
+    #[inline]
+    fn refresh_gamma(&mut self, v: UserId, total: f64) -> (f64, f64) {
+        let u = v.index();
+        let old = if self.gamma_bad[u] {
+            self.nonfinite -= 1;
+            0.0
+        } else {
+            self.gamma_of[u]
+        };
+        let signal = self.signal_of[u];
+        let interference = (total - signal).max(0.0);
+        let sinr = signal / (interference + self.noise);
+        let term = self.gamma_num[u] / (1.0 + sinr).log2();
+        if term.is_finite() {
+            self.log.new_gammas.push((u, term, false));
+            (old, term)
+        } else {
+            self.log.new_gammas.push((u, 0.0, true));
+            self.nonfinite += 1;
+            (old, 0.0)
+        }
+    }
+
+    /// Rolls back the last applied (uncommitted) move bit-exactly: the
+    /// buffered totals and Γ writes are dropped unflushed, the eagerly
+    /// updated scalars and server sums are restored from their snapshot,
+    /// and the assignment is reverted by the logged inverse ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no uncommitted move.
+    pub fn undo(&mut self) {
+        assert!(self.log.valid, "no uncommitted move to undo");
+        self.log.valid = false;
+        self.log.new_totals.clear();
+        self.log.touched_subs.clear();
+        self.log.new_gammas.clear();
+        for (u, old_term, old_bad) in self.log.old_gammas.drain(..).rev() {
+            self.gamma_of[u] = old_term;
+            self.gamma_bad[u] = old_bad;
+        }
+        for (u, old_signal) in self.log.old_signals.drain(..).rev() {
+            self.signal_of[u] = old_signal;
+        }
+        for (s, old_sum, old_count) in self.log.servers.drain(..).rev() {
+            self.sum_sqrt_eta[s] = old_sum;
+            self.users_on[s] = old_count;
+        }
+        self.gain_sum = self.log.gain_sum;
+        self.gamma_sum = self.log.gamma_sum;
+        self.lambda_sum = self.log.lambda_sum;
+        self.nonfinite = self.log.nonfinite;
+        self.num_offloaded = self.log.num_offloaded;
+        let inverse = self.log.inverse;
+        self.log.inverse = MoveDesc::noop();
+        // The logged inverse ops are valid by construction, so skip the
+        // feasibility checks of `MoveDesc::apply_to` on this hot path.
+        for op in inverse.ops() {
+            match op {
+                PrimOp::Assign {
+                    user,
+                    server,
+                    subchannel,
+                } => self.x.restore_assign(user, server, subchannel),
+                PrimOp::Release { user } => {
+                    self.x.release(user);
+                }
+            }
+        }
+    }
+
+    /// Accepts the last applied move, flushing its buffered totals and Γ
+    /// writes into the persistent arrays. A no-op without a pending move.
+    pub fn commit(&mut self) {
+        if self.log.valid {
+            let servers = self.capacity.len();
+            for (k, &j) in self.log.touched_subs.iter().enumerate() {
+                self.totals[j * servers..][..servers]
+                    .copy_from_slice(&self.log.new_totals[k * servers..][..servers]);
+            }
+            for &(u, term, bad) in &self.log.new_gammas {
+                self.gamma_of[u] = term;
+                self.gamma_bad[u] = bad;
+            }
+        }
+        self.log.discard();
+    }
+}
+
+impl MoveDesc {
+    /// Reverses the op order in place (used to turn a forward journal of
+    /// inverse ops into undo order).
+    fn reverse(&mut self) {
+        self.ops[..self.len as usize].reverse();
+    }
+}
+
+impl MoveLog {
+    /// An empty journal with buffers sized for the worst-case move against
+    /// `servers` stations, so even the first apply does not allocate.
+    fn with_capacity(servers: usize) -> Self {
+        Self {
+            new_totals: Vec::with_capacity(MAX_MOVE_OPS * servers),
+            touched_subs: Vec::with_capacity(MAX_MOVE_OPS),
+            new_gammas: Vec::with_capacity(MAX_MOVE_OPS * (servers + 1)),
+            old_gammas: Vec::with_capacity(MAX_MOVE_OPS),
+            old_signals: Vec::with_capacity(MAX_MOVE_OPS),
+            servers: Vec::with_capacity(2 * MAX_MOVE_OPS),
+            ..Self::default()
+        }
+    }
+
+    /// Snapshots the scalar sums for the next move. The log must already
+    /// be clean — `apply` always commits (and thereby discards) first, and
+    /// `undo` drains every buffer it touches.
+    fn begin(
+        &mut self,
+        gain_sum: f64,
+        gamma_sum: f64,
+        lambda_sum: f64,
+        nonfinite: u32,
+        num_offloaded: usize,
+    ) {
+        debug_assert!(!self.valid && self.new_totals.is_empty() && self.inverse.is_empty());
+        self.gain_sum = gain_sum;
+        self.gamma_sum = gamma_sum;
+        self.lambda_sum = lambda_sum;
+        self.nonfinite = nonfinite;
+        self.num_offloaded = num_offloaded;
+    }
+
+    fn discard(&mut self) {
+        self.valid = false;
+        self.new_totals.clear();
+        self.touched_subs.clear();
+        self.new_gammas.clear();
+        self.old_gammas.clear();
+        self.old_signals.clear();
+        self.servers.clear();
+        self.inverse = MoveDesc::noop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{EvalScratch, Evaluator};
+    use crate::scenario::UserSpec;
+    use mec_radio::{ChannelGains, OfdmaConfig};
+    use mec_types::{Cycles, Hertz, ServerProfile, Watts};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_scenario(seed: u64, users: usize, servers: usize, subs: usize) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gains = ChannelGains::from_fn(users, servers, subs, |_, _, _| {
+            10.0_f64.powf(rng.gen_range(-13.0..-9.0))
+        })
+        .unwrap();
+        Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(2000.0)).unwrap(); users],
+            vec![ServerProfile::paper_default(); servers],
+            OfdmaConfig::new(Hertz::from_mega(20.0), subs).unwrap(),
+            gains,
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    fn random_assignment(scenario: &Scenario, seed: u64) -> Assignment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Assignment::all_local(scenario);
+        for u in scenario.user_ids() {
+            if rng.gen_bool(0.6) {
+                let s = ServerId::new(rng.gen_range(0..scenario.num_servers()));
+                if let Some(j) = x.free_subchannel(s) {
+                    x.assign(u, s, j).unwrap();
+                }
+            }
+        }
+        x
+    }
+
+    /// A random valid MoveDesc against `x`, mimicking the kernel's shapes.
+    fn random_move(scenario: &Scenario, x: &Assignment, rng: &mut StdRng) -> MoveDesc {
+        let u = UserId::new(rng.gen_range(0..scenario.num_users()));
+        match rng.gen_range(0..4) {
+            0 => MoveDesc::relocate(x, u, None),
+            1 => {
+                let s = ServerId::new(rng.gen_range(0..scenario.num_servers()));
+                let j = SubchannelId::new(rng.gen_range(0..scenario.num_subchannels()));
+                MoveDesc::relocate_evicting(x, u, s, j)
+            }
+            2 => {
+                let v = UserId::new(rng.gen_range(0..scenario.num_users()));
+                MoveDesc::swap(x, u, v)
+            }
+            _ => {
+                let s = ServerId::new(rng.gen_range(0..scenario.num_servers()));
+                match x.free_subchannel(s) {
+                    Some(j) if !x.is_offloaded(u) => MoveDesc::relocate(x, u, Some((s, j))),
+                    _ => MoveDesc::relocate(x, u, None),
+                }
+            }
+        }
+    }
+
+    fn assert_close(a: f64, b: f64, what: &str) {
+        if a.is_finite() || b.is_finite() {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "{what}: incremental {a} vs reference {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_build_matches_reference() {
+        let mut scratch = EvalScratch::default();
+        for seed in 0..6 {
+            let sc = random_scenario(seed, 9, 3, 3);
+            let x = random_assignment(&sc, seed + 40);
+            let reference = Evaluator::new(&sc).objective_with(&x, &mut scratch);
+            let inc = IncrementalObjective::new(&sc, x).unwrap();
+            assert_close(inc.current(), reference, "fresh build");
+        }
+    }
+
+    #[test]
+    fn all_local_is_exactly_zero() {
+        let sc = random_scenario(0, 4, 2, 2);
+        let inc = IncrementalObjective::new(&sc, Assignment::all_local(&sc)).unwrap();
+        assert_eq!(inc.current(), 0.0);
+    }
+
+    #[test]
+    fn apply_tracks_reference_over_random_walks() {
+        let mut scratch = EvalScratch::default();
+        for seed in 0..5 {
+            let sc = random_scenario(seed, 10, 3, 3);
+            let ev = Evaluator::new(&sc);
+            let mut rng = StdRng::seed_from_u64(seed + 7);
+            let mut inc =
+                IncrementalObjective::new(&sc, random_assignment(&sc, seed + 11)).unwrap();
+            for step in 0..400 {
+                let mv = random_move(&sc, inc.assignment(), &mut rng);
+                inc.apply(&mv);
+                inc.commit();
+                inc.assignment().verify_feasible(&sc).unwrap();
+                let reference = ev.objective_with(inc.assignment(), &mut scratch);
+                assert_close(
+                    inc.current(),
+                    reference,
+                    &format!("seed {seed} step {step}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undo_is_bit_exact() {
+        let sc = random_scenario(3, 8, 3, 2);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut inc = IncrementalObjective::new(&sc, random_assignment(&sc, 21)).unwrap();
+        for _ in 0..300 {
+            let x_before = inc.assignment().clone();
+            let obj_before = inc.current();
+            let mv = random_move(&sc, inc.assignment(), &mut rng);
+            inc.apply(&mv);
+            inc.undo();
+            assert_eq!(inc.assignment(), &x_before, "assignment restored");
+            assert_eq!(
+                inc.current().to_bits(),
+                obj_before.to_bits(),
+                "objective restored bit-exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_matches_before_after_difference() {
+        let sc = random_scenario(5, 7, 2, 3);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut inc = IncrementalObjective::new(&sc, random_assignment(&sc, 31)).unwrap();
+        for _ in 0..200 {
+            let before = inc.current();
+            let mv = random_move(&sc, inc.assignment(), &mut rng);
+            let delta = inc.apply(&mv);
+            assert_eq!(delta.to_bits(), (inc.current() - before).to_bits());
+            if rng.gen_bool(0.5) {
+                inc.undo();
+            } else {
+                inc.commit();
+            }
+        }
+    }
+
+    #[test]
+    fn noop_move_changes_nothing() {
+        let sc = random_scenario(2, 5, 2, 2);
+        let mut inc = IncrementalObjective::new(&sc, random_assignment(&sc, 13)).unwrap();
+        let before = inc.current();
+        let delta = inc.apply(&MoveDesc::noop());
+        assert_eq!(delta, 0.0);
+        assert_eq!(inc.current().to_bits(), before.to_bits());
+        inc.undo();
+        assert_eq!(inc.current().to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn resync_discards_drift_and_pending_moves() {
+        let mut scratch = EvalScratch::default();
+        let sc = random_scenario(8, 9, 3, 3);
+        let ev = Evaluator::new(&sc);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut inc = IncrementalObjective::new(&sc, random_assignment(&sc, 3)).unwrap();
+        for _ in 0..100 {
+            let mv = random_move(&sc, inc.assignment(), &mut rng);
+            inc.apply(&mv);
+            inc.commit();
+        }
+        inc.resync();
+        let reference = ev.objective_with(inc.assignment(), &mut scratch);
+        assert_close(inc.current(), reference, "post-resync");
+    }
+
+    #[test]
+    fn move_desc_constructors_match_assignment_semantics() {
+        let sc = random_scenario(4, 6, 2, 2);
+        let x = random_assignment(&sc, 77);
+
+        // Swap equivalence against Assignment::swap.
+        for (a, b) in [(0, 1), (2, 3), (4, 5), (1, 1)] {
+            let (a, b) = (UserId::new(a), UserId::new(b));
+            let mut via_desc = x.clone();
+            MoveDesc::swap(&x, a, b).apply_to(&mut via_desc).unwrap();
+            let mut via_swap = x.clone();
+            via_swap.swap(a, b);
+            assert_eq!(via_desc, via_swap);
+        }
+
+        // Evicting relocation equivalence against assign_evicting.
+        for u in 0..sc.num_users() {
+            let u = UserId::new(u);
+            for s in 0..sc.num_servers() {
+                for j in 0..sc.num_subchannels() {
+                    let (s, j) = (ServerId::new(s), SubchannelId::new(j));
+                    let mut via_desc = x.clone();
+                    MoveDesc::relocate_evicting(&x, u, s, j)
+                        .apply_to(&mut via_desc)
+                        .unwrap();
+                    let mut via_evict = x.clone();
+                    via_evict.assign_evicting(u, s, j).unwrap();
+                    assert_eq!(via_desc, via_evict);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no uncommitted move")]
+    fn undo_without_apply_panics() {
+        let sc = random_scenario(1, 3, 2, 2);
+        let mut inc = IncrementalObjective::new(&sc, Assignment::all_local(&sc)).unwrap();
+        inc.undo();
+    }
+
+    #[test]
+    fn rejects_mismatched_geometry() {
+        let sc = random_scenario(1, 3, 2, 2);
+        assert!(IncrementalObjective::new(&sc, Assignment::with_dims(5, 2, 2)).is_err());
+    }
+}

@@ -55,6 +55,7 @@ pub mod assignment;
 pub mod coefficients;
 pub mod cra_numeric;
 pub mod evaluation;
+pub mod incremental;
 pub mod metrics;
 pub mod scenario;
 pub mod solver;
@@ -67,6 +68,7 @@ pub use assignment::Assignment;
 pub use coefficients::UserCoefficients;
 pub use cra_numeric::{numeric_allocation, solve_server_numeric, NumericCraOptions};
 pub use evaluation::{EvalScratch, Evaluator};
+pub use incremental::{IncrementalObjective, MoveDesc, PrimOp};
 pub use metrics::{SystemEvaluation, UserMetrics};
 pub use scenario::{Scenario, UserSpec};
 pub use solver::{Solution, Solver, SolverStats};

@@ -6,6 +6,12 @@
 //! If one of these fails after an *intentional* model change, update the
 //! constants — and say so in the changelog, because every number in
 //! EXPERIMENTS.md shifts with them.
+//!
+//! The golden constants below were re-pinned when the workspace switched to
+//! the hermetic `rand` stand-in (third_party/rand): its `StdRng` is
+//! xoshiro256++, not upstream's ChaCha12, so every seeded stream — and
+//! therefore every generated scenario — changed once. The tests' purpose is
+//! unchanged: they pin the *current* streams against accidental drift.
 
 use tsajs_mec::prelude::*;
 
@@ -30,12 +36,12 @@ fn generator_channel_stream_is_pinned() {
         .gain(UserId::new(11), ServerId::new(8), SubchannelId::new(2));
     // These constants pin the placement + shadowing RNG streams.
     assert!(
-        (g0.log10() - (-13.3818161366)).abs() < 1e-6,
+        (g0.log10() - (-15.0261401606)).abs() < 1e-6,
         "gain[0,0,0] stream moved: log10 = {}",
         g0.log10()
     );
     assert!(
-        (g1.log10() - (-16.9710793577)).abs() < 1e-6,
+        (g1.log10() - (-11.6994572267)).abs() < 1e-6,
         "gain[11,8,2] stream moved: log10 = {}",
         g1.log10()
     );
@@ -53,7 +59,7 @@ fn objective_of_a_fixed_decision_is_pinned() {
         .unwrap();
     let j = Evaluator::new(&sc).objective(&x);
     #[allow(clippy::excessive_precision)]
-    let expected = -21.114_946_092_927_901_6;
+    let expected = -1_168.610_608_514_909_017_7;
     assert!(
         (j - expected).abs() < TOL,
         "objective moved: {j} (expected {expected})"
@@ -64,13 +70,14 @@ fn objective_of_a_fixed_decision_is_pinned() {
 fn greedy_decision_is_pinned() {
     let sc = scenario(42);
     let solution = GreedySolver::new().solve(&sc).unwrap();
-    let expected = 2.051_803_601_834_282;
+    #[allow(clippy::excessive_precision)]
+    let expected = 4.695_534_489_429_185_5;
     assert!(
         (solution.utility - expected).abs() < TOL,
         "greedy moved: {} (expected {expected})",
         solution.utility
     );
-    assert_eq!(solution.assignment.num_offloaded(), 3);
+    assert_eq!(solution.assignment.num_offloaded(), 6);
 }
 
 #[test]
@@ -82,10 +89,45 @@ fn tsajs_quick_run_is_pinned() {
             .with_seed(7),
     );
     let solution = solver.solve(&sc).unwrap();
-    let expected = 2.051_803_601_834_282;
+    #[allow(clippy::excessive_precision)]
+    let expected = 4.726_605_895_889_409_0;
     assert!(
         (solution.utility - expected).abs() < TOL,
         "tsajs moved: {} (expected {expected})",
         solution.utility
     );
+}
+
+/// End-to-end pins for the full TTSA solver on three independent seeds,
+/// covering both the scenario-generation streams and the annealing
+/// trajectory on the incremental delta-evaluation path. A change anywhere
+/// in the proposal kernel, the move application, or the resync cadence
+/// that alters even one accept/reject decision will move these numbers.
+#[test]
+fn tsajs_seeded_runs_are_pinned() {
+    #[allow(clippy::excessive_precision)]
+    let pins: [(u64, f64, usize); 3] = [
+        (11, 2.910_692_976_762_531_36, 5),
+        (23, 3.170_043_817_936_574_19, 5),
+        (47, 3.085_438_688_196_053_38, 7),
+    ];
+    for (seed, expected, offloaded) in pins {
+        let sc = scenario(seed);
+        let mut solver = TsajsSolver::new(
+            TtsaConfig::paper_default()
+                .with_min_temperature(1e-2)
+                .with_seed(seed),
+        );
+        let solution = solver.solve(&sc).unwrap();
+        assert!(
+            (solution.utility - expected).abs() < TOL,
+            "tsajs seed {seed} moved: {} (expected {expected})",
+            solution.utility
+        );
+        assert_eq!(
+            solution.assignment.num_offloaded(),
+            offloaded,
+            "tsajs seed {seed} offload count moved"
+        );
+    }
 }

@@ -1,0 +1,257 @@
+//! Hermetic in-tree stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate, providing exactly
+//! the API surface this workspace's `harness = false` benches use:
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short calibration pass picks an
+//! iteration count targeting ~40 ms per sample, then `sample_size` samples
+//! are timed and the median per-iteration time is reported as
+//! `name/id time: [… …]` on stdout — enough to compare hot paths in this
+//! repository, without the real crate's statistical machinery.
+//!
+//! When invoked with `--test` (which is how `cargo test` drives
+//! `harness = false` bench targets), every closure runs exactly once and
+//! nothing is measured, keeping the tier-1 test suite fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time budget for calibration (not configurable; the real
+/// crate's warm-up/measurement times are likewise seconds-scale).
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Anything else (e.g. a filter
+        // string) is ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.test_mode, 20, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.test_mode, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure with an explicit input under
+    /// `group/function/parameter`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.test_mode, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; the stand-in prints
+    /// per-benchmark lines eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter display value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds a bare parameter id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call, if measured.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: find an iteration count filling the sample budget.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_BUDGET / 2 || iters >= 1 << 40 {
+                break;
+            }
+            // Grow toward the budget, at most 16x at a time to limit
+            // overshoot from timer noise at tiny durations.
+            let grow = if elapsed.as_nanos() == 0 {
+                16
+            } else {
+                (SAMPLE_BUDGET.as_nanos() / elapsed.as_nanos()).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        test_mode,
+        sample_size,
+        result_ns: None,
+    };
+    f(&mut bencher);
+    if test_mode {
+        return;
+    }
+    match bencher.result_ns {
+        Some(ns) => println!("{label:<50} time: [{}]", format_ns(ns)),
+        None => println!("{label:<50} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Declares a function running a list of benchmark functions, mirroring the
+/// real crate's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn test_mode_runs_closure_once() {
+        let mut count = 0;
+        let mut bencher = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            result_ns: None,
+        };
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(bencher.result_ns.is_none());
+    }
+
+    #[test]
+    fn measurement_mode_reports_a_time() {
+        let mut bencher = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            result_ns: None,
+        };
+        bencher.iter(|| black_box(2u64.wrapping_mul(3)));
+        assert!(bencher.result_ns.is_some());
+        assert!(bencher.result_ns.unwrap() >= 0.0);
+    }
+}

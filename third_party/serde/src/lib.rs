@@ -1,0 +1,538 @@
+//! Hermetic in-tree stand-in for the [`serde`](https://crates.io/crates/serde)
+//! crate, providing exactly the API surface this workspace uses.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real crate cannot be fetched. The real serde data model (29 types,
+//! visitor-driven) is far larger than this workspace needs; instead, this
+//! stand-in routes every value through a single self-describing [`Content`]
+//! tree. `Serialize`/`Deserialize` keep their real signatures (generic over
+//! `Serializer`/`Deserializer` with associated error types), so the manual
+//! impls in `mec-system` and the derived impls compile unchanged; only the
+//! internals of the traits differ from upstream.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The single self-describing data-model node every value serializes into.
+///
+/// This replaces the real serde's 29-type data model: integers normalize to
+/// `U64`/`I64`, every float to `F64`, structs and maps to `Map` (ordered, to
+/// keep output deterministic), sequences and tuples to `Seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always `< 0`; non-negative ints normalize to `U64`).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence, tuple, or tuple struct.
+    Seq(Vec<Content>),
+    /// Struct, map, or externally-tagged enum variant (insertion-ordered).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization error support.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Trait every serializer error type implements (mirrors
+    /// `serde::ser::Error`).
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error support.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Trait every deserializer error type implements (mirrors
+    /// `serde::de::Error`).
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can consume one [`Content`] tree.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes the fully-built content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce one [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the content tree for the value being deserialized.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A type that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Error type for in-memory [`Content`] conversion.
+#[derive(Debug, Clone)]
+pub struct ContentError(String);
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serializer that materializes the [`Content`] tree itself.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Deserializer that reads back from an in-memory [`Content`] tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Support functions referenced by `serde_derive`-generated code. Not part
+/// of the public stand-in API.
+pub mod __private {
+    use super::{Content, ContentDeserializer, ContentError, ContentSerializer};
+
+    /// Serializes any value to its content tree.
+    pub fn to_content<T: super::Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+        value.serialize(ContentSerializer)
+    }
+
+    /// Deserializes any value from a content tree.
+    pub fn from_content<T: for<'de> super::Deserialize<'de>>(
+        content: Content,
+    ) -> Result<T, ContentError> {
+        T::deserialize(ContentDeserializer(content))
+    }
+
+    /// Removes and returns the first entry with the given key.
+    pub fn take_entry(map: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+        let idx = map.iter().position(|(k, _)| k == key)?;
+        Some(map.remove(idx).1)
+    }
+}
+
+fn de_err<T, E: de::Error>(expected: &str, got: &Content) -> Result<T, E> {
+    Err(E::custom(format!("expected {expected}, found {}", got.kind())))
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                serializer.serialize_content(if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                })
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::F64(*self as f64))
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Null)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn seq_to_content<T: Serialize, E: ser::Error>(items: &[T]) -> Result<Content, E> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        out.push(__private::to_content(item).map_err(E::custom)?);
+    }
+    Ok(Content::Seq(out))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let content = seq_to_content(self)?;
+        serializer.serialize_content(content)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let content = seq_to_content(self.as_slice())?;
+        serializer.serialize_content(content)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let content = Content::Seq(vec![
+                    $(__private::to_content(&self.$idx).map_err(<S::Error as ser::Error>::custom)?),+
+                ]);
+                serializer.serialize_content(content)
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => de_err("bool", &other),
+        }
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let wide = match content {
+                    Content::U64(v) => Some(v),
+                    // Floats with an exact integer value are accepted so a
+                    // format that only has one number type can round-trip.
+                    Content::F64(v) if v >= 0.0 && v <= u64::MAX as f64 && v.fract() == 0.0 => {
+                        Some(v as u64)
+                    }
+                    ref other => return de_err(concat!("unsigned integer (", stringify!($t), ")"), other),
+                };
+                match wide.and_then(|v| <$t>::try_from(v).ok()) {
+                    Some(v) => Ok(v),
+                    None => Err(<D::Error as de::Error>::custom(concat!(
+                        "integer out of range for ", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let wide: Option<i64> = match content {
+                    Content::U64(v) => i64::try_from(v).ok(),
+                    Content::I64(v) => Some(v),
+                    Content::F64(v)
+                        if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+                    {
+                        Some(v as i64)
+                    }
+                    ref other => return de_err(concat!("integer (", stringify!($t), ")"), other),
+                };
+                match wide.and_then(|v| <$t>::try_from(v).ok()) {
+                    Some(v) => Ok(v),
+                    None => Err(<D::Error as de::Error>::custom(concat!(
+                        "integer out of range for ", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    // JSON has no non-finite literals; they serialize as null.
+                    Content::Null => Ok(<$t>::NAN),
+                    other => de_err("float", &other),
+                }
+            }
+        }
+    )*};
+}
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => de_err("string", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => de_err("single-character string", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => de_err("null", &other),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            content => __private::from_content(content)
+                .map(Some)
+                .map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|item| __private::from_content(item).map_err(<D::Error as de::Error>::custom))
+                .collect(),
+            other => de_err("sequence", &other),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal: $($name:ident),+))*) => {$(
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                let items = match deserializer.deserialize_content()? {
+                    Content::Seq(items) => items,
+                    other => return de_err("tuple sequence", &other),
+                };
+                if items.len() != $len {
+                    return Err(<__D::Error as de::Error>::custom(format!(
+                        "expected tuple of length {}, found {}", $len, items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($(
+                    __private::from_content::<$name>(iter.next().unwrap())
+                        .map_err(<__D::Error as de::Error>::custom)?,
+                )+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1: A)
+    (2: A, B)
+    (3: A, B, C)
+    (4: A, B, C, D)
+    (5: A, B, C, D, E)
+    (6: A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_content() {
+        let c = __private::to_content(&42u32).unwrap();
+        assert_eq!(c, Content::U64(42));
+        assert_eq!(__private::from_content::<u32>(c).unwrap(), 42);
+
+        let c = __private::to_content(&-7i32).unwrap();
+        assert_eq!(c, Content::I64(-7));
+        assert_eq!(__private::from_content::<i32>(c).unwrap(), -7);
+
+        let c = __private::to_content(&1.5f64).unwrap();
+        assert_eq!(__private::from_content::<f64>(c).unwrap(), 1.5);
+
+        let v = vec![Some((1usize, -2.5f64)), None];
+        let c = __private::to_content(&v).unwrap();
+        assert_eq!(
+            __private::from_content::<Vec<Option<(usize, f64)>>>(c).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn integral_floats_deserialize_into_ints_and_back() {
+        assert_eq!(__private::from_content::<u64>(Content::F64(3.0)).unwrap(), 3);
+        assert!(__private::from_content::<u64>(Content::F64(3.5)).is_err());
+        assert_eq!(
+            __private::from_content::<f64>(Content::U64(3)).unwrap(),
+            3.0
+        );
+        assert!(__private::from_content::<f64>(Content::Null)
+            .unwrap()
+            .is_nan());
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        assert!(__private::from_content::<u8>(Content::U64(300)).is_err());
+        assert!(__private::from_content::<u32>(Content::I64(-1)).is_err());
+    }
+}

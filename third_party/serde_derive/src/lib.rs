@@ -1,0 +1,612 @@
+//! Hermetic in-tree stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! stand-in `serde`'s [`Content`]-based data model, without `syn`/`quote`
+//! (which are equally unfetchable in this offline environment): the item is
+//! parsed directly from `proc_macro::TokenStream` and the impl is emitted as
+//! a source string.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! - structs: named fields, tuple/newtype, unit; `#[serde(transparent)]`,
+//!   `#[serde(default)]`, `#[serde(default = "path")]`; missing `Option`
+//!   fields deserialize to `None` (matching upstream serde).
+//! - enums: unit, newtype, tuple, and struct variants with external tagging
+//!   (`"Variant"` / `{"Variant": ...}`), matching upstream serde's default.
+//!
+//! Unsupported (panics with a clear message): generic types, lifetimes,
+//! unions, and renaming/skipping attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, PartialEq)]
+enum DefaultKind {
+    Required,
+    Std,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    is_option: bool,
+    default: DefaultKind,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum StructShape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        transparent: bool,
+        shape: StructShape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses one `#[...]` attribute starting at `toks[*i]`, appending any
+/// `#[serde(...)]` metas as `(key, optional string value)` pairs.
+fn consume_attr(toks: &[TokenTree], i: &mut usize, metas: &mut Vec<(String, Option<String>)>) {
+    debug_assert!(is_punct(&toks[*i], '#'));
+    let TokenTree::Group(group) = &toks[*i + 1] else {
+        panic!("malformed attribute");
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    if inner.len() == 2 && ident_of(&inner[0]).as_deref() == Some("serde") {
+        if let TokenTree::Group(meta_group) = &inner[1] {
+            let mtoks: Vec<TokenTree> = meta_group.stream().into_iter().collect();
+            let mut k = 0;
+            while k < mtoks.len() {
+                let key = ident_of(&mtoks[k]).expect("serde meta key");
+                k += 1;
+                let mut value = None;
+                if k < mtoks.len() && is_punct(&mtoks[k], '=') {
+                    let lit = mtoks[k + 1].to_string();
+                    value = Some(
+                        lit.trim_matches('"')
+                            .to_string(),
+                    );
+                    k += 2;
+                }
+                if k < mtoks.len() && is_punct(&mtoks[k], ',') {
+                    k += 1;
+                }
+                metas.push((key, value));
+            }
+        }
+    }
+    *i += 2;
+}
+
+fn default_of(metas: &[(String, Option<String>)], item: &str) -> DefaultKind {
+    for (key, value) in metas {
+        match (key.as_str(), value) {
+            ("default", None) => return DefaultKind::Std,
+            ("default", Some(path)) => return DefaultKind::Path(path.clone()),
+            ("transparent", _) => {}
+            (other, _) => panic!("serde stand-in derive: unsupported attribute `{other}` on {item}"),
+        }
+    }
+    DefaultKind::Required
+}
+
+/// Steps over a type in `toks`, returning whether its head identifier is
+/// `Option`. Stops at the first `,` outside angle brackets.
+fn skip_type(toks: &[TokenTree], i: &mut usize) -> bool {
+    let is_option = ident_of(&toks[*i]).as_deref() == Some("Option");
+    let mut angle = 0i64;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if angle == 0 && is_punct(t, ',') {
+            break;
+        }
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') && angle > 0 {
+            angle -= 1;
+        }
+        *i += 1;
+    }
+    is_option
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && ident_of(&toks[*i]).as_deref() == Some("pub") {
+        *i += 1;
+        if *i < toks.len() {
+            if let TokenTree::Group(g) = &toks[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream, item: &str) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut metas = Vec::new();
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            consume_attr(&toks, &mut i, &mut metas);
+        }
+        skip_visibility(&toks, &mut i);
+        let name = ident_of(&toks[i]).unwrap_or_else(|| panic!("field name in {item}"));
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected `:` after field in {item}");
+        i += 1;
+        let is_option = skip_type(&toks, &mut i);
+        if i < toks.len() {
+            i += 1; // `,`
+        }
+        fields.push(Field {
+            name,
+            is_option,
+            default: default_of(&metas, item),
+        });
+    }
+    fields
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut pending = false;
+    let mut angle = 0i64;
+    for t in &toks {
+        if angle == 0 && is_punct(t, ',') {
+            if pending {
+                arity += 1;
+            }
+            pending = false;
+            continue;
+        }
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') && angle > 0 {
+            angle -= 1;
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream, item: &str) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut metas = Vec::new();
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            consume_attr(&toks, &mut i, &mut metas);
+        }
+        let name = ident_of(&toks[i]).unwrap_or_else(|| panic!("variant name in {item}"));
+        i += 1;
+        let shape = if i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    VariantShape::Tuple(tuple_arity(g.stream()))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    i += 1;
+                    VariantShape::Named(parse_named_fields(g.stream(), item))
+                }
+                _ => VariantShape::Unit,
+            }
+        } else {
+            VariantShape::Unit
+        };
+        if i < toks.len() {
+            assert!(
+                is_punct(&toks[i], ','),
+                "expected `,` after variant in {item} (discriminants unsupported)"
+            );
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut metas = Vec::new();
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        consume_attr(&toks, &mut i, &mut metas);
+    }
+    let transparent = metas.iter().any(|(k, _)| k == "transparent");
+    skip_visibility(&toks, &mut i);
+    let kw = ident_of(&toks[i]).expect("struct/enum keyword");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("type name");
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde stand-in derive: generic types are unsupported (type `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    StructShape::Named(parse_named_fields(g.stream(), &name))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    StructShape::Tuple(tuple_arity(g.stream()))
+                }
+                Some(t) if is_punct(t, ';') => StructShape::Unit,
+                _ => panic!("unsupported struct body for `{name}`"),
+            };
+            Item::Struct {
+                name,
+                transparent,
+                shape,
+            }
+        }
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream(), &name);
+                Item::Enum { name, variants }
+            }
+            _ => panic!("unsupported enum body for `{name}`"),
+        },
+        other => panic!("serde stand-in derive: cannot derive for `{other}` items"),
+    }
+}
+
+const SER_ERR: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+fn push_field_map(out: &mut String, expr_prefix: &str, fields: &[Field]) {
+    out.push_str(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{n}\"), \
+             ::serde::__private::to_content({p}{n}).map_err({SER_ERR})?));\n",
+            n = f.name,
+            p = expr_prefix,
+        ));
+    }
+}
+
+fn missing_field_expr(f: &Field, ty_name: &str) -> String {
+    match &f.default {
+        DefaultKind::Std => "::core::default::Default::default()".to_string(),
+        DefaultKind::Path(path) => format!("{path}()"),
+        DefaultKind::Required if f.is_option => "::core::option::Option::None".to_string(),
+        DefaultKind::Required => format!(
+            "return ::core::result::Result::Err({DE_ERR}(\"missing field `{}` in `{ty_name}`\"))",
+            f.name
+        ),
+    }
+}
+
+fn push_named_ctor(out: &mut String, ctor: &str, map_var: &str, fields: &[Field], ty_name: &str) {
+    out.push_str(&format!("::core::result::Result::Ok({ctor} {{\n"));
+    for f in fields {
+        out.push_str(&format!(
+            "{n}: match ::serde::__private::take_entry(&mut {map_var}, \"{n}\") {{\n\
+             ::core::option::Option::Some(__v) => \
+             ::serde::__private::from_content(__v).map_err({DE_ERR})?,\n\
+             ::core::option::Option::None => {missing},\n}},\n",
+            n = f.name,
+            missing = missing_field_expr(f, ty_name),
+        ));
+    }
+    out.push_str("})\n");
+}
+
+fn expand_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    match item {
+        Item::Struct {
+            transparent, shape, ..
+        } => match shape {
+            StructShape::Unit => {
+                body.push_str("__serializer.serialize_content(::serde::Content::Null)\n");
+            }
+            StructShape::Named(fields) if *transparent => {
+                assert!(
+                    fields.len() == 1,
+                    "transparent struct `{name}` must have exactly one field"
+                );
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize(&self.{}, __serializer)\n",
+                    fields[0].name
+                ));
+            }
+            StructShape::Named(fields) => {
+                push_field_map(&mut body, "&self.", fields);
+                body.push_str("__serializer.serialize_content(::serde::Content::Map(__fields))\n");
+            }
+            StructShape::Tuple(1) => {
+                // Newtype structs serialize as their inner value, matching
+                // upstream serde (transparent or not).
+                body.push_str("::serde::Serialize::serialize(&self.0, __serializer)\n");
+            }
+            StructShape::Tuple(n) => {
+                assert!(
+                    !*transparent,
+                    "transparent struct `{name}` must have exactly one field"
+                );
+                body.push_str(
+                    "let mut __items: ::std::vec::Vec<::serde::Content> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for idx in 0..*n {
+                    body.push_str(&format!(
+                        "__items.push(::serde::__private::to_content(&self.{idx})\
+                         .map_err({SER_ERR})?);\n"
+                    ));
+                }
+                body.push_str("__serializer.serialize_content(::serde::Content::Seq(__items))\n");
+            }
+        },
+        Item::Enum { variants, .. } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => body.push_str(&format!(
+                        "{name}::{vn} => __serializer.serialize_content(\
+                         ::serde::Content::Str(::std::string::String::from(\"{vn}\"))),\n"
+                    )),
+                    VariantShape::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\n\
+                         let __inner = ::serde::__private::to_content(__f0).map_err({SER_ERR})?;\n\
+                         __serializer.serialize_content(::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), __inner)]))\n}}\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        body.push_str(&format!("{name}::{vn}({}) => {{\n", binders.join(", ")));
+                        body.push_str(
+                            "let mut __items: ::std::vec::Vec<::serde::Content> = \
+                             ::std::vec::Vec::new();\n",
+                        );
+                        for b in &binders {
+                            body.push_str(&format!(
+                                "__items.push(::serde::__private::to_content({b})\
+                                 .map_err({SER_ERR})?);\n"
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "__serializer.serialize_content(::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Content::Seq(__items))]))\n}}\n"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n",
+                            binders.join(", ")
+                        ));
+                        push_field_map(&mut body, "", fields);
+                        body.push_str(&format!(
+                            "__serializer.serialize_content(::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Content::Map(__fields))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+fn expand_deserialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    match item {
+        Item::Struct {
+            transparent, shape, ..
+        } => match shape {
+            StructShape::Unit => body.push_str(&format!(
+                "match ::serde::Deserializer::deserialize_content(__deserializer)? {{\n\
+                 ::serde::Content::Null => ::core::result::Result::Ok({name}),\n\
+                 _ => ::core::result::Result::Err({DE_ERR}(\
+                 \"expected null for unit struct `{name}`\")),\n}}\n"
+            )),
+            StructShape::Named(fields) if *transparent => {
+                assert!(
+                    fields.len() == 1,
+                    "transparent struct `{name}` must have exactly one field"
+                );
+                body.push_str(&format!(
+                    "::core::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::deserialize(__deserializer)? }})\n",
+                    fields[0].name
+                ));
+            }
+            StructShape::Named(fields) => {
+                body.push_str(&format!(
+                    "let mut __map = match \
+                     ::serde::Deserializer::deserialize_content(__deserializer)? {{\n\
+                     ::serde::Content::Map(__m) => __m,\n\
+                     _ => return ::core::result::Result::Err({DE_ERR}(\
+                     \"expected map for struct `{name}`\")),\n}};\n"
+                ));
+                push_named_ctor(&mut body, &name, "__map", fields, &name);
+            }
+            StructShape::Tuple(1) => body.push_str(&format!(
+                "::core::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize(__deserializer)?))\n"
+            )),
+            StructShape::Tuple(n) => {
+                body.push_str(&format!(
+                    "let __items = match \
+                     ::serde::Deserializer::deserialize_content(__deserializer)? {{\n\
+                     ::serde::Content::Seq(__s) => __s,\n\
+                     _ => return ::core::result::Result::Err({DE_ERR}(\
+                     \"expected sequence for tuple struct `{name}`\")),\n}};\n\
+                     if __items.len() != {n} {{\n\
+                     return ::core::result::Result::Err({DE_ERR}(\
+                     \"wrong arity for tuple struct `{name}`\"));\n}}\n\
+                     let mut __it = __items.into_iter();\n"
+                ));
+                body.push_str(&format!("::core::result::Result::Ok({name}(\n"));
+                for _ in 0..*n {
+                    body.push_str(&format!(
+                        "::serde::__private::from_content(__it.next().unwrap())\
+                         .map_err({DE_ERR})?,\n"
+                    ));
+                }
+                body.push_str("))\n");
+            }
+        },
+        Item::Enum { variants, .. } => {
+            body.push_str(
+                "match ::serde::Deserializer::deserialize_content(__deserializer)? {\n",
+            );
+            body.push_str("::serde::Content::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    body.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::core::result::Result::Err({DE_ERR}(::std::format!(\
+                 \"unknown unit variant `{{__other}}` of enum `{name}`\"))),\n}},\n"
+            ));
+            body.push_str(&format!(
+                "::serde::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__tag, __v) = __m.remove(0);\n\
+                 match __tag.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(1) => body.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::__private::from_content(__v).map_err({DE_ERR})?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = match __v {{\n\
+                             ::serde::Content::Seq(__s) => __s,\n\
+                             _ => return ::core::result::Result::Err({DE_ERR}(\
+                             \"expected sequence for variant `{vn}` of `{name}`\")),\n}};\n\
+                             if __items.len() != {n} {{\n\
+                             return ::core::result::Result::Err({DE_ERR}(\
+                             \"wrong arity for variant `{vn}` of `{name}`\"));\n}}\n\
+                             let mut __it = __items.into_iter();\n\
+                             ::core::result::Result::Ok({name}::{vn}(\n"
+                        ));
+                        for _ in 0..*n {
+                            body.push_str(&format!(
+                                "::serde::__private::from_content(__it.next().unwrap())\
+                                 .map_err({DE_ERR})?,\n"
+                            ));
+                        }
+                        body.push_str("))\n}\n");
+                    }
+                    VariantShape::Named(fields) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let mut __vm = match __v {{\n\
+                             ::serde::Content::Map(__m2) => __m2,\n\
+                             _ => return ::core::result::Result::Err({DE_ERR}(\
+                             \"expected map for variant `{vn}` of `{name}`\")),\n}};\n"
+                        ));
+                        push_named_ctor(
+                            &mut body,
+                            &format!("{name}::{vn}"),
+                            "__vm",
+                            fields,
+                            &name,
+                        );
+                        body.push_str("}\n");
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::core::result::Result::Err({DE_ERR}(::std::format!(\
+                 \"unknown variant `{{__other}}` of enum `{name}`\"))),\n}}\n}}\n"
+            ));
+            body.push_str(&format!(
+                "_ => ::core::result::Result::Err({DE_ERR}(\
+                 \"expected string or single-entry map for enum `{name}`\")),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all, clippy::pedantic)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` via the stand-in `Content` data model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_serialize(&item)
+        .parse()
+        .expect("serde stand-in derive emitted invalid Rust")
+}
+
+/// Derives `serde::Deserialize` via the stand-in `Content` data model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_deserialize(&item)
+        .parse()
+        .expect("serde stand-in derive emitted invalid Rust")
+}
