@@ -20,14 +20,15 @@ use mec_baselines::{
     AllLocalSolver, ExhaustiveSolver, GreedySolver, HJtoraSolver, LocalSearchSolver, RandomSolver,
 };
 use mec_mobility::{DynamicSimulation, MobilityConfig};
+use mec_online::{AdmissionPolicy, AdmitAll, CapacityGate, OnlineConfig, OnlineEngine, TraceChurn};
 use mec_system::{Assignment, Scenario, ScenarioSpec, Solver, SystemEvaluation};
-use mec_types::{Bits, BitsPerSecond, Cycles};
+use mec_types::{Bits, BitsPerSecond, Cycles, Seconds};
 use mec_viz::SvgScene;
-use mec_workloads::{ExperimentParams, ScenarioGenerator};
+use mec_workloads::{ExperimentParams, PoissonChurn, ScenarioGenerator};
 use serde::Serialize;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use tsajs::{TsajsSolver, TtsaConfig};
+use tsajs::{ResolveMode, TsajsSolver, TtsaConfig};
 
 /// Errors the CLI reports to the user.
 #[derive(Debug)]
@@ -103,9 +104,18 @@ USAGE:
   tsajs-sim simulate [--users N] [--epochs E]
                      [--mobility pedestrian|vehicular]
                      [--solver NAME] [--seed SEED]
+  tsajs-sim online   [--users N] [--epochs E] [--servers S]
+                     [--arrival-rate HZ] [--mean-sojourn SECS]
+                     [--epoch-secs SECS] [--budget P] [--cold]
+                     [--capacity N] [--admission reject|force-local]
+                     [--seed SEED]
 
 SOLVERS: tsajs (default), hjtora, greedy, localsearch, random,
-         exhaustive, alllocal";
+         exhaustive, alllocal
+
+The `online` command runs the event-driven engine (Poisson arrivals,
+exponential sojourns, per-epoch warm-started re-solves) and writes one
+JSON epoch report per line to stdout.";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -152,6 +162,31 @@ pub enum Command {
     Inspect {
         /// Scenario JSON path.
         scenario: PathBuf,
+    },
+    /// Event-driven online run with churn; one JSON epoch report per line.
+    Online {
+        /// Initial population (arrives at t = 0).
+        users: usize,
+        /// Scheduling epochs to run.
+        epochs: usize,
+        /// Number of cells / MEC servers.
+        servers: usize,
+        /// Poisson arrival rate in users per second.
+        arrival_rate: f64,
+        /// Mean exponential sojourn in seconds.
+        mean_sojourn: f64,
+        /// Simulated seconds between scheduling epochs.
+        epoch_secs: f64,
+        /// Warm-refresh proposal budget.
+        budget: u64,
+        /// Cold-solve every epoch instead of warm-starting.
+        cold: bool,
+        /// Scheduled-population cap (admission control); `None` admits all.
+        capacity: Option<usize>,
+        /// Overflow handling at the cap: `reject` or `force-local`.
+        admission: String,
+        /// Seed.
+        seed: u64,
     },
     /// Dynamic mobility simulation with per-epoch re-scheduling.
     Simulate {
@@ -331,6 +366,57 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 epochs,
                 mobility,
                 solver,
+                seed,
+            })
+        }
+        "online" => {
+            let mut users = 30usize;
+            let mut epochs = 20usize;
+            let mut servers = ExperimentParams::paper_default().num_servers;
+            let mut arrival_rate = 0.3f64;
+            let mut mean_sojourn = 100.0f64;
+            let mut epoch_secs = 10.0f64;
+            let mut budget = 3_000u64;
+            let mut cold = false;
+            let mut capacity: Option<usize> = None;
+            let mut admission = "reject".to_string();
+            let mut seed = 0u64;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--users" => users = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--epochs" => epochs = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--servers" => servers = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--arrival-rate" => {
+                        arrival_rate = parse_num(flag, take_value(flag, &mut iter)?)?
+                    }
+                    "--mean-sojourn" => {
+                        mean_sojourn = parse_num(flag, take_value(flag, &mut iter)?)?
+                    }
+                    "--epoch-secs" => epoch_secs = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--budget" => budget = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--cold" => cold = true,
+                    "--capacity" => capacity = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+                    "--admission" => admission = take_value(flag, &mut iter)?.to_string(),
+                    "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            if !matches!(admission.as_str(), "reject" | "force-local") {
+                return Err(CliError::Usage(format!(
+                    "unknown admission policy `{admission}` (reject|force-local)"
+                )));
+            }
+            Ok(Command::Online {
+                users,
+                epochs,
+                servers,
+                arrival_rate,
+                mean_sojourn,
+                epoch_secs,
+                budget,
+                cold,
+                capacity,
+                admission,
                 seed,
             })
         }
@@ -564,6 +650,54 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 )?;
             }
             writeln!(out, "avg utility: {:.3}", history.average_utility())?;
+            Ok(())
+        }
+        Command::Online {
+            users,
+            epochs,
+            servers,
+            arrival_rate,
+            mean_sojourn,
+            epoch_secs,
+            budget,
+            cold,
+            capacity,
+            admission,
+            seed,
+        } => {
+            let policy: Box<dyn AdmissionPolicy> = match (capacity, admission.as_str()) {
+                (None, _) => Box::new(AdmitAll),
+                (Some(cap), "reject") => Box::new(CapacityGate::rejecting(cap)),
+                (Some(cap), "force-local") => Box::new(CapacityGate::forcing_local(cap)),
+                (_, other) => {
+                    return Err(CliError::Usage(format!(
+                        "unknown admission policy `{other}` (reject|force-local)"
+                    )))
+                }
+            };
+            let mut params = ExperimentParams::paper_default();
+            params.num_servers = servers;
+            let mode = if cold {
+                ResolveMode::Cold
+            } else {
+                ResolveMode::warm(budget)
+            };
+            let config = OnlineConfig::pedestrian()
+                .with_epoch_duration(Seconds::new(epoch_secs))
+                .with_mode(mode);
+            let churn = PoissonChurn::new(users, arrival_rate, Seconds::new(mean_sojourn))?;
+            let horizon = Seconds::new(epoch_secs * epochs as f64);
+            let mut engine = OnlineEngine::new(
+                params,
+                config,
+                Box::new(TraceChurn::poisson(&churn, horizon, seed)),
+                policy,
+                seed,
+            )?;
+            for _ in 0..epochs {
+                let report = engine.step()?;
+                writeln!(out, "{}", serde_json::to_string(&report)?)?;
+            }
             Ok(())
         }
         Command::Compare { scenario, seed } => {
@@ -912,6 +1046,118 @@ mod tests {
             ),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_online() {
+        let cmd = parse_args(&[
+            "online",
+            "--users",
+            "12",
+            "--epochs",
+            "5",
+            "--servers",
+            "4",
+            "--arrival-rate",
+            "0.5",
+            "--mean-sojourn",
+            "80",
+            "--epoch-secs",
+            "5",
+            "--budget",
+            "500",
+            "--capacity",
+            "10",
+            "--admission",
+            "force-local",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Online {
+                users,
+                epochs,
+                servers,
+                arrival_rate,
+                mean_sojourn,
+                epoch_secs,
+                budget,
+                cold,
+                capacity,
+                admission,
+                seed,
+            } => {
+                assert_eq!(users, 12);
+                assert_eq!(epochs, 5);
+                assert_eq!(servers, 4);
+                assert_eq!(arrival_rate, 0.5);
+                assert_eq!(mean_sojourn, 80.0);
+                assert_eq!(epoch_secs, 5.0);
+                assert_eq!(budget, 500);
+                assert!(!cold);
+                assert_eq!(capacity, Some(10));
+                assert_eq!(admission, "force-local");
+                assert_eq!(seed, 3);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults and the --cold switch.
+        match parse_args(&["online", "--cold"]).unwrap() {
+            Command::Online {
+                cold,
+                capacity,
+                admission,
+                ..
+            } => {
+                assert!(cold);
+                assert_eq!(capacity, None);
+                assert_eq!(admission, "reject");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Bad admission names fail at parse time.
+        assert!(matches!(
+            parse_args(&["online", "--admission", "teleport"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn online_command_emits_one_json_report_per_line() {
+        let run_once = || {
+            let mut buf = Vec::new();
+            run(
+                parse_args(&[
+                    "online",
+                    "--users",
+                    "5",
+                    "--epochs",
+                    "3",
+                    "--servers",
+                    "3",
+                    "--seed",
+                    "8",
+                    "--budget",
+                    "150",
+                ])
+                .unwrap(),
+                &mut buf,
+            )
+            .unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let text = run_once();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one line per epoch:\n{text}");
+        for (i, line) in lines.iter().enumerate() {
+            let value: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(value["epoch"].as_u64(), Some(i as u64));
+            assert!(value["utility"].as_f64().unwrap().is_finite());
+            assert!(value.get("warm_started").is_some());
+        }
+        // Seeded: the JSONL stream reproduces byte-for-byte.
+        assert_eq!(text, run_once());
     }
 
     #[test]

@@ -32,12 +32,17 @@
 #![warn(missing_docs)]
 
 use mec_baselines::{GreedySolver, HJtoraSolver, LocalSearchSolver};
+use mec_online::{OnlineEngine, OnlineEpochReport};
 use mec_system::{Scenario, Solution, Solver};
 use mec_types::Error;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use tsajs::{TsajsSolver, TtsaConfig};
+
+/// Default bound of the request queue (see
+/// [`SchedulerService::spawn_with_capacity`]).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
 /// Which scheme the controller should run for a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +109,10 @@ pub struct SchedulerResponse {
 pub enum ServiceError {
     /// The worker has shut down (or panicked) and accepts no more work.
     Stopped,
+    /// The bounded request queue is full — explicit backpressure. The
+    /// caller should retry later, shed the request, or run a larger
+    /// capacity (see [`SchedulerService::spawn_with_capacity`]).
+    Overloaded,
     /// The solver rejected the scenario (or the service stopped before
     /// answering).
     Solver(Error),
@@ -113,6 +122,7 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::Stopped => write!(f, "scheduler service is stopped"),
+            ServiceError::Overloaded => write!(f, "scheduler request queue is full"),
             ServiceError::Solver(e) => write!(f, "solver error: {e}"),
         }
     }
@@ -120,23 +130,40 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
-/// The C-RAN controller: one worker thread draining a request queue.
+/// The C-RAN controller: one worker thread draining a *bounded* request
+/// queue.
 ///
 /// Handles are cheap to clone and safe to use from many threads; requests
-/// are served in FIFO order. Call [`shutdown`](Self::shutdown) (or drop
-/// the last handle) to stop the worker; requests enqueued before the
-/// shutdown marker are still served.
+/// are served in FIFO order. The queue holds at most `capacity` pending
+/// messages — when it is full, [`submit`](Self::submit) fails fast with
+/// [`ServiceError::Overloaded`] instead of buffering without limit, so a
+/// stalled worker surfaces as backpressure rather than unbounded memory
+/// growth. Call [`shutdown`](Self::shutdown) (or drop the last handle) to
+/// stop the worker; requests enqueued before the shutdown marker are
+/// still served.
 #[derive(Clone)]
 pub struct SchedulerService {
-    sender: mpsc::Sender<Message>,
+    sender: mpsc::SyncSender<Message>,
     worker: Arc<Mutex<Option<JoinHandle<()>>>>,
     next_id: Arc<Mutex<u64>>,
 }
 
 impl SchedulerService {
-    /// Starts the worker thread.
+    /// Starts the worker thread with the default queue bound
+    /// ([`DEFAULT_QUEUE_CAPACITY`]).
     pub fn spawn() -> Self {
-        let (sender, receiver) = mpsc::channel::<Message>();
+        Self::spawn_with_capacity(DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Starts the worker thread with an explicit request-queue bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a rendezvous queue would make every
+    /// non-blocking submit fail).
+    pub fn spawn_with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let (sender, receiver) = mpsc::sync_channel::<Message>(capacity);
         let worker = std::thread::spawn(move || {
             while let Ok(message) = receiver.recv() {
                 let request = match message {
@@ -174,7 +201,9 @@ impl SchedulerService {
     ///
     /// # Errors
     ///
-    /// Returns [`ServiceError::Stopped`] if the worker is gone.
+    /// Returns [`ServiceError::Overloaded`] if the bounded queue is full
+    /// (backpressure — nothing was enqueued), or
+    /// [`ServiceError::Stopped`] if the worker is gone.
     pub fn submit(
         &self,
         scenario: Scenario,
@@ -184,14 +213,17 @@ impl SchedulerService {
         let (reply, receiver) = mpsc::channel();
         let id = self.allocate_id();
         self.sender
-            .send(Message::Schedule(Box::new(Request {
+            .try_send(Message::Schedule(Box::new(Request {
                 id,
                 scenario,
                 scheme,
                 seed,
                 reply,
             })))
-            .map_err(|_| ServiceError::Stopped)?;
+            .map_err(|e| match e {
+                mpsc::TrySendError::Full(_) => ServiceError::Overloaded,
+                mpsc::TrySendError::Disconnected(_) => ServiceError::Stopped,
+            })?;
         Ok((id, receiver))
     }
 
@@ -199,7 +231,8 @@ impl SchedulerService {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Stopped`] if the worker is gone, or
+    /// [`ServiceError::Stopped`] if the worker is gone,
+    /// [`ServiceError::Overloaded`] if the queue is full, or
     /// [`ServiceError::Solver`] if the solver rejected the scenario (or
     /// the service shut down before answering).
     pub fn schedule(
@@ -237,6 +270,73 @@ impl Drop for SchedulerService {
         // The last handle stops and joins the worker.
         if Arc::strong_count(&self.worker) == 1 {
             self.shutdown();
+        }
+    }
+}
+
+/// A background [`OnlineEngine`] run streaming one [`OnlineEpochReport`]
+/// per epoch.
+///
+/// The controller analogue of `SchedulerService` for the online setting:
+/// the engine steps on a worker thread while the caller consumes the
+/// epoch-report stream as it is produced (dashboards, loggers, the CLI's
+/// JSONL output). The report channel is buffered for the whole run, so
+/// the worker never blocks on a slow consumer; dropping the receiver
+/// early just stops the stream, and [`join`](Self::join) returns the
+/// engine (with its SLA log) once all epochs ran.
+pub struct OnlineRun {
+    reports: mpsc::Receiver<OnlineEpochReport>,
+    worker: Option<JoinHandle<Result<OnlineEngine, Error>>>,
+}
+
+impl OnlineRun {
+    /// Starts stepping `engine` for `epochs` epochs on a worker thread.
+    pub fn spawn(mut engine: OnlineEngine, epochs: usize) -> Self {
+        let (sender, reports) = mpsc::sync_channel(epochs.max(1));
+        let worker = std::thread::spawn(move || {
+            for _ in 0..epochs {
+                let report = engine.step()?;
+                if sender.send(report).is_err() {
+                    // Consumer hung up; finish silently is pointless —
+                    // return the engine as-is.
+                    break;
+                }
+            }
+            Ok(engine)
+        });
+        Self {
+            reports,
+            worker: Some(worker),
+        }
+    }
+
+    /// The live report stream (one entry per completed epoch, in order).
+    pub fn reports(&self) -> &mpsc::Receiver<OnlineEpochReport> {
+        &self.reports
+    }
+
+    /// Iterates reports as they arrive, ending when the run finishes.
+    pub fn iter(&self) -> mpsc::Iter<'_, OnlineEpochReport> {
+        self.reports.iter()
+    }
+
+    /// Waits for the run to finish and returns the engine (SLA log,
+    /// counters, and all) for post-run inspection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Solver`] if an epoch failed, or
+    /// [`ServiceError::Stopped`] if the worker panicked.
+    pub fn join(mut self) -> Result<OnlineEngine, ServiceError> {
+        let handle = self.worker.take().expect("worker joined exactly once");
+        // Drop the receiver first so a worker blocked on a full buffer
+        // (impossible with the run-sized buffer, but cheap insurance)
+        // unblocks.
+        drop(self.reports);
+        match handle.join() {
+            Ok(Ok(engine)) => Ok(engine),
+            Ok(Err(e)) => Err(ServiceError::Solver(e)),
+            Err(_) => Err(ServiceError::Stopped),
         }
     }
 }
@@ -340,6 +440,86 @@ mod tests {
             .unwrap();
         assert!(response.solution.utility.is_finite());
         drop(clone); // joins the worker without hanging the test
+    }
+
+    #[test]
+    fn saturating_the_bounded_queue_rejects_with_overloaded() {
+        // Capacity 1: while the worker grinds a slow anneal, at most one
+        // request can wait; a burst must observe explicit backpressure.
+        let service = SchedulerService::spawn_with_capacity(1);
+        let slow = ScenarioGenerator::new(
+            ExperimentParams::paper_default()
+                .with_users(60)
+                .with_servers(7),
+        )
+        .generate(11)
+        .unwrap();
+        let mut accepted = Vec::new();
+        let mut overloaded = 0;
+        for seed in 0..10u64 {
+            match service.submit(slow.clone(), SchemeChoice::TsajsQuick, seed) {
+                Ok((id, rx)) => accepted.push((id, rx)),
+                Err(ServiceError::Overloaded) => overloaded += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(overloaded > 0, "a burst of 10 into capacity 1 must shed");
+        assert!(!accepted.is_empty(), "the first request is always taken");
+        // Accepted requests are still answered; nothing enqueued was lost.
+        for (id, rx) in accepted {
+            let response = rx.recv().unwrap();
+            assert_eq!(response.id, id);
+            assert!(response.solution.utility.is_finite());
+        }
+        service.shutdown();
+        // After shutdown the failure mode flips to Stopped, not Overloaded.
+        assert!(matches!(
+            service.submit(scenario(0), SchemeChoice::Greedy, 0),
+            Err(ServiceError::Stopped)
+        ));
+    }
+
+    #[test]
+    fn online_run_streams_reports_and_returns_the_engine() {
+        use mec_online::{AdmitAll, OnlineConfig, OnlineEngine, TraceChurn};
+        use mec_types::Seconds;
+        use mec_workloads::PoissonChurn;
+
+        let params = ExperimentParams::paper_default().with_servers(3);
+        let config = OnlineConfig::pedestrian()
+            .with_base(TtsaConfig::paper_default().with_min_temperature(1e-2))
+            .with_mode(tsajs::ResolveMode::warm(120));
+        let churn = PoissonChurn::new(6, 0.1, Seconds::new(40.0)).unwrap();
+        let engine = OnlineEngine::new(
+            params,
+            config,
+            Box::new(TraceChurn::poisson(&churn, Seconds::new(100.0), 3)),
+            Box::new(AdmitAll),
+            3,
+        )
+        .unwrap();
+
+        let run = OnlineRun::spawn(engine, 6);
+        let streamed: Vec<_> = run.iter().collect();
+        assert_eq!(streamed.len(), 6);
+        assert_eq!(streamed[0].epoch, 0);
+        assert_eq!(streamed[5].epoch, 5);
+
+        let engine = run.join().unwrap();
+        assert_eq!(engine.epochs_run(), 6);
+        // The streamed run matches a direct same-seed run exactly.
+        let churn = PoissonChurn::new(6, 0.1, Seconds::new(40.0)).unwrap();
+        let mut direct = OnlineEngine::new(
+            params,
+            OnlineConfig::pedestrian()
+                .with_base(TtsaConfig::paper_default().with_min_temperature(1e-2))
+                .with_mode(tsajs::ResolveMode::warm(120)),
+            Box::new(TraceChurn::poisson(&churn, Seconds::new(100.0), 3)),
+            Box::new(AdmitAll),
+            3,
+        )
+        .unwrap();
+        assert_eq!(direct.run(6).unwrap(), streamed);
     }
 
     #[test]

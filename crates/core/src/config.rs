@@ -4,6 +4,76 @@
 use mec_types::Error;
 use serde::{Deserialize, Serialize};
 
+/// Default restart temperature for warm-started refreshes: low enough
+/// that the budget is spent improving the inherited schedule instead of
+/// scrambling it, high enough to escape razor-thin local optima.
+pub const DEFAULT_REFRESH_TEMPERATURE: f64 = 0.05;
+
+/// How a periodic re-solve (one scheduling epoch of a dynamic or online
+/// run) uses the previous epoch's decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ResolveMode {
+    /// Discard the previous decision and anneal from scratch with the
+    /// full base schedule every epoch.
+    Cold,
+    /// Seed TTSA from the previous epoch's assignment and run a cheap
+    /// refresh: a fixed low restart temperature and a hard proposal
+    /// budget. A refresh is fine-tuning, not a fresh search.
+    WarmStart {
+        /// Hard cap on neighborhood proposals per refresh.
+        refresh_budget: u64,
+        /// Fixed restart temperature for the refresh chain.
+        refresh_temperature: f64,
+    },
+}
+
+impl ResolveMode {
+    /// Warm start with the given budget at [`DEFAULT_REFRESH_TEMPERATURE`].
+    pub fn warm(refresh_budget: u64) -> Self {
+        ResolveMode::WarmStart {
+            refresh_budget,
+            refresh_temperature: DEFAULT_REFRESH_TEMPERATURE,
+        }
+    }
+
+    /// Validates the mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a zero refresh budget or a
+    /// non-positive refresh temperature.
+    pub fn validate(&self) -> Result<(), Error> {
+        if let ResolveMode::WarmStart {
+            refresh_budget,
+            refresh_temperature,
+        } = *self
+        {
+            if refresh_budget == 0 {
+                return Err(Error::invalid("refresh_budget", "must allow proposals"));
+            }
+            if !refresh_temperature.is_finite() || refresh_temperature <= 0.0 {
+                return Err(Error::invalid("refresh_temperature", "must be positive"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The configuration an epoch re-solve should run with: `base`
+    /// untouched for [`Cold`](Self::Cold), `base` with the refresh budget
+    /// and fixed restart temperature for [`WarmStart`](Self::WarmStart).
+    pub fn refresh_config(&self, base: &TtsaConfig) -> TtsaConfig {
+        match *self {
+            ResolveMode::Cold => *base,
+            ResolveMode::WarmStart {
+                refresh_budget,
+                refresh_temperature,
+            } => base
+                .with_proposal_budget(refresh_budget)
+                .with_initial_temperature(InitialTemperature::Fixed(refresh_temperature)),
+        }
+    }
+}
+
 /// How the initial annealing temperature is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum InitialTemperature {
@@ -270,6 +340,37 @@ mod tests {
         assert_eq!(c.initial_solution, InitialSolution::AllLocal);
         assert!(c.record_trace);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn resolve_mode_validates_and_builds_refresh_configs() {
+        assert!(ResolveMode::Cold.validate().is_ok());
+        assert!(ResolveMode::warm(500).validate().is_ok());
+        assert!(ResolveMode::warm(0).validate().is_err());
+        assert!(ResolveMode::WarmStart {
+            refresh_budget: 10,
+            refresh_temperature: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(ResolveMode::WarmStart {
+            refresh_budget: 10,
+            refresh_temperature: f64::NAN,
+        }
+        .validate()
+        .is_err());
+
+        let base = TtsaConfig::paper_default();
+        assert_eq!(ResolveMode::Cold.refresh_config(&base), base);
+        let refresh = ResolveMode::warm(500).refresh_config(&base);
+        assert_eq!(refresh.proposal_budget, Some(500));
+        assert_eq!(
+            refresh.initial_temperature,
+            InitialTemperature::Fixed(DEFAULT_REFRESH_TEMPERATURE)
+        );
+        // Everything else is inherited from the base schedule.
+        assert_eq!(refresh.cooling, base.cooling);
+        assert_eq!(refresh.inner_iterations, base.inner_iterations);
     }
 
     #[test]

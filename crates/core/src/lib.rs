@@ -52,7 +52,10 @@ pub mod solver;
 pub mod trace;
 
 pub use annealing::{anneal, anneal_from};
-pub use config::{Cooling, InitialSolution, InitialTemperature, TtsaConfig};
+pub use config::{
+    Cooling, InitialSolution, InitialTemperature, ResolveMode, TtsaConfig,
+    DEFAULT_REFRESH_TEMPERATURE,
+};
 pub use moves::{MoveKind, MoveMix, NeighborhoodKernel};
 pub use power::{solve_with_power_control, PowerControlConfig, PowerControlOutcome};
 pub use solver::TsajsSolver;

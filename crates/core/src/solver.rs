@@ -1,10 +1,10 @@
 //! The [`Solver`] wrapper around the TTSA loop.
 
-use crate::annealing::anneal;
+use crate::annealing::{anneal, anneal_from};
 use crate::config::TtsaConfig;
 use crate::moves::{MoveMix, NeighborhoodKernel};
 use crate::trace::SearchTrace;
-use mec_system::{Scenario, Solution, Solver, SolverStats};
+use mec_system::{Assignment, Scenario, Solution, Solver, SolverStats};
 use mec_types::Error;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,6 +70,39 @@ impl TsajsSolver {
     /// [`TtsaConfig::record_trace`] was set.
     pub fn last_trace(&self) -> Option<&SearchTrace> {
         self.last_trace.as_ref()
+    }
+
+    /// Warm-started solve: anneals from an explicit starting decision
+    /// instead of a fresh initial solution — the entry point for periodic
+    /// re-solves that inherit the previous epoch's schedule. Pair it with
+    /// a refresh configuration (see
+    /// [`ResolveMode::refresh_config`](crate::ResolveMode::refresh_config))
+    /// to keep the refresh cheap. Runs a single chain; the
+    /// [`with_restarts`](Self::with_restarts) multi-start setting applies
+    /// only to cold solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an invalid configuration
+    /// and [`Error::InfeasibleAssignment`] /
+    /// [`Error::DimensionMismatch`]-class errors if `warm` does not fit
+    /// the scenario's geometry.
+    pub fn solve_from(&mut self, scenario: &Scenario, warm: Assignment) -> Result<Solution, Error> {
+        self.config.validate()?;
+        warm.verify_feasible(scenario)?;
+        let start = Instant::now();
+        let outcome = anneal_from(scenario, &self.config, &self.kernel, &mut self.rng, warm);
+        let elapsed = start.elapsed();
+        self.last_trace = outcome.trace;
+        Ok(Solution {
+            assignment: outcome.assignment,
+            utility: outcome.objective,
+            stats: SolverStats {
+                objective_evaluations: outcome.proposals + 1,
+                iterations: outcome.proposals,
+                elapsed,
+            },
+        })
     }
 }
 
@@ -252,5 +285,42 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_restarts_panics() {
         let _ = TsajsSolver::with_seed(0).with_restarts(0);
+    }
+
+    #[test]
+    fn warm_start_solve_is_deterministic_and_consistent() {
+        use crate::config::ResolveMode;
+        let sc = scenario(6);
+        let warm = TsajsSolver::new(quick().with_seed(5))
+            .solve(&sc)
+            .unwrap()
+            .assignment;
+        let refresh = ResolveMode::warm(200).refresh_config(&quick());
+        let run = || {
+            TsajsSolver::new(refresh.with_seed(8))
+                .solve_from(&sc, warm.clone())
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.utility, b.utility);
+        // The refresh respects its budget (anytime mode stops at the end
+        // of the epoch in which the cap is reached).
+        assert!(a.stats.iterations <= 200 + refresh.inner_iterations as u64);
+        let recomputed = Evaluator::new(&sc).objective(&a.assignment);
+        assert!((a.utility - recomputed).abs() < 1e-12);
+        a.assignment.verify_feasible(&sc).unwrap();
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_geometry_and_bad_configs() {
+        let sc = scenario(4);
+        let wrong_dims = Assignment::with_dims(3, 2, 2);
+        assert!(TsajsSolver::new(quick().with_seed(0))
+            .solve_from(&sc, wrong_dims)
+            .is_err());
+        let mut bad = TsajsSolver::new(quick().with_cooling(Cooling::Geometric { alpha: 1.5 }));
+        assert!(bad.solve_from(&sc, Assignment::all_local(&sc)).is_err());
     }
 }

@@ -208,10 +208,30 @@ impl DynamicSimulation {
         base: tsajs::TtsaConfig,
         refresh_budget: u64,
     ) -> Result<History, Error> {
+        self.run_ttsa(epochs, base, tsajs::ResolveMode::warm(refresh_budget))
+    }
+
+    /// The shared TTSA epoch loop behind both dynamic paths: every epoch
+    /// re-solves under `mode` — [`ResolveMode::Cold`] anneals from scratch
+    /// (the cold-solve fallback), [`ResolveMode::WarmStart`] seeds the
+    /// chain from the previous epoch's decision under a tight refresh
+    /// budget at a low fixed restart temperature (the first epoch is
+    /// always a cold solve; there is nothing to warm-start from).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, scenario-generation and solver errors.
+    ///
+    /// [`ResolveMode::Cold`]: tsajs::ResolveMode::Cold
+    /// [`ResolveMode::WarmStart`]: tsajs::ResolveMode::WarmStart
+    pub fn run_ttsa(
+        &mut self,
+        epochs: usize,
+        base: tsajs::TtsaConfig,
+        mode: tsajs::ResolveMode,
+    ) -> Result<History, Error> {
         base.validate()?;
-        if refresh_budget == 0 {
-            return Err(Error::invalid("refresh_budget", "must allow proposals"));
-        }
+        mode.validate()?;
         let layout = self.generator.layout()?;
         let kernel = tsajs::NeighborhoodKernel::new();
         let mut chain_rng = StdRng::seed_from_u64(self.seed ^ 0x5851_F42D_4C95_7F2D);
@@ -230,16 +250,16 @@ impl DynamicSimulation {
             let scenario = self
                 .generator
                 .generate_at(self.model.positions(), epoch_seed)?;
-            let outcome = match previous.as_ref() {
-                None => tsajs::anneal(&scenario, &base, &kernel, &mut chain_rng),
-                Some(warm) => {
+            let outcome = match (mode, previous.as_ref()) {
+                (tsajs::ResolveMode::Cold, _) | (_, None) => {
+                    tsajs::anneal(&scenario, &base, &kernel, &mut chain_rng)
+                }
+                (tsajs::ResolveMode::WarmStart { .. }, Some(warm)) => {
                     // A refresh is fine-tuning, not a fresh search: start
                     // cold (low fixed temperature) so the budget is spent
                     // improving the inherited schedule instead of
                     // scrambling it.
-                    let refresh = base
-                        .with_proposal_budget(refresh_budget)
-                        .with_initial_temperature(tsajs::InitialTemperature::Fixed(0.05));
+                    let refresh = mode.refresh_config(&base);
                     tsajs::anneal_from(&scenario, &refresh, &kernel, &mut chain_rng, warm.clone())
                 }
             };
@@ -420,6 +440,44 @@ mod tests {
         for e in &history.epochs {
             assert!(e.reassignments <= 8);
         }
+    }
+
+    #[test]
+    fn run_ttsa_cold_and_warm_share_one_code_path() {
+        let base = tsajs::TtsaConfig::paper_default().with_min_temperature(1e-2);
+        // Warm mode through run_ttsa is exactly run_incremental.
+        let warm_direct = {
+            let mut sim =
+                DynamicSimulation::new(params(), MobilityConfig::pedestrian(), 7).unwrap();
+            sim.run_ttsa(4, base, tsajs::ResolveMode::warm(80)).unwrap()
+        };
+        let warm_legacy = {
+            let mut sim =
+                DynamicSimulation::new(params(), MobilityConfig::pedestrian(), 7).unwrap();
+            sim.run_incremental(4, base, 80).unwrap()
+        };
+        assert_eq!(warm_direct, warm_legacy);
+        // The cold fallback re-anneals every epoch: no epoch is cheaper
+        // than the warm refreshes.
+        let cold = {
+            let mut sim =
+                DynamicSimulation::new(params(), MobilityConfig::pedestrian(), 7).unwrap();
+            sim.run_ttsa(4, base, tsajs::ResolveMode::Cold).unwrap()
+        };
+        assert_eq!(cold.epochs.len(), 4);
+        let min_cold = cold.epochs.iter().map(|e| e.proposals).min().unwrap();
+        let max_warm = warm_direct.epochs[1..]
+            .iter()
+            .map(|e| e.proposals)
+            .max()
+            .unwrap();
+        assert!(
+            max_warm < min_cold,
+            "warm refreshes ({max_warm}) should undercut cold solves ({min_cold})"
+        );
+        // Cold mode ignores any previous decision, so its first two
+        // epochs both pay the full schedule.
+        assert!(cold.epochs[1].proposals >= min_cold);
     }
 
     #[test]

@@ -62,6 +62,58 @@ impl RandomWaypoint {
         &self.positions
     }
 
+    /// Number of users currently tracked.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether no users are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Adds one user at a fresh uniform position with its own destination
+    /// and a speed drawn from `speed_range` (m/s); returns its index.
+    /// Supports churn: the online engine spawns arrivals here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range is empty, negative or non-finite.
+    pub fn add_user<R: Rng + ?Sized>(
+        &mut self,
+        layout: &NetworkLayout,
+        speed_range: (f64, f64),
+        rng: &mut R,
+    ) -> usize {
+        assert!(
+            speed_range.0.is_finite()
+                && speed_range.1.is_finite()
+                && speed_range.0 >= 0.0
+                && speed_range.1 >= speed_range.0,
+            "speed range must be a finite non-negative interval"
+        );
+        self.positions.push(random_point(layout, rng));
+        self.destinations.push(random_point(layout, rng));
+        self.speeds_mps.push(if speed_range.0 == speed_range.1 {
+            speed_range.0
+        } else {
+            rng.gen_range(speed_range.0..=speed_range.1)
+        });
+        self.positions.len() - 1
+    }
+
+    /// Removes the user at `index`; later users shift down by one
+    /// (matching `Vec::remove`), so callers tracking indices must remap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn remove_user(&mut self, index: usize) {
+        self.positions.remove(index);
+        self.destinations.remove(index);
+        self.speeds_mps.remove(index);
+    }
+
     /// Per-user speeds in m/s.
     pub fn speeds(&self) -> &[f64] {
         &self.speeds_mps
@@ -195,5 +247,36 @@ mod tests {
         let l = layout();
         let mut rng = StdRng::seed_from_u64(0);
         let _ = RandomWaypoint::new(&l, 1, (5.0, 1.0), &mut rng);
+    }
+
+    #[test]
+    fn add_and_remove_users_track_population() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = RandomWaypoint::new(&l, 0, (1.0, 2.0), &mut rng);
+        assert!(model.is_empty());
+        let a = model.add_user(&l, (1.0, 2.0), &mut rng);
+        let b = model.add_user(&l, (1.0, 2.0), &mut rng);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(model.len(), 2);
+        assert!(model.positions().iter().all(|p| l.contains(*p)));
+        assert!(model.speeds().iter().all(|v| (1.0..=2.0).contains(v)));
+        // Removing the first user shifts the second one down.
+        let second = model.positions()[1];
+        model.remove_user(0);
+        assert_eq!(model.len(), 1);
+        assert_eq!(model.positions()[0], second);
+        // A churned population still steps fine.
+        model.step(&l, Seconds::new(5.0), &mut rng);
+        assert!(l.contains(model.positions()[0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_an_unknown_user_panics() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = RandomWaypoint::new(&l, 1, (1.0, 2.0), &mut rng);
+        model.remove_user(3);
     }
 }

@@ -1,0 +1,150 @@
+//! Pluggable admission control for overload.
+//!
+//! Every arrival passes through an [`AdmissionPolicy`] before it enters
+//! the schedulable population. Under overload an operator either turns
+//! users away ([`Reject`](AdmissionDecision::Reject)) or admits them as
+//! permanently local ([`ForceLocal`](AdmissionDecision::ForceLocal)) —
+//! they consume no uplink subchannel and no server compute, so the
+//! scheduled population stays bounded.
+
+/// What the engine knows when an arrival asks to be admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionContext {
+    /// Users currently in the system (scheduled + forced-local).
+    pub active_users: usize,
+    /// Users currently eligible for offloading decisions.
+    pub scheduled_users: usize,
+    /// Users admitted as forced-local.
+    pub forced_local_users: usize,
+    /// Total offloading capacity `S · N` of the network.
+    pub offload_slots: usize,
+}
+
+/// The verdict on one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Admit into the schedulable population.
+    Admit,
+    /// Admit, but pin to local execution (never offloads).
+    ForceLocal,
+    /// Turn the user away entirely.
+    Reject,
+}
+
+/// How a [`CapacityGate`] treats arrivals beyond its limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowAction {
+    /// Reject overload arrivals.
+    Reject,
+    /// Admit overload arrivals as forced-local.
+    ForceLocal,
+}
+
+/// Decides, per arrival, whether a user enters the schedulable
+/// population. Implementations must be deterministic functions of the
+/// context (and their own state) for seeded runs to reproduce.
+pub trait AdmissionPolicy: Send {
+    /// Display name (for reports and logs).
+    fn name(&self) -> &str;
+    /// The verdict for one arrival under `ctx`.
+    fn decide(&mut self, ctx: &AdmissionContext) -> AdmissionDecision;
+}
+
+/// Admits everyone into the schedulable population (the default; TTSA
+/// itself decides who actually offloads).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn name(&self) -> &str {
+        "admit-all"
+    }
+
+    fn decide(&mut self, _ctx: &AdmissionContext) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+}
+
+/// Caps the schedulable population at `max_scheduled` users; arrivals
+/// beyond the cap are handled per [`OverflowAction`].
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityGate {
+    /// Maximum schedulable population.
+    pub max_scheduled: usize,
+    /// What happens to arrivals beyond the cap.
+    pub overflow: OverflowAction,
+}
+
+impl CapacityGate {
+    /// A gate that rejects beyond `max_scheduled`.
+    pub fn rejecting(max_scheduled: usize) -> Self {
+        Self {
+            max_scheduled,
+            overflow: OverflowAction::Reject,
+        }
+    }
+
+    /// A gate that degrades to forced-local beyond `max_scheduled`.
+    pub fn forcing_local(max_scheduled: usize) -> Self {
+        Self {
+            max_scheduled,
+            overflow: OverflowAction::ForceLocal,
+        }
+    }
+}
+
+impl AdmissionPolicy for CapacityGate {
+    fn name(&self) -> &str {
+        match self.overflow {
+            OverflowAction::Reject => "capacity-gate/reject",
+            OverflowAction::ForceLocal => "capacity-gate/force-local",
+        }
+    }
+
+    fn decide(&mut self, ctx: &AdmissionContext) -> AdmissionDecision {
+        if ctx.scheduled_users < self.max_scheduled {
+            AdmissionDecision::Admit
+        } else {
+            match self.overflow {
+                OverflowAction::Reject => AdmissionDecision::Reject,
+                OverflowAction::ForceLocal => AdmissionDecision::ForceLocal,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(scheduled: usize) -> AdmissionContext {
+        AdmissionContext {
+            active_users: scheduled,
+            scheduled_users: scheduled,
+            forced_local_users: 0,
+            offload_slots: 27,
+        }
+    }
+
+    #[test]
+    fn admit_all_always_admits() {
+        let mut p = AdmitAll;
+        assert_eq!(p.decide(&ctx(0)), AdmissionDecision::Admit);
+        assert_eq!(p.decide(&ctx(10_000)), AdmissionDecision::Admit);
+        assert_eq!(p.name(), "admit-all");
+    }
+
+    #[test]
+    fn capacity_gate_switches_at_the_cap() {
+        let mut reject = CapacityGate::rejecting(5);
+        assert_eq!(reject.decide(&ctx(4)), AdmissionDecision::Admit);
+        assert_eq!(reject.decide(&ctx(5)), AdmissionDecision::Reject);
+        assert_eq!(reject.decide(&ctx(6)), AdmissionDecision::Reject);
+        assert_eq!(reject.name(), "capacity-gate/reject");
+
+        let mut degrade = CapacityGate::forcing_local(5);
+        assert_eq!(degrade.decide(&ctx(4)), AdmissionDecision::Admit);
+        assert_eq!(degrade.decide(&ctx(5)), AdmissionDecision::ForceLocal);
+        assert_eq!(degrade.name(), "capacity-gate/force-local");
+    }
+}

@@ -1,0 +1,115 @@
+//! The event source feeding the engine: a pluggable arrival process.
+//!
+//! The engine does not care *how* churn events are produced — it drains
+//! whatever the configured [`ChurnProcess`] yields, in time order. The
+//! stock implementation replays a precomputed
+//! [`ChurnTrace`](mec_workloads::ChurnTrace) (typically from
+//! [`PoissonChurn`](mec_workloads::PoissonChurn)); custom processes
+//! (deterministic schedules, trace files, diurnal rates) just implement
+//! the trait.
+
+use mec_types::Seconds;
+use mec_workloads::{ChurnEvent, ChurnTrace, PoissonChurn};
+
+/// A stream of arrival/departure events, consumed in time order.
+///
+/// Implementations must yield events monotonically: once `drain_until(t)`
+/// has been called, no event at or before `t` may appear later. They must
+/// also be deterministic for seeded engine runs to reproduce.
+pub trait ChurnProcess: Send {
+    /// Appends every not-yet-delivered event with `at <= now` to `out`,
+    /// in time order.
+    fn drain_until(&mut self, now: Seconds, out: &mut Vec<ChurnEvent>);
+}
+
+/// Replays a precomputed [`ChurnTrace`].
+#[derive(Debug, Clone)]
+pub struct TraceChurn {
+    events: Vec<ChurnEvent>,
+    next: usize,
+}
+
+impl TraceChurn {
+    /// Wraps a trace for replay.
+    pub fn new(trace: ChurnTrace) -> Self {
+        Self {
+            events: trace.into_events(),
+            next: 0,
+        }
+    }
+
+    /// Convenience: generates a seeded [`PoissonChurn`] trace over
+    /// `horizon` and wraps it.
+    pub fn poisson(model: &PoissonChurn, horizon: Seconds, seed: u64) -> Self {
+        Self::new(model.trace(horizon, seed))
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+impl ChurnProcess for TraceChurn {
+    fn drain_until(&mut self, now: Seconds, out: &mut Vec<ChurnEvent>) {
+        while self.next < self.events.len() && self.events[self.next].at.as_secs() <= now.as_secs()
+        {
+            out.push(self.events[self.next]);
+            self.next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_workloads::ChurnEventKind;
+
+    fn event(at: f64, user: u64, kind: ChurnEventKind) -> ChurnEvent {
+        ChurnEvent {
+            at: Seconds::new(at),
+            user,
+            kind,
+        }
+    }
+
+    #[test]
+    fn drains_in_windows_without_replay() {
+        let trace = ChurnTrace::from_events(vec![
+            event(0.0, 0, ChurnEventKind::Arrival),
+            event(3.0, 1, ChurnEventKind::Arrival),
+            event(7.0, 0, ChurnEventKind::Departure),
+        ]);
+        let mut process = TraceChurn::new(trace);
+        assert_eq!(process.remaining(), 3);
+
+        let mut out = Vec::new();
+        process.drain_until(Seconds::new(0.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].user, 0);
+
+        out.clear();
+        process.drain_until(Seconds::new(5.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].user, 1);
+
+        out.clear();
+        process.drain_until(Seconds::new(100.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, ChurnEventKind::Departure);
+        assert_eq!(process.remaining(), 0);
+
+        // Nothing left.
+        out.clear();
+        process.drain_until(Seconds::new(1000.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn poisson_constructor_matches_manual_wrapping() {
+        let model = PoissonChurn::new(3, 0.2, Seconds::new(50.0)).unwrap();
+        let a = TraceChurn::poisson(&model, Seconds::new(100.0), 9);
+        let b = TraceChurn::new(model.trace(Seconds::new(100.0), 9));
+        assert_eq!(a.remaining(), b.remaining());
+    }
+}

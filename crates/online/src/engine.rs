@@ -1,0 +1,710 @@
+//! The event-driven online scheduling engine.
+//!
+//! [`OnlineEngine::step`] advances one scheduling epoch:
+//!
+//! 1. drain churn events due now (departures free their slots and
+//!    finalize SLA records; arrivals pass admission and spawn into the
+//!    mobility model),
+//! 2. rebuild the epoch's [`Scenario`] at the survivors' current
+//!    positions and *patch* the previous [`Assignment`] onto the new
+//!    population ([`Assignment::patched`] — survivors keep their slots),
+//! 3. re-solve with TTSA: a warm-started refresh seeded from the patched
+//!    decision on the incremental evaluation path
+//!    ([`ResolveMode::WarmStart`]) or a full cold anneal
+//!    ([`ResolveMode::Cold`]),
+//! 4. score every active user against the SLA deadline and emit a
+//!    serializable [`OnlineEpochReport`].
+//!
+//! Everything is driven by seeded RNG streams, so a run is a pure
+//! function of `(params, config, churn trace, seed)` — equal seeds give
+//! bit-identical report streams.
+
+use crate::admission::{AdmissionContext, AdmissionDecision, AdmissionPolicy};
+use crate::churn::ChurnProcess;
+use crate::sla::{CompletedUser, SlaLog};
+use mec_mobility::RandomWaypoint;
+use mec_system::{Assignment, Evaluator, Scenario};
+use mec_topology::NetworkLayout;
+use mec_types::{DeviceProfile, Error, Seconds, Task, UserId};
+use mec_workloads::{ChurnEvent, ChurnEventKind, ExperimentParams, ScenarioGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tsajs::{anneal, anneal_from, NeighborhoodKernel, ResolveMode, TtsaConfig};
+
+/// Engine-level knobs of an online run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Simulated time between scheduling epochs.
+    pub epoch_duration: Seconds,
+    /// Per-user speed range in m/s (random-waypoint motion).
+    pub speed_range_mps: (f64, f64),
+    /// Whether shadowing is redrawn each epoch.
+    pub redraw_shadowing: bool,
+    /// The full TTSA schedule used for cold solves (and as the base of
+    /// warm refreshes).
+    pub base: TtsaConfig,
+    /// How epochs after the first re-solve.
+    pub mode: ResolveMode,
+    /// Per-task completion-time SLA deadline.
+    pub deadline: Seconds,
+}
+
+impl OnlineConfig {
+    /// Pedestrian motion (0.5–2 m/s), 10 s epochs, shadowing redrawn,
+    /// paper-default TTSA base, warm refreshes of 3000 proposals (enough
+    /// to land within 1% of a cold solve at U = 90 under 10% churn — see
+    /// EXPERIMENTS.md), and a 1 s deadline (the local execution time of
+    /// the default task, so local execution exactly meets it).
+    pub fn pedestrian() -> Self {
+        Self {
+            epoch_duration: Seconds::new(10.0),
+            speed_range_mps: (0.5, 2.0),
+            redraw_shadowing: true,
+            base: TtsaConfig::paper_default(),
+            mode: ResolveMode::warm(3_000),
+            deadline: Seconds::new(1.0),
+        }
+    }
+
+    /// Replaces the base TTSA schedule.
+    pub fn with_base(mut self, base: TtsaConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Replaces the re-solve mode.
+    pub fn with_mode(mut self, mode: ResolveMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the SLA deadline.
+    pub fn with_deadline(mut self, deadline: Seconds) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Replaces the epoch duration.
+    pub fn with_epoch_duration(mut self, duration: Seconds) -> Self {
+        self.epoch_duration = duration;
+        self
+    }
+
+    /// Replaces the speed range.
+    pub fn with_speed_range(mut self, range_mps: (f64, f64)) -> Self {
+        self.speed_range_mps = range_mps;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for non-positive durations or
+    /// deadlines, an invalid speed range, or invalid TTSA/mode settings.
+    pub fn validate(&self) -> Result<(), Error> {
+        self.base.validate()?;
+        self.mode.validate()?;
+        if !self.epoch_duration.as_secs().is_finite() || self.epoch_duration.as_secs() <= 0.0 {
+            return Err(Error::invalid("epoch_duration", "must be positive"));
+        }
+        if !self.deadline.as_secs().is_finite() || self.deadline.as_secs() <= 0.0 {
+            return Err(Error::invalid("deadline", "must be positive"));
+        }
+        let (lo, hi) = self.speed_range_mps;
+        if !lo.is_finite() || !hi.is_finite() || lo < 0.0 || hi < lo {
+            return Err(Error::invalid(
+                "speed_range_mps",
+                "must be a finite non-negative interval",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What one scheduling epoch did — the engine's streamable output.
+///
+/// Deliberately excludes wall-clock timing so that equal seeds produce
+/// identical report streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineEpochReport {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Simulated time at the start of the epoch.
+    pub time_s: f64,
+    /// Users in the system this epoch (scheduled + forced-local).
+    pub active_users: usize,
+    /// Users eligible for offloading decisions.
+    pub scheduled: usize,
+    /// Users pinned to local execution by admission.
+    pub forced_local: usize,
+    /// Arrivals admitted this epoch.
+    pub arrivals: usize,
+    /// Departures processed this epoch.
+    pub departures: usize,
+    /// Arrivals rejected by admission this epoch.
+    pub rejected: usize,
+    /// Achieved system utility `J*(X)` over the scheduled population.
+    pub utility: f64,
+    /// Users offloading this epoch.
+    pub num_offloaded: usize,
+    /// Surviving scheduled users whose slot changed since last epoch.
+    pub reassignments: usize,
+    /// Neighborhood proposals spent re-solving this epoch.
+    pub proposals: u64,
+    /// Whether the re-solve warm-started from the patched decision.
+    pub warm_started: bool,
+    /// Fraction of active users whose task met the deadline this epoch.
+    pub deadline_hit_rate: f64,
+}
+
+/// One live user, aligned index-for-index with the mobility model.
+#[derive(Debug, Clone, Copy)]
+struct ActiveUser {
+    id: u64,
+    arrived_at_s: f64,
+    forced_local: bool,
+    epochs: u32,
+    deadline_hits: u32,
+    benefit_sum: f64,
+}
+
+/// The previous epoch's decision, keyed by stable user ids.
+#[derive(Debug, Clone)]
+struct PrevEpoch {
+    sched_ids: Vec<u64>,
+    assignment: Assignment,
+}
+
+/// The long-running online scheduler (see the module docs for the epoch
+/// pipeline).
+pub struct OnlineEngine {
+    params: ExperimentParams,
+    config: OnlineConfig,
+    layout: NetworkLayout,
+    churn: Box<dyn ChurnProcess>,
+    admission: Box<dyn AdmissionPolicy>,
+    motion: RandomWaypoint,
+    users: Vec<ActiveUser>,
+    motion_rng: StdRng,
+    chain_rng: StdRng,
+    kernel: NeighborhoodKernel,
+    clock_s: f64,
+    epoch: usize,
+    seed: u64,
+    prev: Option<PrevEpoch>,
+    last: Option<(Scenario, Assignment)>,
+    sla: SlaLog,
+    local_time_s: f64,
+    rejected_total: u64,
+    event_buf: Vec<ChurnEvent>,
+}
+
+impl OnlineEngine {
+    /// Creates an engine over the given network parameters.
+    /// `params.num_users` is ignored — the population is whatever the
+    /// churn process produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for degenerate parameters or
+    /// configuration.
+    pub fn new(
+        params: ExperimentParams,
+        config: OnlineConfig,
+        churn: Box<dyn ChurnProcess>,
+        admission: Box<dyn AdmissionPolicy>,
+        seed: u64,
+    ) -> Result<Self, Error> {
+        config.validate()?;
+        let layout = ScenarioGenerator::new(params).layout()?;
+        let mut motion_rng = StdRng::seed_from_u64(seed);
+        let motion = RandomWaypoint::new(&layout, 0, config.speed_range_mps, &mut motion_rng);
+        // Forced-local users never enter a Scenario, so their completion
+        // time comes straight from the task's local cost.
+        let device = DeviceProfile::new(params.user_cpu, params.kappa, params.tx_power)?;
+        let task = match params.task_output {
+            Some(output) => Task::with_output(params.task_data, params.task_workload, output)?,
+            None => Task::new(params.task_data, params.task_workload)?,
+        };
+        let local_time_s = task.local_cost(&device).time.as_secs();
+        Ok(Self {
+            params,
+            config,
+            layout,
+            churn,
+            admission,
+            motion,
+            users: Vec::new(),
+            motion_rng,
+            // Decorrelate the solver stream from the motion stream (the
+            // same split `mec_mobility::dynamic` uses).
+            chain_rng: StdRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D),
+            kernel: NeighborhoodKernel::new(),
+            clock_s: 0.0,
+            epoch: 0,
+            seed,
+            prev: None,
+            last: None,
+            sla: SlaLog::default(),
+            local_time_s,
+            rejected_total: 0,
+            event_buf: Vec::new(),
+        })
+    }
+
+    fn population_counts(&self) -> (usize, usize) {
+        let forced = self.users.iter().filter(|u| u.forced_local).count();
+        (self.users.len() - forced, forced)
+    }
+
+    fn apply_churn(&mut self) -> (usize, usize, usize) {
+        let mut events = std::mem::take(&mut self.event_buf);
+        events.clear();
+        self.churn
+            .drain_until(Seconds::new(self.clock_s), &mut events);
+        let (mut arrivals, mut departures, mut rejected) = (0, 0, 0);
+        for e in &events {
+            match e.kind {
+                ChurnEventKind::Arrival => {
+                    let (scheduled, forced) = self.population_counts();
+                    let ctx = AdmissionContext {
+                        active_users: self.users.len(),
+                        scheduled_users: scheduled,
+                        forced_local_users: forced,
+                        offload_slots: self.params.num_servers * self.params.num_subchannels,
+                    };
+                    let decision = self.admission.decide(&ctx);
+                    if decision == AdmissionDecision::Reject {
+                        rejected += 1;
+                        continue;
+                    }
+                    self.motion.add_user(
+                        &self.layout,
+                        self.config.speed_range_mps,
+                        &mut self.motion_rng,
+                    );
+                    self.users.push(ActiveUser {
+                        id: e.user,
+                        arrived_at_s: e.at.as_secs(),
+                        forced_local: decision == AdmissionDecision::ForceLocal,
+                        epochs: 0,
+                        deadline_hits: 0,
+                        benefit_sum: 0.0,
+                    });
+                    arrivals += 1;
+                }
+                ChurnEventKind::Departure => {
+                    // Departures of rejected users have no one to remove.
+                    if let Some(idx) = self.users.iter().position(|u| u.id == e.user) {
+                        let user = self.users.remove(idx);
+                        self.motion.remove_user(idx);
+                        departures += 1;
+                        self.sla.push(CompletedUser {
+                            id: user.id,
+                            arrived_at_s: user.arrived_at_s,
+                            departed_at_s: e.at.as_secs(),
+                            time_in_system_s: e.at.as_secs() - user.arrived_at_s,
+                            epochs_served: user.epochs,
+                            deadline_hits: user.deadline_hits,
+                            total_benefit: user.benefit_sum,
+                            forced_local: user.forced_local,
+                        });
+                    }
+                }
+            }
+        }
+        self.event_buf = events;
+        (arrivals, departures, rejected)
+    }
+
+    /// Advances one scheduling epoch and reports what happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-generation, patching and evaluation errors.
+    pub fn step(&mut self) -> Result<OnlineEpochReport, Error> {
+        let (arrivals, departures, rejected) = self.apply_churn();
+
+        // The schedulable subset, in population order. `sched_pos[v]` is
+        // the population index behind scenario user `v`.
+        let mut sched_pos = Vec::new();
+        let mut sched_ids = Vec::new();
+        let mut positions = Vec::new();
+        for (i, u) in self.users.iter().enumerate() {
+            if !u.forced_local {
+                sched_pos.push(i);
+                sched_ids.push(u.id);
+                positions.push(self.motion.positions()[i]);
+            }
+        }
+
+        let epoch_seed = if self.config.redraw_shadowing {
+            self.seed
+                .wrapping_add(1 + self.epoch as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        } else {
+            self.seed
+        };
+
+        let deadline_s = self.config.deadline.as_secs();
+        let mut epoch_hits = 0usize;
+        let (utility, num_offloaded, proposals, reassignments, warm_started);
+        let prev_assignment;
+        if sched_ids.is_empty() {
+            (
+                utility,
+                num_offloaded,
+                proposals,
+                reassignments,
+                warm_started,
+            ) = (0.0, 0, 0, 0, false);
+            prev_assignment =
+                Assignment::with_dims(0, self.params.num_servers, self.params.num_subchannels);
+            self.last = None;
+        } else {
+            let generator = ScenarioGenerator::new(self.params.with_users(sched_ids.len()));
+            let scenario = generator.generate_at(&positions, epoch_seed)?;
+            // Patch the previous decision onto the new population:
+            // survivors keep their `(s, j)` slots, arrivals start local,
+            // departures free capacity.
+            let old_of_new: Option<Vec<Option<UserId>>> = self.prev.as_ref().map(|prev| {
+                sched_ids
+                    .iter()
+                    .map(|id| {
+                        prev.sched_ids
+                            .iter()
+                            .position(|old| old == id)
+                            .map(UserId::new)
+                    })
+                    .collect()
+            });
+            let patched = match (&self.prev, &old_of_new) {
+                (Some(prev), Some(map)) => Some(prev.assignment.patched(map)?),
+                _ => None,
+            };
+            let warm_eligible =
+                matches!(self.config.mode, ResolveMode::WarmStart { .. }) && patched.is_some();
+            let outcome = if warm_eligible {
+                let refresh = self.config.mode.refresh_config(&self.config.base);
+                anneal_from(
+                    &scenario,
+                    &refresh,
+                    &self.kernel,
+                    &mut self.chain_rng,
+                    patched.clone().expect("warm_eligible implies a patch"),
+                )
+            } else {
+                anneal(
+                    &scenario,
+                    &self.config.base,
+                    &self.kernel,
+                    &mut self.chain_rng,
+                )
+            };
+            warm_started = warm_eligible;
+            reassignments = match (&patched, &old_of_new) {
+                (Some(patched), Some(map)) => (0..sched_ids.len())
+                    .filter(|&v| {
+                        map[v].is_some()
+                            && patched.slot(UserId::new(v))
+                                != outcome.assignment.slot(UserId::new(v))
+                    })
+                    .count(),
+                _ => 0,
+            };
+
+            let evaluation = Evaluator::new(&scenario).evaluate(&outcome.assignment)?;
+            for (v, &pi) in sched_pos.iter().enumerate() {
+                let metrics = &evaluation.users[v];
+                let user = &mut self.users[pi];
+                user.epochs += 1;
+                user.benefit_sum += metrics.utility;
+                if metrics.completion_time.as_secs() <= deadline_s {
+                    user.deadline_hits += 1;
+                    epoch_hits += 1;
+                }
+            }
+            utility = outcome.objective;
+            num_offloaded = outcome.assignment.num_offloaded();
+            proposals = outcome.proposals;
+            prev_assignment = outcome.assignment.clone();
+            self.last = Some((scenario, outcome.assignment));
+        }
+
+        // Forced-local users run on their own CPU every epoch.
+        for user in self.users.iter_mut().filter(|u| u.forced_local) {
+            user.epochs += 1;
+            if self.local_time_s <= deadline_s {
+                user.deadline_hits += 1;
+                epoch_hits += 1;
+            }
+        }
+
+        let active = self.users.len();
+        let report = OnlineEpochReport {
+            epoch: self.epoch,
+            time_s: self.clock_s,
+            active_users: active,
+            scheduled: sched_ids.len(),
+            forced_local: active - sched_ids.len(),
+            arrivals,
+            departures,
+            rejected,
+            utility,
+            num_offloaded,
+            reassignments,
+            proposals,
+            warm_started,
+            deadline_hit_rate: if active == 0 {
+                1.0
+            } else {
+                epoch_hits as f64 / active as f64
+            },
+        };
+
+        self.prev = Some(PrevEpoch {
+            sched_ids,
+            assignment: prev_assignment,
+        });
+        self.rejected_total += rejected as u64;
+        self.motion.step(
+            &self.layout,
+            self.config.epoch_duration,
+            &mut self.motion_rng,
+        );
+        self.clock_s += self.config.epoch_duration.as_secs();
+        self.epoch += 1;
+        Ok(report)
+    }
+
+    /// Runs `epochs` consecutive steps, collecting their reports.
+    ///
+    /// # Errors
+    ///
+    /// As [`step`](Self::step); stops at the first failing epoch.
+    pub fn run(&mut self, epochs: usize) -> Result<Vec<OnlineEpochReport>, Error> {
+        (0..epochs).map(|_| self.step()).collect()
+    }
+
+    /// Epochs simulated so far.
+    pub fn epochs_run(&self) -> usize {
+        self.epoch
+    }
+
+    /// Current simulated time.
+    pub fn clock(&self) -> Seconds {
+        Seconds::new(self.clock_s)
+    }
+
+    /// Users currently in the system.
+    pub fn active_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Total arrivals rejected by admission so far.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_total
+    }
+
+    /// The SLA log of departed users.
+    pub fn sla(&self) -> &SlaLog {
+        &self.sla
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// The most recent epoch's scenario and decision (`None` before the
+    /// first step and while the scheduled population is empty) — the hook
+    /// property tests use to audit feasibility and objective consistency.
+    pub fn last_schedule(&self) -> Option<(&Scenario, &Assignment)> {
+        self.last.as_ref().map(|(s, a)| (s, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{AdmitAll, CapacityGate};
+    use crate::churn::TraceChurn;
+    use mec_workloads::PoissonChurn;
+
+    fn quick_config() -> OnlineConfig {
+        OnlineConfig::pedestrian()
+            .with_base(TtsaConfig::paper_default().with_min_temperature(1e-2))
+            .with_mode(ResolveMode::warm(120))
+    }
+
+    fn engine(seed: u64, initial: usize, rate: f64) -> OnlineEngine {
+        let params = ExperimentParams::paper_default()
+            .with_users(initial)
+            .with_servers(4);
+        let churn = PoissonChurn::new(initial, rate, Seconds::new(60.0)).unwrap();
+        OnlineEngine::new(
+            params,
+            quick_config(),
+            Box::new(TraceChurn::poisson(&churn, Seconds::new(400.0), seed)),
+            Box::new(AdmitAll),
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn epochs_advance_population_and_reports_are_sane() {
+        let mut e = engine(1, 6, 0.1);
+        let reports = e.run(5).unwrap();
+        assert_eq!(reports.len(), 5);
+        assert_eq!(e.epochs_run(), 5);
+        assert_eq!(e.clock().as_secs(), 50.0);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.epoch, i);
+            assert_eq!(r.time_s, i as f64 * 10.0);
+            assert!(r.utility.is_finite());
+            assert!(r.scheduled + r.forced_local == r.active_users);
+            assert!(r.num_offloaded <= r.scheduled);
+            assert!((0.0..=1.0).contains(&r.deadline_hit_rate));
+        }
+        // The first epoch has the initial arrivals and cold-solves.
+        assert_eq!(reports[0].arrivals, 6);
+        assert!(!reports[0].warm_started);
+        // Every later epoch with a predecessor warm-starts.
+        assert!(reports[1..].iter().all(|r| r.warm_started));
+    }
+
+    #[test]
+    fn warm_refreshes_undercut_the_cold_first_solve() {
+        let mut e = engine(3, 8, 0.05);
+        let reports = e.run(4).unwrap();
+        let cold = reports[0].proposals;
+        for r in &reports[1..] {
+            assert!(r.proposals <= 120 + 30, "budget exceeded: {}", r.proposals);
+            assert!(r.proposals < cold);
+        }
+    }
+
+    #[test]
+    fn departures_finalize_sla_records() {
+        // Short sojourns: everyone leaves quickly.
+        let params = ExperimentParams::paper_default().with_servers(4);
+        let churn = PoissonChurn::new(5, 0.0, Seconds::new(15.0)).unwrap();
+        let mut e = OnlineEngine::new(
+            params,
+            quick_config(),
+            Box::new(TraceChurn::poisson(&churn, Seconds::new(1000.0), 2)),
+            Box::new(AdmitAll),
+            2,
+        )
+        .unwrap();
+        let reports = e.run(20).unwrap();
+        assert_eq!(e.sla().len(), 5, "all users departed");
+        assert_eq!(e.active_users(), 0);
+        for u in e.sla().completed() {
+            assert!(u.time_in_system_s > 0.0);
+            assert!(u.deadline_hits <= u.epochs_served);
+        }
+        // Once empty, epochs still run and report zero utility.
+        let tail = reports.last().unwrap();
+        assert_eq!(tail.active_users, 0);
+        assert_eq!(tail.utility, 0.0);
+        assert_eq!(tail.deadline_hit_rate, 1.0);
+    }
+
+    #[test]
+    fn rejecting_gate_bounds_the_scheduled_population() {
+        let params = ExperimentParams::paper_default().with_servers(4);
+        let churn = PoissonChurn::new(12, 0.3, Seconds::new(500.0)).unwrap();
+        let mut e = OnlineEngine::new(
+            params,
+            quick_config(),
+            Box::new(TraceChurn::poisson(&churn, Seconds::new(300.0), 4)),
+            Box::new(CapacityGate::rejecting(8)),
+            4,
+        )
+        .unwrap();
+        let reports = e.run(10).unwrap();
+        assert!(reports.iter().all(|r| r.scheduled <= 8));
+        assert!(e.rejected_total() > 0, "overload should reject someone");
+        assert!(reports.iter().all(|r| r.forced_local == 0));
+    }
+
+    #[test]
+    fn force_local_gate_admits_overload_without_scheduling_it() {
+        let params = ExperimentParams::paper_default().with_servers(4);
+        let churn = PoissonChurn::new(12, 0.3, Seconds::new(500.0)).unwrap();
+        let mut e = OnlineEngine::new(
+            params,
+            quick_config(),
+            Box::new(TraceChurn::poisson(&churn, Seconds::new(300.0), 4)),
+            Box::new(CapacityGate::forcing_local(8)),
+            4,
+        )
+        .unwrap();
+        let reports = e.run(10).unwrap();
+        assert!(reports.iter().all(|r| r.scheduled <= 8));
+        assert_eq!(e.rejected_total(), 0);
+        assert!(reports.iter().any(|r| r.forced_local > 0));
+        // Forced-local users still meet the default deadline (local time
+        // for the default task is exactly 1 s).
+        assert!(reports.iter().all(|r| r.deadline_hit_rate > 0.0));
+    }
+
+    #[test]
+    fn cold_mode_never_warm_starts() {
+        let params = ExperimentParams::paper_default().with_servers(4);
+        let churn = PoissonChurn::new(6, 0.05, Seconds::new(100.0)).unwrap();
+        let mut e = OnlineEngine::new(
+            params,
+            quick_config().with_mode(ResolveMode::Cold),
+            Box::new(TraceChurn::poisson(&churn, Seconds::new(100.0), 5)),
+            Box::new(AdmitAll),
+            5,
+        )
+        .unwrap();
+        let reports = e.run(3).unwrap();
+        assert!(reports.iter().all(|r| !r.warm_started));
+        // Reassignments are still tracked against the previous epoch.
+        assert_eq!(reports[0].reassignments, 0);
+    }
+
+    #[test]
+    fn last_schedule_is_feasible_and_consistent() {
+        let mut e = engine(6, 8, 0.1);
+        let report = e.step().unwrap();
+        let (scenario, assignment) = e.last_schedule().expect("scheduled an epoch");
+        assignment.verify_feasible(scenario).unwrap();
+        let recomputed = Evaluator::new(scenario).objective(assignment);
+        assert!((report.utility - recomputed).abs() <= 1e-9 * recomputed.abs().max(1.0));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let params = ExperimentParams::paper_default();
+        let churn = PoissonChurn::new(1, 0.0, Seconds::new(10.0)).unwrap();
+        let bad = quick_config().with_epoch_duration(Seconds::new(0.0));
+        assert!(OnlineEngine::new(
+            params,
+            bad,
+            Box::new(TraceChurn::poisson(&churn, Seconds::new(10.0), 0)),
+            Box::new(AdmitAll),
+            0,
+        )
+        .is_err());
+        assert!(quick_config()
+            .with_deadline(Seconds::new(-1.0))
+            .validate()
+            .is_err());
+        assert!(quick_config()
+            .with_speed_range((2.0, 1.0))
+            .validate()
+            .is_err());
+        assert!(quick_config()
+            .with_mode(ResolveMode::warm(0))
+            .validate()
+            .is_err());
+    }
+}

@@ -290,6 +290,49 @@ impl Assignment {
         Ok(evicted)
     }
 
+    /// Carries this decision onto a *new* user population with the same
+    /// `(S, N)` geometry: `old_of_new[v]` names the user of `self` that
+    /// the new index `v` continues (a survivor keeps its slot), or `None`
+    /// for a fresh arrival (which starts local). Users of `self` that no
+    /// index continues have departed; their slots are freed.
+    ///
+    /// This is the churn-patching primitive of the online engine: a
+    /// survivor's placement is never invalidated by arrivals or
+    /// departures, so the patched decision warm-starts the next epoch's
+    /// re-solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEntity`] if a mapped old index is out of
+    /// range and [`Error::InfeasibleAssignment`] if two new indices claim
+    /// the same old user (which would double-book its slot).
+    pub fn patched(&self, old_of_new: &[Option<UserId>]) -> Result<Assignment, Error> {
+        let mut next =
+            Assignment::with_dims(old_of_new.len(), self.num_servers, self.num_subchannels);
+        let mut continued = vec![false; self.slots.len()];
+        for (v, old) in old_of_new.iter().enumerate() {
+            let Some(old) = old else { continue };
+            if old.index() >= self.slots.len() {
+                return Err(Error::UnknownEntity {
+                    kind: "user",
+                    index: old.index(),
+                    count: self.slots.len(),
+                });
+            }
+            if continued[old.index()] {
+                return Err(Error::InfeasibleAssignment(format!(
+                    "user {old} is continued by two new indices"
+                )));
+            }
+            continued[old.index()] = true;
+            if let Some((s, j)) = self.slots[old.index()] {
+                next.assign(UserId::new(v), s, j)
+                    .expect("injective survivor map preserves (12d)");
+            }
+        }
+        Ok(next)
+    }
+
     /// Exhaustively re-checks all representation invariants against a
     /// scenario's geometry. Intended for tests and debug assertions; the
     /// mutation API maintains these invariants by construction.
@@ -539,6 +582,53 @@ mod tests {
         assert!(a.free_subchannels(s(0)).is_empty());
         assert_eq!(a.server_users(s(0)), vec![u(0), u(1)]);
         assert!(a.server_users(s(1)).is_empty());
+    }
+
+    #[test]
+    fn patched_carries_survivor_slots_to_a_resized_population() {
+        let mut a = fresh(); // 4 users, 2 servers, 2 subchannels
+        a.assign(u(0), s(0), j(0)).unwrap();
+        a.assign(u(2), s(1), j(1)).unwrap();
+        // New population: user 2 survives as index 0, a fresh arrival is
+        // index 1, user 1 (local) survives as index 2; user 0 departed.
+        let next = a.patched(&[Some(u(2)), None, Some(u(1))]).unwrap();
+        assert_eq!(next.num_users(), 3);
+        assert_eq!(next.slot(u(0)), Some((s(1), j(1))));
+        assert_eq!(next.slot(u(1)), None);
+        assert_eq!(next.slot(u(2)), None);
+        // The departed user's slot is free again.
+        assert_eq!(next.occupant(s(0), j(0)), None);
+        assert_eq!(next.num_offloaded(), 1);
+    }
+
+    #[test]
+    fn patched_handles_empty_and_growing_populations() {
+        let mut a = Assignment::with_dims(1, 2, 2);
+        a.assign(u(0), s(1), j(0)).unwrap();
+        // Everyone departs.
+        let empty = a.patched(&[]).unwrap();
+        assert_eq!(empty.num_users(), 0);
+        assert_eq!(empty.num_offloaded(), 0);
+        // Growing from an empty decision: all arrivals start local.
+        let grown = empty.patched(&[None, None, None]).unwrap();
+        assert_eq!(grown.num_users(), 3);
+        assert_eq!(grown.num_offloaded(), 0);
+        // Identity patch reproduces the original slots.
+        let same = a.patched(&[Some(u(0))]).unwrap();
+        assert_eq!(same.slot(u(0)), a.slot(u(0)));
+    }
+
+    #[test]
+    fn patched_rejects_bad_maps() {
+        let mut a = fresh();
+        a.assign(u(1), s(0), j(1)).unwrap();
+        // Out-of-range old index.
+        assert!(a.patched(&[Some(u(9))]).is_err());
+        // The same old user claimed twice.
+        assert!(a.patched(&[Some(u(1)), Some(u(1))]).is_err());
+        // Duplicating a *local* old user is also rejected: the map must
+        // stay injective.
+        assert!(a.patched(&[Some(u(0)), Some(u(0))]).is_err());
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Seeded user-churn traces: Poisson arrivals, exponential sojourns.
+//!
+//! The online engine consumes [`ChurnEvent`]s; this module generates them
+//! from the classic M/M/∞ population model. With arrival rate `λ` and
+//! mean sojourn `E[W]`, the steady-state population is `λ·E[W]` users —
+//! calibrate both to hit a target population and churn fraction.
+
+use mec_types::{Error, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What happens to a user at one instant of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnEventKind {
+    /// The user enters the system and requests scheduling.
+    Arrival,
+    /// The user leaves the system; its slot (if any) is freed.
+    Departure,
+}
+
+/// One arrival or departure, stamped with the user's stable id.
+///
+/// Ids are stable across the whole trace: the departure of user `k`
+/// refers to the same `k` that arrived earlier, regardless of how many
+/// other users came and went in between.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Simulated time of the event.
+    pub at: Seconds,
+    /// Stable user id.
+    pub user: u64,
+    /// Arrival or departure.
+    pub kind: ChurnEventKind,
+}
+
+/// A time-ordered churn trace.
+///
+/// Arrivals all fall within the generation horizon; departures of users
+/// that arrived in time may land past it (such users simply never leave
+/// during a shorter run). Ties are ordered by user id, arrivals before
+/// departures, so a trace is totally ordered and replay is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnTrace {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnTrace {
+    /// Builds a trace from raw events (sorted into canonical order).
+    pub fn from_events(mut events: Vec<ChurnEvent>) -> Self {
+        events.sort_by(|a, b| {
+            a.at.as_secs()
+                .partial_cmp(&b.at.as_secs())
+                .expect("event times are finite")
+                .then(a.user.cmp(&b.user))
+                .then_with(|| match (a.kind, b.kind) {
+                    (ChurnEventKind::Arrival, ChurnEventKind::Departure) => {
+                        std::cmp::Ordering::Less
+                    }
+                    (ChurnEventKind::Departure, ChurnEventKind::Arrival) => {
+                        std::cmp::Ordering::Greater
+                    }
+                    _ => std::cmp::Ordering::Equal,
+                })
+        });
+        Self { events }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Consumes the trace into its events.
+    pub fn into_events(self) -> Vec<ChurnEvent> {
+        self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The M/M/∞ churn model: `initial_users` present at `t = 0`, new users
+/// arriving as a Poisson process of rate `arrival_rate_hz`, every user
+/// (initial ones included) staying for an independent exponential sojourn
+/// with mean `mean_sojourn`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonChurn {
+    initial_users: usize,
+    arrival_rate_hz: f64,
+    mean_sojourn: Seconds,
+}
+
+impl PoissonChurn {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a negative or non-finite
+    /// arrival rate or a non-positive mean sojourn.
+    pub fn new(
+        initial_users: usize,
+        arrival_rate_hz: f64,
+        mean_sojourn: Seconds,
+    ) -> Result<Self, Error> {
+        if !arrival_rate_hz.is_finite() || arrival_rate_hz < 0.0 {
+            return Err(Error::invalid("arrival_rate", "must be finite and >= 0"));
+        }
+        if !mean_sojourn.as_secs().is_finite() || mean_sojourn.as_secs() <= 0.0 {
+            return Err(Error::invalid("mean_sojourn", "must be positive"));
+        }
+        Ok(Self {
+            initial_users,
+            arrival_rate_hz,
+            mean_sojourn,
+        })
+    }
+
+    /// The model's steady-state population `λ·E[W]` (Little's law).
+    pub fn steady_state_users(&self) -> f64 {
+        self.arrival_rate_hz * self.mean_sojourn.as_secs()
+    }
+
+    /// Generates the seeded trace over `[0, horizon]`: bit-identical for
+    /// equal seeds, independent across seeds.
+    pub fn trace(&self, horizon: Seconds, seed: u64) -> ChurnTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut next_id: u64 = 0;
+        let mut push_user = |events: &mut Vec<ChurnEvent>, at: f64, rng: &mut StdRng| {
+            let id = next_id;
+            next_id += 1;
+            events.push(ChurnEvent {
+                at: Seconds::new(at),
+                user: id,
+                kind: ChurnEventKind::Arrival,
+            });
+            let sojourn = sample_exponential(self.mean_sojourn.as_secs(), rng);
+            events.push(ChurnEvent {
+                at: Seconds::new(at + sojourn),
+                user: id,
+                kind: ChurnEventKind::Departure,
+            });
+        };
+        for _ in 0..self.initial_users {
+            push_user(&mut events, 0.0, &mut rng);
+        }
+        if self.arrival_rate_hz > 0.0 {
+            let mean_gap = 1.0 / self.arrival_rate_hz;
+            let mut t = sample_exponential(mean_gap, &mut rng);
+            while t <= horizon.as_secs() {
+                push_user(&mut events, t, &mut rng);
+                t += sample_exponential(mean_gap, &mut rng);
+            }
+        }
+        ChurnTrace::from_events(events)
+    }
+}
+
+/// Inverse-CDF exponential sample with the given mean (strictly positive).
+fn sample_exponential<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen(); // in [0, 1), so 1 - u is in (0, 1]
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let model = PoissonChurn::new(10, 0.5, Seconds::new(60.0)).unwrap();
+        let a = model.trace(Seconds::new(200.0), 7);
+        let b = model.trace(Seconds::new(200.0), 7);
+        let c = model.trace(Seconds::new(200.0), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn events_are_ordered_and_balanced() {
+        let model = PoissonChurn::new(5, 1.0, Seconds::new(30.0)).unwrap();
+        let trace = model.trace(Seconds::new(100.0), 3);
+        assert!(!trace.is_empty());
+        let events = trace.events();
+        for pair in events.windows(2) {
+            assert!(pair[0].at.as_secs() <= pair[1].at.as_secs());
+        }
+        // Every arrival has exactly one departure, strictly later.
+        let arrivals: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == ChurnEventKind::Arrival)
+            .collect();
+        let departures: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == ChurnEventKind::Departure)
+            .collect();
+        assert_eq!(arrivals.len(), departures.len());
+        for a in &arrivals {
+            let d = departures
+                .iter()
+                .find(|d| d.user == a.user)
+                .expect("departure exists");
+            assert!(d.at.as_secs() > a.at.as_secs());
+        }
+        // Arrivals all fall inside the horizon.
+        assert!(arrivals.iter().all(|a| a.at.as_secs() <= 100.0));
+    }
+
+    #[test]
+    fn steady_state_population_is_approached() {
+        // λ = 0.9/s, E[W] = 100 s ⇒ ~90 users in steady state.
+        let model = PoissonChurn::new(90, 0.9, Seconds::new(100.0)).unwrap();
+        assert!((model.steady_state_users() - 90.0).abs() < 1e-12);
+        let trace = model.trace(Seconds::new(300.0), 11);
+        // Replay: population at t = 300 should be near 90.
+        let mut population: i64 = 0;
+        for e in trace.events() {
+            if e.at.as_secs() <= 300.0 {
+                match e.kind {
+                    ChurnEventKind::Arrival => population += 1,
+                    ChurnEventKind::Departure => population -= 1,
+                }
+            }
+        }
+        assert!(
+            (50..=130).contains(&population),
+            "population drifted to {population}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_model_only_has_initial_users() {
+        let model = PoissonChurn::new(4, 0.0, Seconds::new(10.0)).unwrap();
+        let trace = model.trace(Seconds::new(1000.0), 0);
+        let arrivals = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == ChurnEventKind::Arrival)
+            .count();
+        assert_eq!(arrivals, 4);
+        assert!(trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == ChurnEventKind::Arrival)
+            .all(|e| e.at.as_secs() == 0.0));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(PoissonChurn::new(1, -1.0, Seconds::new(10.0)).is_err());
+        assert!(PoissonChurn::new(1, f64::NAN, Seconds::new(10.0)).is_err());
+        assert!(PoissonChurn::new(1, 1.0, Seconds::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn from_events_sorts_into_canonical_order() {
+        let e = |at: f64, user: u64, kind| ChurnEvent {
+            at: Seconds::new(at),
+            user,
+            kind,
+        };
+        let trace = ChurnTrace::from_events(vec![
+            e(5.0, 1, ChurnEventKind::Departure),
+            e(0.0, 1, ChurnEventKind::Arrival),
+            e(5.0, 0, ChurnEventKind::Departure),
+            e(5.0, 2, ChurnEventKind::Arrival),
+            e(0.0, 0, ChurnEventKind::Arrival),
+        ]);
+        let order: Vec<(f64, u64)> = trace
+            .events()
+            .iter()
+            .map(|ev| (ev.at.as_secs(), ev.user))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(0.0, 0), (0.0, 1), (5.0, 0), (5.0, 1), (5.0, 2)]
+        );
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.clone().into_events().len(), 5);
+    }
+}

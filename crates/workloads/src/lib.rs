@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod experiments;
 pub mod generator;
 pub mod params;
@@ -39,6 +40,7 @@ pub mod report;
 pub mod runner;
 pub mod stats;
 
+pub use churn::{ChurnEvent, ChurnEventKind, ChurnTrace, PoissonChurn};
 pub use generator::ScenarioGenerator;
 pub use params::{ExperimentParams, Preset};
 pub use report::Table;

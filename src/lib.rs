@@ -15,6 +15,8 @@
 //!   ([`mec_workloads`])
 //! * [`mobility`] — random-waypoint mobility + dynamic re-scheduling
 //!   ([`mec_mobility`])
+//! * [`online`] — event-driven online engine: churn, warm-started
+//!   re-solves, SLA tracking ([`mec_online`])
 //! * [`controller`] — an embeddable C-RAN-style scheduling service
 //!   ([`mec_controller`])
 //! * [`viz`] — dependency-free SVG rendering of networks and schedules
@@ -44,6 +46,7 @@
 pub use mec_baselines as baselines;
 pub use mec_controller as controller;
 pub use mec_mobility as mobility;
+pub use mec_online as online;
 pub use mec_radio as radio;
 pub use mec_system as system;
 pub use mec_topology as topology;
