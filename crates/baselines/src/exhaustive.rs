@@ -63,6 +63,31 @@ impl Default for ExhaustiveSolver {
     }
 }
 
+/// Per-user slot key for the lexicographic tie order: local execution is
+/// the smallest option (`0`), and slot `(s, j)` maps to `1 + s·N + j` —
+/// exactly the order in which the DFS enumerates options.
+fn slot_key(x: &Assignment, user_index: usize) -> usize {
+    match x.slot(UserId::new(user_index)) {
+        None => 0,
+        Some((s, j)) => 1 + s.index() * x.num_subchannels() + j.index(),
+    }
+}
+
+/// `true` if `a` precedes `b` in the lexicographic order over per-user
+/// slot keys. Ties in objective value break toward the smaller
+/// assignment, which makes the search result independent of thread count
+/// and branch-completion order.
+fn lex_smaller(a: &Assignment, b: &Assignment) -> bool {
+    debug_assert_eq!(a.num_users(), b.num_users());
+    for u in 0..a.num_users() {
+        let (ka, kb) = (slot_key(a, u), slot_key(b, u));
+        if ka != kb {
+            return ka < kb;
+        }
+    }
+    false
+}
+
 struct Search<'a> {
     scenario: &'a Scenario,
     evaluator: Evaluator<'a>,
@@ -80,7 +105,9 @@ impl Search<'_> {
             let obj = self
                 .evaluator
                 .objective_with(&self.current, &mut self.scratch);
-            if obj > self.best_obj {
+            if obj > self.best_obj
+                || (obj == self.best_obj && lex_smaller(&self.current, &self.best))
+            {
                 self.best_obj = obj;
                 self.best = self.current.clone();
             }
@@ -153,8 +180,9 @@ impl Solver for ExhaustiveSolver {
 
 /// Splits the first user's options (local + every slot) across worker
 /// threads, each running the sequential DFS over the remaining users.
-/// Branch results are folded in branch order with a strict `>`, so the
-/// outcome is bit-identical to the sequential search.
+/// Branch results are folded in branch order, breaking objective ties
+/// toward the lexicographically smallest assignment, so the outcome is
+/// bit-identical to the sequential search at any thread count.
 fn solve_parallel(scenario: &Scenario) -> (Assignment, f64, u64) {
     let first = UserId::new(0);
     // Branch 0 = user 0 local; branches 1.. = user 0 on each slot.
@@ -215,7 +243,7 @@ fn solve_parallel(scenario: &Scenario) -> (Assignment, f64, u64) {
     {
         let (b, obj, n) = r.take().expect("every branch was explored");
         leaves += n;
-        if obj > best_obj {
+        if obj > best_obj || (obj == best_obj && lex_smaller(&b, &best)) {
             best = b;
             best_obj = obj;
         }
@@ -345,6 +373,62 @@ mod tests {
                 seq.stats.objective_evaluations
             );
         }
+    }
+
+    #[test]
+    fn ties_break_toward_the_lexicographically_smallest_assignment() {
+        // A single user over uniform gains and identical servers scores
+        // the same on every slot — a genuine 4-way tie. The winner must
+        // be the lexicographically smallest option, slot (s0, j0), in
+        // both search modes.
+        let sc = uniform_scenario(1, 2, 2, 1e-10);
+        let ev = Evaluator::new(&sc);
+        let u = UserId::new(0);
+        let best = ExhaustiveSolver::new().solve(&sc).unwrap();
+        for s in 0..2 {
+            for j in 0..2 {
+                let mut x = Assignment::all_local(&sc);
+                x.assign(u, ServerId::new(s), SubchannelId::new(j)).unwrap();
+                assert_eq!(
+                    ev.objective(&x),
+                    best.utility,
+                    "every slot of (s{s}, j{j}) must tie for this test to bite"
+                );
+            }
+        }
+        for mut solver in [
+            ExhaustiveSolver::new(),
+            ExhaustiveSolver::new().sequential(),
+        ] {
+            let solution = solver.solve(&sc).unwrap();
+            assert_eq!(
+                solution.assignment.slot(u),
+                Some((ServerId::new(0), SubchannelId::new(0))),
+                "ties must break toward the lexicographically smallest slot"
+            );
+        }
+    }
+
+    #[test]
+    fn lex_order_ranks_local_before_any_slot_and_slots_by_server_then_channel() {
+        let sc = uniform_scenario(2, 2, 2, 1e-10);
+        let local = Assignment::all_local(&sc);
+        let mut s0j1 = local.clone();
+        s0j1.assign(UserId::new(0), ServerId::new(0), SubchannelId::new(1))
+            .unwrap();
+        let mut s1j0 = local.clone();
+        s1j0.assign(UserId::new(0), ServerId::new(1), SubchannelId::new(0))
+            .unwrap();
+        assert!(lex_smaller(&local, &s0j1));
+        assert!(lex_smaller(&s0j1, &s1j0));
+        assert!(!lex_smaller(&s1j0, &s0j1));
+        assert!(!lex_smaller(&local, &local));
+        // Earlier users dominate the comparison.
+        let mut u1_off = local.clone();
+        u1_off
+            .assign(UserId::new(1), ServerId::new(1), SubchannelId::new(1))
+            .unwrap();
+        assert!(lex_smaller(&u1_off, &s0j1));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use mec_baselines::{
     AllLocalSolver, ExhaustiveSolver, GreedySolver, HJtoraSolver, LocalSearchSolver, RandomSolver,
 };
+use mec_conformance::{run_conformance, ConformanceConfig};
 use mec_mobility::{DynamicSimulation, MobilityConfig};
 use mec_online::{AdmissionPolicy, AdmitAll, CapacityGate, OnlineConfig, OnlineEngine, TraceChurn};
 use mec_system::{Assignment, Scenario, ScenarioSpec, Solver, SystemEvaluation};
@@ -41,6 +42,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// JSON (de)serialization failure.
     Json(serde_json::Error),
+    /// A conformance sweep found invariant violations.
+    Conformance(u64),
 }
 
 impl fmt::Display for CliError {
@@ -50,6 +53,12 @@ impl fmt::Display for CliError {
             CliError::Model(e) => write!(f, "model error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Conformance(n) => {
+                write!(
+                    f,
+                    "conformance failed: {n} invariant violation(s), see report"
+                )
+            }
         }
     }
 }
@@ -109,13 +118,19 @@ USAGE:
                      [--epoch-secs SECS] [--budget P] [--cold]
                      [--capacity N] [--admission reject|force-local]
                      [--seed SEED]
+  tsajs-sim conformance [--seeds N] [--seed BASE] [--deep]
+                     [--out FILE]
 
 SOLVERS: tsajs (default), hjtora, greedy, localsearch, random,
          exhaustive, alllocal
 
 The `online` command runs the event-driven engine (Poisson arrivals,
 exponential sojourns, per-epoch warm-started re-solves) and writes one
-JSON epoch report per line to stdout.";
+JSON epoch report per line to stdout.
+
+The `conformance` command sweeps seeded fuzzed instances through the
+invariant oracle, the solver differential panel and online seed-replay,
+prints a JSON verdict report and exits non-zero on any violation.";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -187,6 +202,17 @@ pub enum Command {
         admission: String,
         /// Seed.
         seed: u64,
+    },
+    /// Seeded conformance sweep; emits a JSON verdict report.
+    Conformance {
+        /// Number of fuzzed scenario seeds to sweep.
+        seeds: u64,
+        /// First seed of the sweep.
+        base_seed: u64,
+        /// Use the nightly deep profile instead of the standard gate.
+        deep: bool,
+        /// Optional JSON report path (also printed to stdout).
+        out: Option<PathBuf>,
     },
     /// Dynamic mobility simulation with per-epoch re-scheduling.
     Simulate {
@@ -418,6 +444,38 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 capacity,
                 admission,
                 seed,
+            })
+        }
+        "conformance" => {
+            let mut seeds: Option<u64> = None;
+            let mut base_seed = 0u64;
+            let mut deep = false;
+            let mut out: Option<PathBuf> = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--seeds" => seeds = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+                    "--seed" => base_seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--deep" => deep = true,
+                    "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            // Default seed count follows the chosen profile.
+            let seeds = seeds.unwrap_or_else(|| {
+                if deep {
+                    ConformanceConfig::deep().seeds
+                } else {
+                    ConformanceConfig::standard().seeds
+                }
+            });
+            if seeds == 0 {
+                return Err(CliError::Usage("--seeds must be at least 1".into()));
+            }
+            Ok(Command::Conformance {
+                seeds,
+                base_seed,
+                deep,
+                out,
             })
         }
         "--help" | "-h" | "help" => Err(CliError::Usage("help requested".into())),
@@ -699,6 +757,30 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 writeln!(out, "{}", serde_json::to_string(&report)?)?;
             }
             Ok(())
+        }
+        Command::Conformance {
+            seeds,
+            base_seed,
+            deep,
+            out: report_path,
+        } => {
+            let base = if deep {
+                ConformanceConfig::deep()
+            } else {
+                ConformanceConfig::standard()
+            };
+            let config = base.with_seeds(seeds).with_base_seed(base_seed);
+            let report = run_conformance(&config);
+            let json = serde_json::to_string_pretty(&report)?;
+            writeln!(out, "{json}")?;
+            if let Some(path) = report_path {
+                std::fs::write(&path, &json)?;
+            }
+            if report.passed {
+                Ok(())
+            } else {
+                Err(CliError::Conformance(report.total_violations))
+            }
         }
         Command::Compare { scenario, seed } => {
             let scenario = load_scenario(&scenario)?;
@@ -1158,6 +1240,135 @@ mod tests {
         }
         // Seeded: the JSONL stream reproduces byte-for-byte.
         assert_eq!(text, run_once());
+    }
+
+    #[test]
+    fn online_jsonl_matches_the_report_schema() {
+        use mec_online::OnlineEpochReport;
+        let mut buf = Vec::new();
+        run(
+            parse_args(&[
+                "online",
+                "--users",
+                "4",
+                "--epochs",
+                "3",
+                "--servers",
+                "3",
+                "--seed",
+                "5",
+                "--budget",
+                "150",
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let counts = [
+            "epoch",
+            "active_users",
+            "scheduled",
+            "forced_local",
+            "arrivals",
+            "departures",
+            "rejected",
+            "num_offloaded",
+            "reassignments",
+            "proposals",
+        ];
+        let floats = ["time_s", "utility", "deadline_hit_rate"];
+        for line in text.lines() {
+            let value: serde_json::Value = serde_json::from_str(line).unwrap();
+            let serde_json::Value::Object(entries) = value else {
+                panic!("epoch report is not a JSON object: {line}");
+            };
+            // Field set and order are the declared schema, exactly.
+            let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, OnlineEpochReport::FIELD_NAMES, "in line: {line}");
+            for (key, field) in &entries {
+                if counts.contains(&key.as_str()) {
+                    assert!(field.as_u64().is_some(), "{key} not a count in: {line}");
+                } else if floats.contains(&key.as_str()) {
+                    assert!(field.as_f64().is_some(), "{key} not numeric in: {line}");
+                } else {
+                    assert_eq!(key, "warm_started");
+                    assert!(
+                        matches!(field, serde_json::Value::Bool(_)),
+                        "{key} not a bool in: {line}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parses_conformance() {
+        match parse_args(&["conformance", "--seeds", "9", "--seed", "3"]).unwrap() {
+            Command::Conformance {
+                seeds,
+                base_seed,
+                deep,
+                out,
+            } => {
+                assert_eq!(seeds, 9);
+                assert_eq!(base_seed, 3);
+                assert!(!deep);
+                assert_eq!(out, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults follow the chosen profile.
+        match parse_args(&["conformance"]).unwrap() {
+            Command::Conformance { seeds, deep, .. } => {
+                assert_eq!(seeds, ConformanceConfig::standard().seeds);
+                assert!(!deep);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&["conformance", "--deep"]).unwrap() {
+            Command::Conformance { seeds, deep, .. } => {
+                assert_eq!(seeds, ConformanceConfig::deep().seeds);
+                assert!(deep);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            parse_args(&["conformance", "--seeds", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&["conformance", "--frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn conformance_command_emits_a_clean_json_verdict() {
+        let dir = tmp_dir();
+        let report_path = dir.join("verdict.json");
+        let mut buf = Vec::new();
+        run(
+            parse_args(&[
+                "conformance",
+                "--seeds",
+                "2",
+                "--out",
+                report_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(value["passed"], serde_json::Value::Bool(true));
+        assert_eq!(value["seeds"].as_u64(), Some(2));
+        assert_eq!(value["invariants"].as_array().unwrap().len(), 8);
+        // The --out file carries the same report.
+        let file = std::fs::read_to_string(&report_path).unwrap();
+        assert_eq!(text.trim_end(), file);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Verdict reporting: the JSON-serializable outcome of a conformance run.
+
+use serde::Serialize;
+
+/// How many failing examples each invariant keeps (the rest are counted
+/// but not stored, to bound report size on a badly broken build).
+pub const MAX_EXAMPLES: usize = 5;
+
+/// The outcome of one invariant across a whole conformance run.
+#[derive(Debug, Clone, Serialize)]
+pub struct InvariantVerdict {
+    /// Stable invariant name (e.g. `kkt_allocation_eq22`).
+    pub invariant: &'static str,
+    /// How many times the invariant was checked.
+    pub checks: u64,
+    /// How many checks failed.
+    pub violations: u64,
+    /// Largest residual observed across *passing* checks — how close the
+    /// implementation sails to the tolerance, even when everything holds.
+    pub worst_residual: f64,
+    /// Up to [`MAX_EXAMPLES`] descriptions of failing checks, each
+    /// prefixed with the seed that reproduces it.
+    pub examples: Vec<String>,
+}
+
+impl InvariantVerdict {
+    /// A fresh verdict with zero checks.
+    pub fn new(invariant: &'static str) -> Self {
+        Self {
+            invariant,
+            checks: 0,
+            violations: 0,
+            worst_residual: 0.0,
+            examples: Vec::new(),
+        }
+    }
+
+    /// Records a passing check with its observed residual.
+    pub fn pass(&mut self, residual: f64) {
+        self.checks += 1;
+        if residual > self.worst_residual {
+            self.worst_residual = residual;
+        }
+    }
+
+    /// Records a failing check.
+    pub fn fail(&mut self, example: String) {
+        self.checks += 1;
+        self.violations += 1;
+        if self.examples.len() < MAX_EXAMPLES {
+            self.examples.push(example);
+        }
+    }
+
+    /// Folds a check outcome (`Ok(residual)` / `Err(description)`) into
+    /// the verdict, tagging failures with the seed that produced them.
+    pub fn record(&mut self, seed: u64, outcome: Result<f64, String>) {
+        match outcome {
+            Ok(residual) => self.pass(residual),
+            Err(msg) => self.fail(format!("seed {seed}: {msg}")),
+        }
+    }
+
+    /// `true` when no check failed.
+    pub fn ok(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// The full JSON verdict of a conformance run — what the
+/// `tsajs-sim conformance` subcommand prints.
+#[derive(Debug, Clone, Serialize)]
+pub struct VerdictReport {
+    /// Number of fuzzed scenario seeds swept.
+    pub seeds: u64,
+    /// First seed of the sweep.
+    pub base_seed: u64,
+    /// Relative tolerance every residual is held to.
+    pub tolerance: f64,
+    /// `true` iff every invariant reports zero violations.
+    pub passed: bool,
+    /// Total checks across all invariants.
+    pub total_checks: u64,
+    /// Total violations across all invariants.
+    pub total_violations: u64,
+    /// Per-invariant verdicts, in a fixed order.
+    pub invariants: Vec<InvariantVerdict>,
+}
+
+impl VerdictReport {
+    /// Assembles the report from per-invariant verdicts.
+    pub fn new(
+        seeds: u64,
+        base_seed: u64,
+        tolerance: f64,
+        invariants: Vec<InvariantVerdict>,
+    ) -> Self {
+        let total_checks = invariants.iter().map(|v| v.checks).sum();
+        let total_violations = invariants.iter().map(|v| v.violations).sum();
+        Self {
+            seeds,
+            base_seed,
+            tolerance,
+            passed: total_violations == 0,
+            total_checks,
+            total_violations,
+            invariants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_accumulate_and_cap_examples() {
+        let mut v = InvariantVerdict::new("demo");
+        v.record(1, Ok(1e-12));
+        v.record(2, Ok(3e-12));
+        assert!(v.ok());
+        assert_eq!(v.checks, 2);
+        assert_eq!(v.worst_residual, 3e-12);
+        for seed in 0..10 {
+            v.record(seed, Err("boom".into()));
+        }
+        assert!(!v.ok());
+        assert_eq!(v.violations, 10);
+        assert_eq!(v.examples.len(), MAX_EXAMPLES);
+        assert!(v.examples[0].starts_with("seed 0:"));
+    }
+
+    #[test]
+    fn report_rolls_up_totals_and_serializes() {
+        let mut good = InvariantVerdict::new("good");
+        good.pass(1e-13);
+        let mut bad = InvariantVerdict::new("bad");
+        bad.fail("seed 9: off by one".into());
+        let report = VerdictReport::new(10, 0, 1e-9, vec![good, bad]);
+        assert!(!report.passed);
+        assert_eq!(report.total_checks, 2);
+        assert_eq!(report.total_violations, 1);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["passed"], serde_json::Value::Bool(false));
+        assert_eq!(value["invariants"].as_array().unwrap().len(), 2);
+    }
+}

@@ -159,6 +159,29 @@ pub struct OnlineEpochReport {
     pub deadline_hit_rate: f64,
 }
 
+impl OnlineEpochReport {
+    /// Every JSON field of a serialized report, in declaration order —
+    /// the schema contract that JSONL consumers of the `online`
+    /// subcommand rely on. Keep in lockstep with the struct definition;
+    /// the golden-schema tests diff serialized output against this list.
+    pub const FIELD_NAMES: [&'static str; 14] = [
+        "epoch",
+        "time_s",
+        "active_users",
+        "scheduled",
+        "forced_local",
+        "arrivals",
+        "departures",
+        "rejected",
+        "utility",
+        "num_offloaded",
+        "reassignments",
+        "proposals",
+        "warm_started",
+        "deadline_hit_rate",
+    ];
+}
+
 /// One live user, aligned index-for-index with the mobility model.
 #[derive(Debug, Clone, Copy)]
 struct ActiveUser {
@@ -552,6 +575,23 @@ mod tests {
             seed,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn report_serialization_matches_the_declared_field_names() {
+        let mut e = engine(7, 4, 0.05);
+        let report = e.step().unwrap();
+        let value: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        let serde_json::Value::Object(entries) = value else {
+            panic!("a report serializes to an object");
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            OnlineEpochReport::FIELD_NAMES,
+            "FIELD_NAMES must mirror the struct declaration order"
+        );
     }
 
     #[test]

@@ -287,6 +287,84 @@ impl Scenario {
     pub fn num_decision_vars(&self) -> usize {
         self.num_users() * self.num_servers() * self.num_subchannels()
     }
+
+    /// Re-indexes the user population: new user `v` is old user
+    /// `perm[v]`, with the gain tensor rows carried along. The objective
+    /// landscape is invariant under this relabeling (only user *ids*
+    /// change), which makes it the canonical metamorphic transform for
+    /// conformance testing.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `perm` is not `U` entries long.
+    /// * [`Error::UnknownEntity`] for an out-of-range old user id.
+    /// * [`Error::InvalidParameter`] if `perm` repeats an old user (not a
+    ///   permutation).
+    pub fn permute_users(&self, perm: &[UserId]) -> Result<Self, Error> {
+        if perm.len() != self.users.len() {
+            return Err(Error::DimensionMismatch {
+                what: "permutation vs users",
+                expected: self.users.len(),
+                actual: perm.len(),
+            });
+        }
+        let mut seen = vec![false; self.users.len()];
+        for &old in perm {
+            if old.index() >= self.users.len() {
+                return Err(Error::UnknownEntity {
+                    kind: "user",
+                    index: old.index(),
+                    count: self.users.len(),
+                });
+            }
+            if std::mem::replace(&mut seen[old.index()], true) {
+                return Err(Error::invalid(
+                    "perm",
+                    format!("old user {old} appears more than once"),
+                ));
+            }
+        }
+        let users: Vec<UserSpec> = perm.iter().map(|&old| self.users[old.index()]).collect();
+        let gains = ChannelGains::from_fn(
+            self.num_users(),
+            self.num_servers(),
+            self.num_subchannels(),
+            |v, s, j| self.gains.gain(perm[v.index()], s, j),
+        )?;
+        let base = Self::new(users, self.servers.clone(), self.ofdma, gains, self.noise)?;
+        match self.downlink {
+            Some(rate) => base.with_downlink(rate),
+            None => Ok(base),
+        }
+    }
+
+    /// Rescales every provider priority `λ_u` by the same factor and
+    /// recomputes the derived coefficients. Since all of `φ/ψ/η` and the
+    /// offloading gain are linear in `λ_u`, a uniform rescale scales the
+    /// system utility `J*(X)` by the factor without moving the argmax —
+    /// the second metamorphic transform used by the conformance harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if any rescaled `λ_u` leaves
+    /// the valid `(0, 1]` range.
+    pub fn with_scaled_lambdas(&self, factor: f64) -> Result<Self, Error> {
+        let mut users = self.users.clone();
+        for spec in &mut users {
+            spec.lambda = ProviderPreference::new(spec.lambda.value() * factor)?;
+        }
+        let base = Self::new(
+            users,
+            self.servers.clone(),
+            self.ofdma,
+            self.gains.clone(),
+            self.noise,
+        )?;
+        match self.downlink {
+            Some(rate) => base.with_downlink(rate),
+            None => Ok(base),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +473,59 @@ mod tests {
             Watts::new(1e-13)
         )
         .is_err());
+    }
+
+    #[test]
+    fn permute_users_relabels_specs_and_gain_rows() {
+        let mut s = small();
+        // Make the users distinguishable.
+        s.set_tx_power(UserId::new(2), DbMilliwatts::new(20.0))
+            .unwrap();
+        let perm = [UserId::new(2), UserId::new(0), UserId::new(1)];
+        let p = s.permute_users(&perm).unwrap();
+        for (v, &old) in perm.iter().enumerate() {
+            let v = UserId::new(v);
+            assert_eq!(p.user(v), s.user(old));
+            assert_eq!(p.coefficients(v), s.coefficients(old));
+            assert_eq!(p.local_cost(v), s.local_cost(old));
+            for srv in s.server_ids() {
+                for j in 0..s.num_subchannels() {
+                    let j = mec_types::SubchannelId::new(j);
+                    assert_eq!(p.gains().gain(v, srv, j), s.gains().gain(old, srv, j));
+                }
+            }
+        }
+        // Invalid permutations are rejected.
+        assert!(s.permute_users(&[UserId::new(0)]).is_err());
+        assert!(s
+            .permute_users(&[UserId::new(0), UserId::new(0), UserId::new(1)])
+            .is_err());
+        assert!(s
+            .permute_users(&[UserId::new(0), UserId::new(1), UserId::new(9)])
+            .is_err());
+    }
+
+    #[test]
+    fn scaled_lambdas_rescale_coefficients_linearly() {
+        let s = small();
+        let scaled = s.with_scaled_lambdas(0.25).unwrap();
+        for u in s.user_ids() {
+            assert!(
+                (scaled.user(u).lambda.value() - 0.25 * s.user(u).lambda.value()).abs() < 1e-15
+            );
+            let (a, b) = (scaled.coefficients(u), s.coefficients(u));
+            assert!((a.phi - 0.25 * b.phi).abs() <= 1e-12 * b.phi.abs());
+            assert!((a.psi - 0.25 * b.psi).abs() <= 1e-12 * b.psi.abs());
+            assert!((a.eta - 0.25 * b.eta).abs() <= 1e-12 * b.eta.abs());
+            assert!(
+                (a.gain_constant - 0.25 * b.gain_constant).abs() <= 1e-12 * b.gain_constant.abs()
+            );
+            // Local costs and powers are λ-independent.
+            assert_eq!(scaled.local_cost(u), s.local_cost(u));
+        }
+        // Factors that push λ out of (0, 1] are rejected.
+        assert!(s.with_scaled_lambdas(0.0).is_err());
+        assert!(s.with_scaled_lambdas(2.0).is_err());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   ([`mec_mobility`])
 //! * [`online`] — event-driven online engine: churn, warm-started
 //!   re-solves, SLA tracking ([`mec_online`])
+//! * [`conformance`] — seeded oracle harness: invariant checks, solver
+//!   differential/metamorphic testing, online replay
+//!   ([`mec_conformance`])
 //! * [`controller`] — an embeddable C-RAN-style scheduling service
 //!   ([`mec_controller`])
 //! * [`viz`] — dependency-free SVG rendering of networks and schedules
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use mec_baselines as baselines;
+pub use mec_conformance as conformance;
 pub use mec_controller as controller;
 pub use mec_mobility as mobility;
 pub use mec_online as online;
@@ -61,6 +65,7 @@ pub mod prelude {
         AllLocalSolver, ExhaustiveSolver, GreedySolver, HJtoraSolver, LocalSearchSolver,
         RandomSolver,
     };
+    pub use mec_conformance::{run_conformance, ConformanceConfig, VerdictReport};
     pub use mec_radio::{ChannelGains, ChannelModel, OfdmaConfig};
     pub use mec_system::{
         Assignment, Evaluator, Scenario, Solution, Solver, SystemEvaluation, UserSpec,

@@ -1,0 +1,127 @@
+//! Churn-patching edge cases, certified by the conformance oracle.
+//!
+//! [`Assignment::patched`] is the online engine's churn primitive: it
+//! carries a decision onto a new user population, keeping survivors in
+//! their slots and starting arrivals local. These tests drive it through
+//! the population edge cases (everyone departs, everyone arrives, dense
+//! survivor remaps) and hand every result to the invariant oracle from
+//! `mec-conformance` instead of re-asserting feasibility by hand.
+
+use tsajs_mec::conformance::{fuzz, Oracle};
+use tsajs_mec::prelude::*;
+use tsajs_mec::types::Error;
+
+/// A confined scenario (`S = 4`, `N = 2`) with the given population.
+fn scenario(users: usize, seed: u64) -> Scenario {
+    let params = ExperimentParams::small_network().with_users(users);
+    ScenarioGenerator::new(params).generate(seed).unwrap()
+}
+
+/// Runs every static oracle check and panics with the failure text.
+fn certify(scenario: &Scenario, x: &Assignment, label: &str) {
+    let oracle = Oracle::default();
+    oracle
+        .check_feasibility(scenario, x)
+        .unwrap_or_else(|e| panic!("{label}: feasibility: {e}"));
+    oracle
+        .check_kkt(scenario, x)
+        .unwrap_or_else(|e| panic!("{label}: kkt: {e}"));
+    oracle
+        .check_user_bounds(scenario, x)
+        .unwrap_or_else(|e| panic!("{label}: bounds: {e}"));
+}
+
+#[test]
+fn all_users_departing_yields_an_empty_feasible_decision() {
+    let sc = scenario(5, 11);
+    let x = fuzz::assignment(&sc, 0.8, 11);
+    let next = x.patched(&[]).unwrap();
+    assert_eq!(next.num_users(), 0);
+    assert_eq!(next.num_offloaded(), 0);
+    // The geometry survives, so a later wave of arrivals patches back in.
+    let refilled = next.patched(&[None, None, None]).unwrap();
+    assert_eq!(refilled.num_users(), 3);
+    assert_eq!(refilled.num_offloaded(), 0);
+    certify(&scenario(3, 12), &refilled, "refilled after full departure");
+}
+
+#[test]
+fn all_users_arriving_start_local_and_feasible() {
+    let sc = scenario(4, 23);
+    let x = fuzz::assignment(&sc, 0.8, 23);
+    // An entirely new population: nobody continues anybody.
+    let next = x.patched(&[None; 6]).unwrap();
+    assert_eq!(next.num_users(), 6);
+    assert_eq!(next.num_offloaded(), 0);
+    for v in 0..6 {
+        assert_eq!(next.slot(UserId::new(v)), None);
+    }
+    certify(&scenario(6, 24), &next, "all-arrival population");
+}
+
+#[test]
+fn survivors_keep_their_slots_around_interleaved_churn() {
+    let sc = scenario(5, 47);
+    let x = fuzz::assignment(&sc, 0.9, 47);
+    // New population of 6: users 0, 1, 3, 4 survive (shuffled into new
+    // indices), user 2 departs, two fresh arrivals interleave.
+    let map = [
+        Some(UserId::new(3)),
+        None,
+        Some(UserId::new(0)),
+        Some(UserId::new(4)),
+        None,
+        Some(UserId::new(1)),
+    ];
+    let next = x.patched(&map).unwrap();
+    assert_eq!(next.num_users(), 6);
+    for (v, old) in map.iter().enumerate() {
+        match old {
+            Some(old) => assert_eq!(
+                next.slot(UserId::new(v)),
+                x.slot(*old),
+                "survivor {v} (was {old}) moved"
+            ),
+            None => assert_eq!(next.slot(UserId::new(v)), None, "arrival {v} not local"),
+        }
+    }
+    certify(&scenario(6, 48), &next, "interleaved churn");
+}
+
+#[test]
+fn double_continuation_and_unknown_users_are_rejected() {
+    let sc = scenario(3, 7);
+    let x = fuzz::assignment(&sc, 0.9, 7);
+    // Two new indices claiming the same old user would double-book its slot.
+    let err = x
+        .patched(&[Some(UserId::new(1)), Some(UserId::new(1))])
+        .unwrap_err();
+    assert!(matches!(err, Error::InfeasibleAssignment(_)), "{err:?}");
+    // An old index beyond the previous population is unknown.
+    let err = x.patched(&[Some(UserId::new(3))]).unwrap_err();
+    assert!(matches!(err, Error::UnknownEntity { .. }), "{err:?}");
+}
+
+#[test]
+fn random_churn_waves_stay_feasible_under_the_oracle() {
+    // A short seeded sweep: patch random survivor maps through several
+    // waves and certify every wave. Mirrors what the online engine does
+    // epoch over epoch, but with adversarially dense churn.
+    for seed in 0..8u64 {
+        let users = 3 + (seed as usize % 3);
+        let sc = scenario(users, 100 + seed);
+        let mut x = fuzz::assignment(&sc, 0.8, 200 + seed);
+        for wave in 0..4u64 {
+            let old_count = x.num_users();
+            // Survivors: every other old user, then one arrival.
+            let mut map: Vec<Option<UserId>> = (0..old_count)
+                .filter(|u| (u + wave as usize).is_multiple_of(2))
+                .map(|u| Some(UserId::new(u)))
+                .collect();
+            map.push(None);
+            x = x.patched(&map).unwrap();
+            let sc_next = scenario(map.len(), 300 + 10 * seed + wave);
+            certify(&sc_next, &x, &format!("seed {seed} wave {wave}"));
+        }
+    }
+}

@@ -131,3 +131,46 @@ fn tsajs_seeded_runs_are_pinned() {
         );
     }
 }
+
+/// Pins for the two strongest baselines on the paper's confined Fig. 3
+/// instance (`small_network()`: U = 6, S = 4, N = 2), alongside the TSAJS
+/// pins above. The exhaustive numbers double as certified optima for
+/// these seeds: any solver pin drifting *above* them is a bug, not an
+/// improvement. hJTORA matches the optimum on all three seeds here (up
+/// to FP accumulation order), which is exactly the paper's observation
+/// that it is near-optimal on small instances.
+#[test]
+fn hjtora_and_exhaustive_confined_runs_are_pinned() {
+    #[allow(clippy::excessive_precision)]
+    let pins: [(u64, f64, f64, usize); 3] = [
+        (11, 1.916_874_238_863_748_97, 1.916_874_238_863_748_75, 3),
+        (23, 1.122_051_157_391_689_15, 1.122_051_157_391_689_15, 2),
+        (47, 1.390_320_506_290_535_50, 1.390_320_506_290_535_50, 2),
+    ];
+    for (seed, hjtora_pin, exhaustive_pin, offloaded) in pins {
+        let sc = ScenarioGenerator::new(ExperimentParams::small_network())
+            .generate(seed)
+            .unwrap();
+        let h = HJtoraSolver::new().solve(&sc).unwrap();
+        let e = ExhaustiveSolver::new().solve(&sc).unwrap();
+        assert!(
+            (h.utility - hjtora_pin).abs() < TOL,
+            "hjtora seed {seed} moved: {} (expected {hjtora_pin})",
+            h.utility
+        );
+        assert!(
+            (e.utility - exhaustive_pin).abs() < TOL,
+            "exhaustive seed {seed} moved: {} (expected {exhaustive_pin})",
+            e.utility
+        );
+        assert_eq!(h.assignment.num_offloaded(), offloaded, "seed {seed}");
+        assert_eq!(e.assignment.num_offloaded(), offloaded, "seed {seed}");
+        // The exhaustive result is the certified optimum.
+        assert!(
+            h.utility <= e.utility + TOL,
+            "seed {seed}: hjtora {} beats the exhaustive optimum {}",
+            h.utility,
+            e.utility
+        );
+    }
+}

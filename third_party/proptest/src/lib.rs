@@ -31,8 +31,17 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 256 cases, overridable through the `PROPTEST_CASES`
+        /// environment variable (mirroring the real crate): tests that
+        /// use the default config scale up in deep/nightly sweeps, while
+        /// explicit `with_cases` call sites stay pinned.
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(256);
+            ProptestConfig { cases }
         }
     }
 
