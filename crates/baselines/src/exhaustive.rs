@@ -17,6 +17,7 @@ use std::time::Instant;
 pub struct ExhaustiveSolver {
     max_leaves: f64,
     parallel: bool,
+    threads: Option<usize>,
 }
 
 impl ExhaustiveSolver {
@@ -28,6 +29,7 @@ impl ExhaustiveSolver {
         Self {
             max_leaves: Self::DEFAULT_MAX_LEAVES,
             parallel: true,
+            threads: None,
         }
     }
 
@@ -42,6 +44,15 @@ impl ExhaustiveSolver {
     /// user's branches across threads.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Caps the worker threads of the branch-parallel search. Without an
+    /// explicit cap, `TSAJS_THREADS` and then the hardware parallelism
+    /// decide (see [`mec_types::effective_parallelism`]). Thread count
+    /// never affects the result.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -151,7 +162,7 @@ impl Solver for ExhaustiveSolver {
         }
         let start = Instant::now();
         let (best, best_obj, leaves) = if self.parallel && scenario.num_users() > 1 {
-            solve_parallel(scenario)
+            solve_parallel(scenario, self.threads)
         } else {
             let all_local = Assignment::all_local(scenario);
             let mut search = Search {
@@ -183,7 +194,7 @@ impl Solver for ExhaustiveSolver {
 /// Branch results are folded in branch order, breaking objective ties
 /// toward the lexicographically smallest assignment, so the outcome is
 /// bit-identical to the sequential search at any thread count.
-fn solve_parallel(scenario: &Scenario) -> (Assignment, f64, u64) {
+fn solve_parallel(scenario: &Scenario, threads: Option<usize>) -> (Assignment, f64, u64) {
     let first = UserId::new(0);
     // Branch 0 = user 0 local; branches 1.. = user 0 on each slot.
     let mut branches = vec![None];
@@ -193,41 +204,48 @@ fn solve_parallel(scenario: &Scenario) -> (Assignment, f64, u64) {
         }
     }
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(branches.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = mec_types::effective_parallelism(threads).min(branches.len());
     let mut results: Vec<Option<(Assignment, f64, u64)>> = Vec::new();
     results.resize_with(branches.len(), || None);
-    let results = std::sync::Mutex::new(&mut results);
 
+    // Static round-robin partition: worker w explores branches w, w+W, …
+    // and returns its `(branch, result)` pairs through its join handle
+    // into indexed slots — no locks on the search path.
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= branches.len() {
-                    break;
-                }
-                let mut current = Assignment::all_local(scenario);
-                if let Some((s, j)) = branches[i] {
-                    current
-                        .assign(first, s, j)
-                        .expect("slot is free in a fresh X");
-                }
-                let mut search = Search {
-                    scenario,
-                    evaluator: Evaluator::new(scenario),
-                    scratch: EvalScratch::default(),
-                    best: current.clone(),
-                    current,
-                    best_obj: f64::NEG_INFINITY,
-                    leaves: 0,
-                };
-                search.recurse(1);
-                let mut guard = results.lock().expect("no poisoned branches");
-                guard[i] = Some((search.best, search.best_obj, search.leaves));
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let branches = &branches;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < branches.len() {
+                        let mut current = Assignment::all_local(scenario);
+                        if let Some((s, j)) = branches[i] {
+                            current
+                                .assign(first, s, j)
+                                .expect("slot is free in a fresh X");
+                        }
+                        let mut search = Search {
+                            scenario,
+                            evaluator: Evaluator::new(scenario),
+                            scratch: EvalScratch::default(),
+                            best: current.clone(),
+                            current,
+                            best_obj: f64::NEG_INFINITY,
+                            leaves: 0,
+                        };
+                        search.recurse(1);
+                        out.push((i, (search.best, search.best_obj, search.leaves)));
+                        i += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("branch worker panicked") {
+                results[i] = Some(result);
+            }
         }
     });
 
@@ -236,11 +254,7 @@ fn solve_parallel(scenario: &Scenario) -> (Assignment, f64, u64) {
     let mut best = Assignment::all_local(scenario);
     let mut best_obj = 0.0;
     let mut leaves = 0;
-    for r in results
-        .into_inner()
-        .expect("no poisoned branches")
-        .iter_mut()
-    {
+    for r in results.iter_mut() {
         let (b, obj, n) = r.take().expect("every branch was explored");
         leaves += n;
         if obj > best_obj || (obj == best_obj && lex_smaller(&b, &best)) {

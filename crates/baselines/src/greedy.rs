@@ -68,7 +68,7 @@ impl Solver for GreedySolver {
             });
             for s in stations {
                 // Least-interfered free sub-band at this station.
-                let chosen = x.free_subchannels(s).into_iter().min_by(|a, b| {
+                let chosen = x.free_subchannels_iter(s).min_by(|a, b| {
                     let ia = interference[s.index() * num_sub + a.index()];
                     let ib = interference[s.index() * num_sub + b.index()];
                     ia.partial_cmp(&ib).expect("powers are finite")

@@ -29,7 +29,7 @@ use mec_workloads::{ExperimentParams, PoissonChurn, ScenarioGenerator};
 use serde::Serialize;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use tsajs::{ResolveMode, TsajsSolver, TtsaConfig};
+use tsajs::{ResolveMode, TemperingConfig, TsajsSolver, TtsaConfig};
 
 /// Errors the CLI reports to the user.
 #[derive(Debug)]
@@ -105,14 +105,14 @@ USAGE:
                      [--output-kb D --downlink-mbps R]
                      [--seed SEED] --out FILE
   tsajs-sim solve    --scenario FILE [--solver NAME] [--seed SEED]
-                     [--report FILE]
-  tsajs-sim compare  --scenario FILE [--seed SEED]
+                     [--threads N] [--report FILE]
+  tsajs-sim compare  --scenario FILE [--seed SEED] [--threads N]
   tsajs-sim render   --scenario FILE --out FILE.svg
-                     [--solver NAME] [--seed SEED]
+                     [--solver NAME] [--seed SEED] [--threads N]
   tsajs-sim inspect  --scenario FILE
   tsajs-sim simulate [--users N] [--epochs E]
                      [--mobility pedestrian|vehicular]
-                     [--solver NAME] [--seed SEED]
+                     [--solver NAME] [--seed SEED] [--threads N]
   tsajs-sim online   [--users N] [--epochs E] [--servers S]
                      [--arrival-rate HZ] [--mean-sojourn SECS]
                      [--epoch-secs SECS] [--budget P] [--cold]
@@ -121,8 +121,13 @@ USAGE:
   tsajs-sim conformance [--seeds N] [--seed BASE] [--deep]
                      [--out FILE]
 
-SOLVERS: tsajs (default), hjtora, greedy, localsearch, random,
-         exhaustive, alllocal
+SOLVERS: tsajs (default), tempering, hjtora, greedy, localsearch,
+         random, exhaustive, alllocal
+
+`--threads N` caps the worker pool of the parallel solvers (tempering,
+multi-start, exhaustive); the TSAJS_THREADS environment variable does
+the same when no flag is given. Results are bit-identical at any
+thread count.
 
 The `online` command runs the event-driven engine (Poisson arrivals,
 exponential sojourns, per-epoch warm-started re-solves) and writes one
@@ -152,6 +157,8 @@ pub enum Command {
         solver: String,
         /// Solver seed.
         seed: u64,
+        /// Worker-pool cap for parallel solvers (`None` = auto).
+        threads: Option<usize>,
         /// Optional JSON report path.
         report: Option<PathBuf>,
     },
@@ -161,6 +168,8 @@ pub enum Command {
         scenario: PathBuf,
         /// Solver seed.
         seed: u64,
+        /// Worker-pool cap for parallel solvers (`None` = auto).
+        threads: Option<usize>,
     },
     /// Solve a scenario file and write the schedule as an SVG figure.
     Render {
@@ -172,6 +181,8 @@ pub enum Command {
         solver: String,
         /// Solver seed.
         seed: u64,
+        /// Worker-pool cap for parallel solvers (`None` = auto).
+        threads: Option<usize>,
     },
     /// Summarize a scenario file (dimensions, radio health, local costs).
     Inspect {
@@ -226,6 +237,8 @@ pub enum Command {
         solver: String,
         /// Seed.
         seed: u64,
+        /// Worker-pool cap for parallel solvers (`None` = auto).
+        threads: Option<usize>,
     },
 }
 
@@ -241,6 +254,14 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliErro
     value
         .parse()
         .map_err(|_| CliError::Usage(format!("invalid value `{value}` for {flag}")))
+}
+
+fn parse_threads(value: &str) -> Result<usize, CliError> {
+    let n: usize = parse_num("--threads", value)?;
+    if n == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    Ok(n)
 }
 
 /// Parses a command line (without the program name).
@@ -304,12 +325,14 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
             let mut scenario: Option<PathBuf> = None;
             let mut solver = "tsajs".to_string();
             let mut seed = 0u64;
+            let mut threads: Option<usize> = None;
             let mut report: Option<PathBuf> = None;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     "--solver" => solver = take_value(flag, &mut iter)?.to_string(),
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--threads" => threads = Some(parse_threads(take_value(flag, &mut iter)?)?),
                     "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
@@ -320,34 +343,43 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 scenario,
                 solver,
                 seed,
+                threads,
                 report,
             })
         }
         "compare" => {
             let mut scenario: Option<PathBuf> = None;
             let mut seed = 0u64;
+            let mut threads: Option<usize> = None;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--threads" => threads = Some(parse_threads(take_value(flag, &mut iter)?)?),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
             }
             let scenario =
                 scenario.ok_or_else(|| CliError::Usage("compare requires --scenario".into()))?;
-            Ok(Command::Compare { scenario, seed })
+            Ok(Command::Compare {
+                scenario,
+                seed,
+                threads,
+            })
         }
         "render" => {
             let mut scenario: Option<PathBuf> = None;
             let mut out: Option<PathBuf> = None;
             let mut solver = "tsajs".to_string();
             let mut seed = 0u64;
+            let mut threads: Option<usize> = None;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     "--solver" => solver = take_value(flag, &mut iter)?.to_string(),
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--threads" => threads = Some(parse_threads(take_value(flag, &mut iter)?)?),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
             }
@@ -357,6 +389,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 out: out.ok_or_else(|| CliError::Usage("render requires --out".into()))?,
                 solver,
                 seed,
+                threads,
             })
         }
         "inspect" => {
@@ -377,6 +410,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
             let mut mobility = "pedestrian".to_string();
             let mut solver = "tsajs".to_string();
             let mut seed = 0u64;
+            let mut threads: Option<usize> = None;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--users" => users = parse_num(flag, take_value(flag, &mut iter)?)?,
@@ -384,6 +418,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                     "--mobility" => mobility = take_value(flag, &mut iter)?.to_string(),
                     "--solver" => solver = take_value(flag, &mut iter)?.to_string(),
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--threads" => threads = Some(parse_threads(take_value(flag, &mut iter)?)?),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
             }
@@ -393,6 +428,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 mobility,
                 solver,
                 seed,
+                threads,
             })
         }
         "online" => {
@@ -485,19 +521,45 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
 
 /// Builds a solver by name.
 ///
+/// `threads` caps the worker pool of the parallel solvers (tempering,
+/// multi-start, exhaustive); `None` defers to `TSAJS_THREADS` and the
+/// machine's available parallelism. Thread count never changes results.
+///
 /// # Errors
 ///
 /// Returns [`CliError::Usage`] for an unknown solver name.
-pub fn build_solver(name: &str, seed: u64) -> Result<Box<dyn Solver>, CliError> {
+pub fn build_solver(
+    name: &str,
+    seed: u64,
+    threads: Option<usize>,
+) -> Result<Box<dyn Solver>, CliError> {
     Ok(match name.to_ascii_lowercase().as_str() {
-        "tsajs" => Box::new(TsajsSolver::new(
-            TtsaConfig::paper_default().with_seed(seed),
-        )),
+        "tsajs" => {
+            let mut solver = TsajsSolver::new(TtsaConfig::paper_default().with_seed(seed));
+            if let Some(n) = threads {
+                solver = solver.with_threads(n);
+            }
+            Box::new(solver)
+        }
+        "tempering" | "tsajs-pt" => {
+            let mut solver = TsajsSolver::new(TtsaConfig::paper_default().with_seed(seed))
+                .with_tempering(TemperingConfig::paper_default());
+            if let Some(n) = threads {
+                solver = solver.with_threads(n);
+            }
+            Box::new(solver)
+        }
         "hjtora" => Box::new(HJtoraSolver::new()),
         "greedy" => Box::new(GreedySolver::new()),
         "localsearch" | "local-search" => Box::new(LocalSearchSolver::with_seed(seed)),
         "random" => Box::new(RandomSolver::with_seed(seed)),
-        "exhaustive" => Box::new(ExhaustiveSolver::new()),
+        "exhaustive" => {
+            let mut solver = ExhaustiveSolver::new();
+            if let Some(n) = threads {
+                solver = solver.with_threads(n);
+            }
+            Box::new(solver)
+        }
         "alllocal" | "all-local" => Box::new(AllLocalSolver::new()),
         other => return Err(CliError::Usage(format!("unknown solver `{other}`"))),
     })
@@ -545,10 +607,11 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             scenario,
             solver,
             seed,
+            threads,
             report,
         } => {
             let scenario = load_scenario(&scenario)?;
-            let mut solver = build_solver(&solver, seed)?;
+            let mut solver = build_solver(&solver, seed, threads)?;
             let solution = solver.solve(&scenario)?;
             let evaluation = solution.evaluate(&scenario)?;
             writeln!(out, "solver      : {}", solver.name())?;
@@ -592,6 +655,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             out: out_path,
             solver,
             seed,
+            threads,
         } => {
             let text = std::fs::read_to_string(&scenario)?;
             let spec: ScenarioSpec = serde_json::from_str(&text)?;
@@ -603,7 +667,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 )
             })?;
             let scenario = spec.into_scenario()?;
-            let mut solver = build_solver(&solver, seed)?;
+            let mut solver = build_solver(&solver, seed, threads)?;
             let solution = solver.solve(&scenario)?;
             // Rebuild the layout from the paper's ISD; stations in specs
             // always come from the hexagonal generator.
@@ -677,6 +741,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             mobility,
             solver,
             seed,
+            threads,
         } => {
             let profile = match mobility.as_str() {
                 "pedestrian" => MobilityConfig::pedestrian(),
@@ -688,12 +753,12 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 }
             };
             // Validate the name eagerly so a bad one errors before the run.
-            build_solver(&solver, seed)?;
+            build_solver(&solver, seed, threads)?;
             let params = ExperimentParams::paper_default().with_users(users);
             let mut sim = DynamicSimulation::new(params, profile, seed)?;
             let solver_name = solver.clone();
             let history = sim.run(epochs, |epoch_seed| {
-                build_solver(&solver_name, epoch_seed)
+                build_solver(&solver_name, epoch_seed, threads)
                     .expect("solver name validated before the run")
             })?;
             writeln!(
@@ -782,7 +847,11 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 Err(CliError::Conformance(report.total_violations))
             }
         }
-        Command::Compare { scenario, seed } => {
+        Command::Compare {
+            scenario,
+            seed,
+            threads,
+        } => {
             let scenario = load_scenario(&scenario)?;
             writeln!(
                 out,
@@ -791,13 +860,14 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             )?;
             for name in [
                 "tsajs",
+                "tempering",
                 "hjtora",
                 "localsearch",
                 "greedy",
                 "random",
                 "alllocal",
             ] {
-                let mut solver = build_solver(name, seed)?;
+                let mut solver = build_solver(name, seed, threads)?;
                 let solution = solver.solve(&scenario)?;
                 writeln!(
                     out,
@@ -878,6 +948,7 @@ mod tests {
                 scenario: PathBuf::from("s.json"),
                 solver: "greedy".into(),
                 seed: 3,
+                threads: None,
                 report: None,
             }
         );
@@ -887,8 +958,41 @@ mod tests {
             Command::Compare {
                 scenario: PathBuf::from("s.json"),
                 seed: 0,
+                threads: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_threads_and_rejects_zero() {
+        let cmd = parse_args(&[
+            "solve",
+            "--scenario",
+            "s.json",
+            "--solver",
+            "tempering",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                scenario: PathBuf::from("s.json"),
+                solver: "tempering".into(),
+                seed: 0,
+                threads: Some(4),
+                report: None,
+            }
+        );
+        assert!(matches!(
+            parse_args(&["solve", "--scenario", "s.json", "--threads", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&["compare", "--scenario", "s.json", "--threads", "nope"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -939,7 +1043,10 @@ mod tests {
             parse_args(&["generate", "--users", "5"]),
             Err(CliError::Usage(_)),
         ));
-        assert!(matches!(build_solver("nope", 0), Err(CliError::Usage(_))));
+        assert!(matches!(
+            build_solver("nope", 0, None),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -1009,6 +1116,7 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         for name in [
             "TSAJS",
+            "TSAJS-PT",
             "hJTORA",
             "LocalSearch",
             "Greedy",
@@ -1364,7 +1472,7 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(value["passed"], serde_json::Value::Bool(true));
         assert_eq!(value["seeds"].as_u64(), Some(2));
-        assert_eq!(value["invariants"].as_array().unwrap().len(), 8);
+        assert_eq!(value["invariants"].as_array().unwrap().len(), 9);
         // The --out file carries the same report.
         let file = std::fs::read_to_string(&report_path).unwrap();
         assert_eq!(text.trim_end(), file);

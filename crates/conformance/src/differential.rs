@@ -21,7 +21,7 @@ use mec_system::{Assignment, Evaluator, Scenario, Solution, Solver};
 use mec_types::{ServerId, SubchannelId, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tsajs::{TsajsSolver, TtsaConfig};
+use tsajs::{temper, NeighborhoodKernel, TemperingConfig, TsajsSolver, TtsaConfig};
 
 /// An interference-free matching heuristic: assigns users to pairwise
 /// distinct slots by maximum-weight bipartite matching over the same
@@ -145,6 +145,14 @@ pub fn check_partial_order(
         s.solve(scenario)
             .map_err(|e| format!("TSAJS failed: {e}"))?
     })?;
+    // The tempering engine must obey the same order:
+    // upper bounds ≥ exhaustive ≥ TSAJS-PT.
+    audit("TSAJS-PT", {
+        let mut s = TsajsSolver::new(ttsa_config)
+            .with_tempering(TemperingConfig::paper_default().with_replicas(4));
+        s.solve(scenario)
+            .map_err(|e| format!("TSAJS-PT failed: {e}"))?
+    })?;
     audit("hJTORA", {
         HJtoraSolver::new()
             .solve(scenario)
@@ -181,6 +189,58 @@ pub fn check_partial_order(
         },
     )?;
     Ok(worst)
+}
+
+/// Determinism check: the tempering engine must return bit-identical
+/// results at 1, 2 and 4 worker threads — the worker pool is a
+/// wall-clock knob, never a semantic one.
+///
+/// Returns `0.0` (the check is exact; any divergence is a failure, not
+/// a residual).
+///
+/// # Errors
+///
+/// Returns a description of the first divergence between thread counts.
+pub fn check_thread_independence(
+    scenario: &Scenario,
+    seed: u64,
+    ttsa_budget: u64,
+) -> Result<f64, String> {
+    let base = TtsaConfig::paper_default()
+        .with_min_temperature(1e-2)
+        .with_proposal_budget(ttsa_budget)
+        .with_seed(seed);
+    let tempering = TemperingConfig::paper_default().with_replicas(4);
+    let kernel = NeighborhoodKernel::new();
+    let solve_at = |workers: usize| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        temper(scenario, &tempering, &base, &kernel, &mut rng, workers)
+    };
+    let reference = solve_at(1);
+    for workers in [2usize, 4] {
+        let outcome = solve_at(workers);
+        if outcome.objective.to_bits() != reference.objective.to_bits() {
+            return Err(format!(
+                "objective diverges with the thread count: {} at 1 worker \
+                 vs {} at {workers}",
+                reference.objective, outcome.objective
+            ));
+        }
+        if outcome.assignment != reference.assignment {
+            return Err(format!(
+                "assignment diverges between 1 and {workers} workers \
+                 despite equal objectives"
+            ));
+        }
+        if outcome.proposals != reference.proposals || outcome.epochs != reference.epochs {
+            return Err(format!(
+                "search effort diverges between 1 and {workers} workers: \
+                 {}/{} proposals, {}/{} epochs",
+                reference.proposals, outcome.proposals, reference.epochs, outcome.epochs
+            ));
+        }
+    }
+    Ok(0.0)
 }
 
 /// Metamorphic check: relabeling users must leave the optimal objective

@@ -139,6 +139,7 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
     let mut bounds = InvariantVerdict::new("user_benefit_bounds_eq10");
     let mut incremental = InvariantVerdict::new("incremental_vs_resync");
     let mut order = InvariantVerdict::new("solver_partial_order");
+    let mut threads = InvariantVerdict::new("tempering_thread_independence");
     let mut permutation = InvariantVerdict::new("metamorphic_user_permutation");
     let mut rescale = InvariantVerdict::new("metamorphic_lambda_rescale");
     let mut online = InvariantVerdict::new("online_seed_replay");
@@ -167,6 +168,10 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
                     config.ttsa_budget,
                     config.tolerance,
                 ),
+            );
+            threads.record(
+                seed,
+                differential::check_thread_independence(&scenario, seed, config.ttsa_budget),
             );
         }
         if i % config.metamorphic_stride.max(1) == 0 {
@@ -205,6 +210,7 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
             bounds,
             incremental,
             order,
+            threads,
             permutation,
             rescale,
             online,
@@ -252,6 +258,6 @@ mod tests {
         let report = run_conformance(&ConformanceConfig::smoke().with_seeds(2).with_base_seed(7));
         assert_eq!(report.seeds, 2);
         assert_eq!(report.base_seed, 7);
-        assert_eq!(report.invariants.len(), 8);
+        assert_eq!(report.invariants.len(), 9);
     }
 }

@@ -103,17 +103,16 @@ impl Oracle {
         let mut worst = 0.0f64;
         let mut direct_cost = 0.0f64;
         for s in scenario.server_ids() {
-            let users = x.server_users(s);
-            if users.is_empty() {
+            if x.server_users_iter(s).next().is_none() {
                 continue;
             }
             let capacity = scenario.server(s).capacity().as_hz();
-            let denom: f64 = users
-                .iter()
-                .map(|u| scenario.coefficients(*u).eta.sqrt())
+            let denom: f64 = x
+                .server_users_iter(s)
+                .map(|u| scenario.coefficients(u).eta.sqrt())
                 .sum();
             let mut load = 0.0f64;
-            for &u in &users {
+            for u in x.server_users_iter(s) {
                 let share = f.share(u).as_hz();
                 load += share;
                 let eta = scenario.coefficients(u).eta;

@@ -23,7 +23,7 @@ pub struct AnnealOutcome {
 }
 
 /// Generates the initial feasible solution (Algorithm 1, line 5).
-fn initial_solution<R: Rng + ?Sized>(
+pub(crate) fn initial_solution<R: Rng + ?Sized>(
     scenario: &Scenario,
     policy: InitialSolution,
     rng: &mut R,
@@ -72,7 +72,160 @@ pub fn anneal<R: Rng + ?Sized>(
 /// Proposal budget between full re-synchronizations of the incremental
 /// objective state (bounds floating-point drift; matches
 /// `LocalSearchSolver::RESYNC_INTERVAL`). Checked at epoch boundaries.
-const RESYNC_INTERVAL: u64 = 4_096;
+pub(crate) const RESYNC_INTERVAL: u64 = 4_096;
+
+/// The initial temperature `T₀` (Algorithm 1, line 3).
+pub(crate) fn resolve_initial_temperature(config: &TtsaConfig, scenario: &Scenario) -> f64 {
+    match config.initial_temperature {
+        InitialTemperature::SubchannelCount => scenario.num_subchannels() as f64,
+        InitialTemperature::Fixed(t) => t,
+    }
+}
+
+/// The accepted-worse threshold `maxCount` for the configured cooling rule
+/// (`u64::MAX` disables the trigger for plain geometric cooling).
+pub(crate) fn resolve_max_count(config: &TtsaConfig) -> u64 {
+    match config.cooling {
+        Cooling::ThresholdTriggered {
+            max_count_factor, ..
+        } => (max_count_factor * config.inner_iterations as f64).ceil() as u64,
+        Cooling::Geometric { .. } => u64::MAX,
+    }
+}
+
+/// One annealing chain's walk state: the incremental objective, the
+/// incumbent/best pair, and the counters that drive cooling and drift
+/// control. [`anneal_from`] owns exactly one; the tempering engine owns
+/// one per replica.
+#[derive(Debug)]
+pub(crate) struct ChainState<'a> {
+    pub(crate) inc: IncrementalObjective<'a>,
+    pub(crate) current_obj: f64,
+    pub(crate) best: Assignment,
+    pub(crate) best_obj: f64,
+    /// Accepted-worse counter (Algorithm 1, line 4).
+    pub(crate) count: u64,
+    pub(crate) proposals: u64,
+    pub(crate) last_resync: u64,
+}
+
+impl<'a> ChainState<'a> {
+    /// Builds a chain seeded with `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` does not fit the scenario's geometry.
+    pub(crate) fn from_initial(scenario: &'a Scenario, initial: Assignment) -> Self {
+        let inc = IncrementalObjective::new(scenario, initial)
+            .expect("warm-start decision must fit the scenario");
+        let current_obj = inc.current();
+        let best = inc.assignment().clone();
+        Self {
+            inc,
+            current_obj,
+            best,
+            best_obj: current_obj,
+            count: 0,
+            proposals: 0,
+            last_resync: 0,
+        }
+    }
+}
+
+/// Per-epoch acceptance counters, for tracing.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EpochStats {
+    pub(crate) accepted_worse: u32,
+    pub(crate) accepted_better: u32,
+}
+
+/// Runs one temperature epoch (Algorithm 1, lines 9-25): exactly
+/// `config.inner_iterations` proposals at `temperature`, each evaluated
+/// as a delta against the maintained state and rolled back bit-exactly on
+/// rejection, followed by the epoch-boundary drift-control resync.
+///
+/// The RNG draw order (one move proposal, then — only on the Metropolis
+/// branch — one uniform) is the seeded-trajectory contract shared by the
+/// single chain and every tempering replica.
+pub(crate) fn run_epoch<R: Rng + ?Sized>(
+    scenario: &Scenario,
+    config: &TtsaConfig,
+    kernel: &NeighborhoodKernel,
+    temperature: f64,
+    state: &mut ChainState<'_>,
+    rng: &mut R,
+) -> EpochStats {
+    let mut stats = EpochStats::default();
+    for _ in 0..config.inner_iterations {
+        let (mv, _kind) = kernel.propose_move(scenario, state.inc.assignment(), rng);
+        state.inc.apply(&mv);
+        let candidate_obj = state.inc.current();
+        state.proposals += 1;
+        let delta = candidate_obj - state.current_obj;
+        if delta > 0.0 {
+            state.inc.commit();
+            state.current_obj = candidate_obj;
+            stats.accepted_better += 1;
+            if state.current_obj > state.best_obj {
+                state.best.clone_from(state.inc.assignment());
+                state.best_obj = state.current_obj;
+            }
+        } else if (delta / temperature).exp() > rng.gen::<f64>() {
+            // Metropolis acceptance of a worsening move (line 20-22).
+            state.inc.commit();
+            state.current_obj = candidate_obj;
+            state.count += 1;
+            stats.accepted_worse += 1;
+        } else {
+            state.inc.undo();
+        }
+    }
+
+    // Drift control: re-synchronize the incremental sums against the
+    // assignment to discard the floating-point drift accumulated by the
+    // accepted in-place updates (~ulp per accepted move; the equivalence
+    // property test bounds it below 1e-9 relative over long walks).
+    // Epochs are short, so resyncing each one would cost more than the
+    // proposals it guards — every `RESYNC_INTERVAL` proposals matches the
+    // LocalSearch baseline's policy.
+    if state.proposals - state.last_resync >= RESYNC_INTERVAL {
+        state.inc.resync();
+        state.current_obj = state.inc.current();
+        state.last_resync = state.proposals;
+    }
+    stats
+}
+
+/// Applies one cooling step (Algorithm 1, lines 26-30) to `temperature`
+/// and the accepted-worse counter; returns whether the threshold trigger
+/// fired.
+pub(crate) fn apply_cooling(
+    cooling: Cooling,
+    max_count: u64,
+    temperature: &mut f64,
+    count: &mut u64,
+) -> bool {
+    match cooling {
+        Cooling::ThresholdTriggered {
+            alpha_slow,
+            alpha_fast,
+            ..
+        } => {
+            if *count < max_count {
+                *temperature *= alpha_slow;
+                false
+            } else {
+                *temperature *= alpha_fast;
+                *count = 0;
+                true
+            }
+        }
+        Cooling::Geometric { alpha } => {
+            *temperature *= alpha;
+            false
+        }
+    }
+}
 
 /// [`anneal`] with an explicit starting decision (warm start): the
 /// incremental re-scheduling path, where the previous epoch's schedule
@@ -97,113 +250,44 @@ pub fn anneal_from<R: Rng + ?Sized>(
         .expect("TtsaConfig must be valid; call validate() first");
 
     // Line 3: T ← N (or an explicit override).
-    let mut temperature = match config.initial_temperature {
-        InitialTemperature::SubchannelCount => scenario.num_subchannels() as f64,
-        InitialTemperature::Fixed(t) => t,
-    };
-    let max_count = match config.cooling {
-        Cooling::ThresholdTriggered {
-            max_count_factor, ..
-        } => (max_count_factor * config.inner_iterations as f64).ceil() as u64,
-        Cooling::Geometric { .. } => u64::MAX,
-    };
+    let mut temperature = resolve_initial_temperature(config, scenario);
+    let max_count = resolve_max_count(config);
 
     // Line 5-6: the (possibly warm) initial feasible solution, held as
     // incremental delta-evaluation state: each proposal below costs
     // O(S · affected subchannels) instead of a clone plus a full O(T·S)
     // re-evaluation.
-    let mut inc = IncrementalObjective::new(scenario, initial)
-        .expect("warm-start decision must fit the scenario");
-    let mut current_obj = inc.current();
-    let mut best = inc.assignment().clone();
-    let mut best_obj = current_obj;
+    let mut state = ChainState::from_initial(scenario, initial);
 
-    let mut count: u64 = 0; // Accepted-worse counter (line 4).
-    let mut proposals: u64 = 0;
-    let mut last_resync: u64 = 0;
     let mut epochs: u64 = 0;
     let mut trace = config.record_trace.then(SearchTrace::default);
 
     // Line 7: outer temperature loop (optionally capped by the anytime
     // proposal budget).
     while temperature > config.min_temperature
-        && config.proposal_budget.is_none_or(|cap| proposals < cap)
+        && config
+            .proposal_budget
+            .is_none_or(|cap| state.proposals < cap)
     {
-        let mut accepted_worse_epoch: u32 = 0;
-        let mut accepted_better_epoch: u32 = 0;
-
-        // Lines 9-25: L proposals at this temperature, each evaluated as a
-        // delta against the maintained state and rolled back bit-exactly on
-        // rejection. The RNG draw order matches the historical clone-and-
-        // re-evaluate loop, so seeded trajectories are preserved.
-        for _ in 0..config.inner_iterations {
-            let (mv, _kind) = kernel.propose_move(scenario, inc.assignment(), rng);
-            inc.apply(&mv);
-            let candidate_obj = inc.current();
-            proposals += 1;
-            let delta = candidate_obj - current_obj;
-            if delta > 0.0 {
-                inc.commit();
-                current_obj = candidate_obj;
-                accepted_better_epoch += 1;
-                if current_obj > best_obj {
-                    best.clone_from(inc.assignment());
-                    best_obj = current_obj;
-                }
-            } else if (delta / temperature).exp() > rng.gen::<f64>() {
-                // Metropolis acceptance of a worsening move (line 20-22).
-                inc.commit();
-                current_obj = candidate_obj;
-                count += 1;
-                accepted_worse_epoch += 1;
-            } else {
-                inc.undo();
-            }
-        }
-
-        // Drift control: re-synchronize the incremental sums against the
-        // assignment to discard the floating-point drift accumulated by
-        // the accepted in-place updates (~ulp per accepted move; the
-        // equivalence property test bounds it below 1e-9 relative over
-        // long walks). Epochs are short, so resyncing each one would cost
-        // more than the proposals it guards — every `RESYNC_INTERVAL`
-        // proposals matches the LocalSearch baseline's policy.
-        if proposals - last_resync >= RESYNC_INTERVAL {
-            inc.resync();
-            current_obj = inc.current();
-            last_resync = proposals;
-        }
+        // Lines 9-25: L proposals at this temperature.
+        let stats = run_epoch(scenario, config, kernel, temperature, &mut state, rng);
 
         // Lines 26-30: threshold-triggered cooling.
-        let trigger_fired = match config.cooling {
-            Cooling::ThresholdTriggered {
-                alpha_slow,
-                alpha_fast,
-                ..
-            } => {
-                if count < max_count {
-                    temperature *= alpha_slow;
-                    false
-                } else {
-                    temperature *= alpha_fast;
-                    count = 0;
-                    true
-                }
-            }
-            Cooling::Geometric { alpha } => {
-                temperature *= alpha;
-                false
-            }
-        };
+        let trigger_fired = apply_cooling(
+            config.cooling,
+            max_count,
+            &mut temperature,
+            &mut state.count,
+        );
         epochs += 1;
 
         if let Some(trace) = trace.as_mut() {
             trace.epochs.push(EpochRecord {
                 temperature,
-                current_objective: current_obj,
-                best_objective: best_obj,
-                accepted_worse: accepted_worse_epoch,
-                accepted_better: accepted_better_epoch,
+                current_objective: state.current_obj,
+                best_objective: state.best_obj,
+                accepted_worse: stats.accepted_worse,
+                accepted_better: stats.accepted_better,
                 trigger_fired,
             });
         }
@@ -211,15 +295,15 @@ pub fn anneal_from<R: Rng + ?Sized>(
 
     // The all-local decision (J = 0) is always feasible; never return a
     // worse-than-doing-nothing schedule even if the walk never crossed it.
-    if best_obj < 0.0 {
-        best = Assignment::all_local(scenario);
-        best_obj = 0.0;
+    if state.best_obj < 0.0 {
+        state.best = Assignment::all_local(scenario);
+        state.best_obj = 0.0;
     }
 
     AnnealOutcome {
-        assignment: best,
-        objective: best_obj,
-        proposals,
+        assignment: state.best,
+        objective: state.best_obj,
+        proposals: state.proposals,
         epochs,
         trace,
     }

@@ -25,6 +25,20 @@ pub enum ResolveMode {
         /// Fixed restart temperature for the refresh chain.
         refresh_temperature: f64,
     },
+    /// Seed every replica of a shortened tempering ladder from the
+    /// previous epoch's assignment: the same budget/temperature contract
+    /// as [`WarmStart`](Self::WarmStart), but the refresh is spent by a
+    /// cooperating replica ensemble instead of one chain.
+    WarmTempered {
+        /// Hard cap on neighborhood proposals per refresh (shared by the
+        /// whole ensemble).
+        refresh_budget: u64,
+        /// Fixed restart temperature anchoring the shortened ladder's
+        /// hottest rung.
+        refresh_temperature: f64,
+        /// Ladder shape for the refresh ensemble.
+        tempering: TemperingConfig,
+    },
 }
 
 impl ResolveMode {
@@ -43,17 +57,26 @@ impl ResolveMode {
     /// Returns [`Error::InvalidParameter`] for a zero refresh budget or a
     /// non-positive refresh temperature.
     pub fn validate(&self) -> Result<(), Error> {
-        if let ResolveMode::WarmStart {
-            refresh_budget,
-            refresh_temperature,
-        } = *self
-        {
-            if refresh_budget == 0 {
-                return Err(Error::invalid("refresh_budget", "must allow proposals"));
+        let (budget, temp) = match *self {
+            ResolveMode::Cold => return Ok(()),
+            ResolveMode::WarmStart {
+                refresh_budget,
+                refresh_temperature,
+            } => (refresh_budget, refresh_temperature),
+            ResolveMode::WarmTempered {
+                refresh_budget,
+                refresh_temperature,
+                tempering,
+            } => {
+                tempering.validate()?;
+                (refresh_budget, refresh_temperature)
             }
-            if !refresh_temperature.is_finite() || refresh_temperature <= 0.0 {
-                return Err(Error::invalid("refresh_temperature", "must be positive"));
-            }
+        };
+        if budget == 0 {
+            return Err(Error::invalid("refresh_budget", "must allow proposals"));
+        }
+        if !temp.is_finite() || temp <= 0.0 {
+            return Err(Error::invalid("refresh_temperature", "must be positive"));
         }
         Ok(())
     }
@@ -67,9 +90,170 @@ impl ResolveMode {
             ResolveMode::WarmStart {
                 refresh_budget,
                 refresh_temperature,
+            }
+            | ResolveMode::WarmTempered {
+                refresh_budget,
+                refresh_temperature,
+                ..
             } => base
                 .with_proposal_budget(refresh_budget)
                 .with_initial_temperature(InitialTemperature::Fixed(refresh_temperature)),
+        }
+    }
+}
+
+/// Parallel-tempering (replica-exchange) configuration for the
+/// [`tempering`](crate::tempering) engine.
+///
+/// `K = replicas` chains run on a geometric temperature ladder anchored at
+/// the base config's `T₀` (the hottest rung), exchanging states every
+/// `exchange_interval` epochs. The ensemble's total proposal budget is a
+/// `schedule_factor` fraction of the single-chain schedule's estimated
+/// epoch count — the cooperation is what buys back the quality the
+/// shortened schedule gives up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperingConfig {
+    /// Number of replicas `K` on the ladder.
+    pub replicas: usize,
+    /// Geometric spacing `r` between adjacent rungs (`T_k = T₀ / r^(K−1−k)`,
+    /// rung `K−1` hottest). Must exceed 1.
+    pub ladder_ratio: f64,
+    /// Epochs each replica runs between exchange sweeps (`E`).
+    pub exchange_interval: u64,
+    /// Fraction of the single-chain schedule's estimated epoch count the
+    /// whole ensemble may spend (ignored when [`rounds`](Self::rounds) is
+    /// set). Values well below `1/2` are what produce the wall-clock win.
+    pub schedule_factor: f64,
+    /// Explicit number of exchange rounds, overriding the
+    /// `schedule_factor` estimate.
+    pub rounds: Option<u64>,
+    /// Whether the global best-so-far is migrated into the hottest
+    /// replica after each exchange sweep.
+    pub elite_migration: bool,
+    /// Greedy polish epochs run on the global best after the ladder
+    /// finishes (accept-improving-only, at `T_min`).
+    pub quench_epochs: u64,
+    /// Work bias toward the cold end of the ladder: rung `i` (0 coldest)
+    /// gets a per-round epoch share proportional to
+    /// `cold_bias^(K−1−i)`, normalized so a round still spends `K·E`
+    /// epochs in total. `1.0` is the uniform split; values above 1 turn
+    /// the hot rungs into cheap scouts and concentrate refinement where
+    /// worsening moves are actually rejected. Must be at least 1.
+    pub cold_bias: f64,
+}
+
+impl TemperingConfig {
+    /// Tuned defaults (see `EXPERIMENTS.md` for the U = 90 sweep that
+    /// chose them): `K = 8`, ratio 1.7, exchange every 4 epochs,
+    /// ensemble budget 40% of the single-chain schedule, elite migration
+    /// on, 16 quench epochs, cold-end work bias 5.
+    pub fn paper_default() -> Self {
+        Self {
+            replicas: 8,
+            ladder_ratio: 1.7,
+            exchange_interval: 4,
+            schedule_factor: 0.40,
+            rounds: None,
+            elite_migration: true,
+            quench_epochs: 16,
+            cold_bias: 5.0,
+        }
+    }
+
+    /// Sets the number of replicas.
+    pub fn with_replicas(mut self, k: usize) -> Self {
+        self.replicas = k;
+        self
+    }
+
+    /// Sets an explicit number of exchange rounds.
+    pub fn with_rounds(mut self, rounds: u64) -> Self {
+        self.rounds = Some(rounds);
+        self
+    }
+
+    /// Sets the ensemble budget as a fraction of the single-chain
+    /// schedule.
+    pub fn with_schedule_factor(mut self, f: f64) -> Self {
+        self.schedule_factor = f;
+        self
+    }
+
+    /// Sets the cold-end work bias (`1.0` = uniform epoch split).
+    pub fn with_cold_bias(mut self, bias: f64) -> Self {
+        self.cold_bias = bias;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for fewer than two replicas, a
+    /// ladder ratio not above 1, a zero exchange interval, a non-positive
+    /// schedule factor, or an explicit zero round count.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.replicas < 2 {
+            return Err(Error::invalid("replicas", "ladder needs at least 2 rungs"));
+        }
+        if !self.ladder_ratio.is_finite() || self.ladder_ratio <= 1.0 {
+            return Err(Error::invalid("ladder_ratio", "must exceed 1"));
+        }
+        if self.exchange_interval == 0 {
+            return Err(Error::invalid("exchange_interval", "must be at least 1"));
+        }
+        if !self.schedule_factor.is_finite() || self.schedule_factor <= 0.0 {
+            return Err(Error::invalid("schedule_factor", "must be positive"));
+        }
+        if self.rounds == Some(0) {
+            return Err(Error::invalid("rounds", "must run at least one round"));
+        }
+        if !self.cold_bias.is_finite() || self.cold_bias < 1.0 {
+            return Err(Error::invalid("cold_bias", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TemperingConfig {
+    /// Defaults to [`TemperingConfig::paper_default`].
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Which search engine [`TsajsSolver`](crate::TsajsSolver) drives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// One paper-faithful TTSA chain (Algorithm 1 verbatim).
+    SingleChain,
+    /// Independent restarts hedging against bad initial solutions; chains
+    /// never share information.
+    MultiStart {
+        /// Number of independent chains.
+        restarts: usize,
+    },
+    /// Cooperative parallel tempering (replica exchange).
+    Tempering(TemperingConfig),
+}
+
+impl SearchStrategy {
+    /// Validates the strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for zero restarts or an invalid
+    /// tempering configuration.
+    pub fn validate(&self) -> Result<(), Error> {
+        match self {
+            SearchStrategy::SingleChain => Ok(()),
+            SearchStrategy::MultiStart { restarts } => {
+                if *restarts == 0 {
+                    return Err(Error::invalid("restarts", "must run at least one chain"));
+                }
+                Ok(())
+            }
+            SearchStrategy::Tempering(cfg) => cfg.validate(),
         }
     }
 }

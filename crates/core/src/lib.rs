@@ -49,14 +49,16 @@ pub mod config;
 pub mod moves;
 pub mod power;
 pub mod solver;
+pub mod tempering;
 pub mod trace;
 
 pub use annealing::{anneal, anneal_from};
 pub use config::{
-    Cooling, InitialSolution, InitialTemperature, ResolveMode, TtsaConfig,
-    DEFAULT_REFRESH_TEMPERATURE,
+    Cooling, InitialSolution, InitialTemperature, ResolveMode, SearchStrategy, TemperingConfig,
+    TtsaConfig, DEFAULT_REFRESH_TEMPERATURE,
 };
 pub use moves::{MoveKind, MoveMix, NeighborhoodKernel};
 pub use power::{solve_with_power_control, PowerControlConfig, PowerControlOutcome};
 pub use solver::TsajsSolver;
+pub use tempering::{temper, temper_from};
 pub use trace::{EpochRecord, SearchTrace};

@@ -1,16 +1,22 @@
 //! The [`Solver`] wrapper around the TTSA loop.
 
-use crate::annealing::{anneal, anneal_from};
-use crate::config::TtsaConfig;
+use crate::annealing::{anneal, anneal_from, AnnealOutcome};
+use crate::config::{SearchStrategy, TtsaConfig};
 use crate::moves::{MoveMix, NeighborhoodKernel};
+use crate::tempering::{temper, temper_from};
 use crate::trace::SearchTrace;
 use mec_system::{Assignment, Scenario, Solution, Solver, SolverStats};
-use mec_types::Error;
+use mec_types::{effective_parallelism, Error};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// The TSAJS scheduler: TTSA task offloading + KKT resource allocation.
+///
+/// The [`SearchStrategy`] selects the engine behind `solve`: the paper's
+/// single chain (default), independent multi-start chains, or the
+/// cooperative parallel-tempering ladder. All three are deterministic
+/// under the configured seed, at any worker-thread count.
 ///
 /// Implements [`Solver`]; repeated `solve` calls advance the internal RNG,
 /// so solving the same scenario twice explores different trajectories
@@ -20,7 +26,8 @@ pub struct TsajsSolver {
     config: TtsaConfig,
     kernel: NeighborhoodKernel,
     rng: StdRng,
-    restarts: usize,
+    strategy: SearchStrategy,
+    threads: Option<usize>,
     last_trace: Option<SearchTrace>,
 }
 
@@ -31,7 +38,8 @@ impl TsajsSolver {
             rng: StdRng::seed_from_u64(config.seed),
             kernel: NeighborhoodKernel::new(),
             config,
-            restarts: 1,
+            strategy: SearchStrategy::SingleChain,
+            threads: None,
             last_trace: None,
         }
     }
@@ -47,17 +55,43 @@ impl TsajsSolver {
         self
     }
 
+    /// Selects the search strategy driving `solve`.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Runs `restarts` independent annealing chains per `solve` (each with
     /// its own derived seed) in parallel threads and keeps the best — the
     /// classic multi-start hedge against a single chain freezing in a
-    /// local optimum. `1` (the default) is the paper's single chain.
+    /// local optimum. `1` is the paper's single chain. Sugar for
+    /// [`with_strategy`](Self::with_strategy).
     ///
     /// # Panics
     ///
     /// Panics if `restarts` is zero.
-    pub fn with_restarts(mut self, restarts: usize) -> Self {
+    pub fn with_restarts(self, restarts: usize) -> Self {
         assert!(restarts > 0, "need at least one annealing chain");
-        self.restarts = restarts;
+        self.with_strategy(if restarts == 1 {
+            SearchStrategy::SingleChain
+        } else {
+            SearchStrategy::MultiStart { restarts }
+        })
+    }
+
+    /// Selects the parallel-tempering engine. Sugar for
+    /// [`with_strategy`](Self::with_strategy).
+    pub fn with_tempering(self, tempering: crate::config::TemperingConfig) -> Self {
+        self.with_strategy(SearchStrategy::Tempering(tempering))
+    }
+
+    /// Caps the worker threads used by the multi-start and tempering
+    /// engines. Without an explicit cap, `TSAJS_THREADS` and then the
+    /// hardware parallelism decide (see
+    /// [`mec_types::effective_parallelism`]). Thread count never affects
+    /// results, only wall-clock time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -66,20 +100,26 @@ impl TsajsSolver {
         &self.config
     }
 
+    /// The active search strategy.
+    pub fn strategy(&self) -> &SearchStrategy {
+        &self.strategy
+    }
+
     /// The per-epoch trace of the most recent `solve`, when
     /// [`TtsaConfig::record_trace`] was set.
     pub fn last_trace(&self) -> Option<&SearchTrace> {
         self.last_trace.as_ref()
     }
 
-    /// Warm-started solve: anneals from an explicit starting decision
+    /// Warm-started solve: continues from an explicit starting decision
     /// instead of a fresh initial solution — the entry point for periodic
     /// re-solves that inherit the previous epoch's schedule. Pair it with
     /// a refresh configuration (see
     /// [`ResolveMode::refresh_config`](crate::ResolveMode::refresh_config))
-    /// to keep the refresh cheap. Runs a single chain; the
-    /// [`with_restarts`](Self::with_restarts) multi-start setting applies
-    /// only to cold solves.
+    /// to keep the refresh cheap. Runs a single chain, or — under
+    /// [`SearchStrategy::Tempering`] — a shortened warm ladder seeded
+    /// with `warm` on every rung; the multi-start setting applies only to
+    /// cold solves.
     ///
     /// # Errors
     ///
@@ -89,9 +129,24 @@ impl TsajsSolver {
     /// the scenario's geometry.
     pub fn solve_from(&mut self, scenario: &Scenario, warm: Assignment) -> Result<Solution, Error> {
         self.config.validate()?;
+        self.strategy.validate()?;
         warm.verify_feasible(scenario)?;
         let start = Instant::now();
-        let outcome = anneal_from(scenario, &self.config, &self.kernel, &mut self.rng, warm);
+        let outcome = match self.strategy {
+            SearchStrategy::Tempering(tcfg) => {
+                let workers = effective_parallelism(self.threads);
+                temper_from(
+                    scenario,
+                    &tcfg,
+                    &self.config,
+                    &self.kernel,
+                    &mut self.rng,
+                    workers,
+                    warm,
+                )
+            }
+            _ => anneal_from(scenario, &self.config, &self.kernel, &mut self.rng, warm),
+        };
         let elapsed = start.elapsed();
         self.last_trace = outcome.trace;
         Ok(Solution {
@@ -104,62 +159,95 @@ impl TsajsSolver {
             },
         })
     }
+
+    /// The multi-start engine: independent chains with derived seeds,
+    /// statically partitioned over a scoped worker pool. Each worker
+    /// returns its `(chain index, outcome)` pairs through its join handle
+    /// into indexed slots — no locks anywhere near the chain hot path —
+    /// and the fold runs in chain order, so the result is identical at
+    /// any worker count.
+    fn solve_multi_start(&mut self, scenario: &Scenario, restarts: usize) -> AnnealOutcome {
+        let seeds: Vec<u64> = (0..restarts).map(|_| self.rng.gen()).collect();
+        let config = self.config;
+        let kernel = self.kernel;
+        let workers = effective_parallelism(self.threads).min(seeds.len());
+        let mut outcomes: Vec<Option<AnnealOutcome>> = Vec::new();
+        outcomes.resize_with(seeds.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let seeds = &seeds;
+                    scope.spawn(move || {
+                        // Worker w owns chains w, w+W, w+2W, …
+                        let mut results = Vec::new();
+                        let mut i = w;
+                        while i < seeds.len() {
+                            let mut rng = StdRng::seed_from_u64(seeds[i]);
+                            results.push((i, anneal(scenario, &config, &kernel, &mut rng)));
+                            i += workers;
+                        }
+                        results
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, outcome) in handle.join().expect("chain worker panicked") {
+                    outcomes[i] = Some(outcome);
+                }
+            }
+        });
+        // The best chain wins; ties break toward the lowest chain index.
+        let mut best: Option<AnnealOutcome> = None;
+        let mut total_proposals = 0;
+        for outcome in outcomes.into_iter().map(|o| o.expect("chain ran")) {
+            total_proposals += outcome.proposals;
+            if best
+                .as_ref()
+                .is_none_or(|b| outcome.objective > b.objective)
+            {
+                best = Some(outcome);
+            }
+        }
+        let mut best = best.expect("at least one chain");
+        best.proposals = total_proposals;
+        best
+    }
 }
 
 impl Solver for TsajsSolver {
     fn name(&self) -> &str {
-        "TSAJS"
+        match self.strategy {
+            SearchStrategy::Tempering(_) => "TSAJS-PT",
+            _ => "TSAJS",
+        }
     }
 
     fn solve(&mut self, scenario: &Scenario) -> Result<Solution, Error> {
         self.config.validate()?;
+        self.strategy.validate()?;
         let start = Instant::now();
-        let outcome = if self.restarts == 1 {
-            anneal(scenario, &self.config, &self.kernel, &mut self.rng)
-        } else {
-            // Derive one independent seed per chain from this solver's RNG
-            // stream, then run the chains in parallel. The best chain wins;
-            // ties break toward the lowest chain index for determinism.
-            use rand::Rng;
-            let seeds: Vec<u64> = (0..self.restarts).map(|_| self.rng.gen()).collect();
-            let config = self.config;
-            let kernel = self.kernel;
-            let mut outcomes: Vec<Option<crate::annealing::AnnealOutcome>> = Vec::new();
-            outcomes.resize_with(seeds.len(), || None);
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let outcomes_mutex = std::sync::Mutex::new(&mut outcomes);
-            std::thread::scope(|scope| {
-                let workers = std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .min(seeds.len());
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= seeds.len() {
-                            break;
-                        }
-                        let mut rng = StdRng::seed_from_u64(seeds[i]);
-                        let outcome = anneal(scenario, &config, &kernel, &mut rng);
-                        let mut guard = outcomes_mutex.lock().expect("no poisoned chains");
-                        guard[i] = Some(outcome);
-                    });
-                }
-            });
-            let mut best: Option<crate::annealing::AnnealOutcome> = None;
-            let mut total_proposals = 0;
-            for outcome in outcomes.into_iter().map(|o| o.expect("chain ran")) {
-                total_proposals += outcome.proposals;
-                if best
-                    .as_ref()
-                    .is_none_or(|b| outcome.objective > b.objective)
-                {
-                    best = Some(outcome);
-                }
+        let (outcome, initial_solutions) = match self.strategy {
+            SearchStrategy::SingleChain => (
+                anneal(scenario, &self.config, &self.kernel, &mut self.rng),
+                1u64,
+            ),
+            SearchStrategy::MultiStart { restarts } => {
+                (self.solve_multi_start(scenario, restarts), restarts as u64)
             }
-            let mut best = best.expect("at least one chain");
-            best.proposals = total_proposals;
-            best
+            SearchStrategy::Tempering(tcfg) => {
+                let workers = effective_parallelism(self.threads);
+                (
+                    temper(
+                        scenario,
+                        &tcfg,
+                        &self.config,
+                        &self.kernel,
+                        &mut self.rng,
+                        workers,
+                    ),
+                    tcfg.replicas as u64,
+                )
+            }
         };
         let elapsed = start.elapsed();
         self.last_trace = outcome.trace;
@@ -168,7 +256,7 @@ impl Solver for TsajsSolver {
             utility: outcome.objective,
             stats: SolverStats {
                 // One evaluation per proposal plus the initial solution(s).
-                objective_evaluations: outcome.proposals + self.restarts as u64,
+                objective_evaluations: outcome.proposals + initial_solutions,
                 iterations: outcome.proposals,
                 elapsed,
             },
@@ -179,7 +267,7 @@ impl Solver for TsajsSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Cooling;
+    use crate::config::{Cooling, TemperingConfig};
     use mec_radio::{ChannelGains, OfdmaConfig};
     use mec_system::{Evaluator, UserSpec};
     use mec_types::{Cycles, Hertz, ServerProfile, Watts};
@@ -249,28 +337,40 @@ mod tests {
         let sc = scenario(2);
         let mut solver = TsajsSolver::new(quick().with_cooling(Cooling::Geometric { alpha: 1.5 }));
         assert!(solver.solve(&sc).is_err());
+        let mut bad_strategy = TsajsSolver::new(quick()).with_strategy(SearchStrategy::Tempering(
+            TemperingConfig::paper_default().with_replicas(0),
+        ));
+        assert!(bad_strategy.solve(&sc).is_err());
     }
 
     #[test]
-    fn name_is_tsajs() {
+    fn name_tracks_the_strategy() {
         assert_eq!(TsajsSolver::with_seed(0).name(), "TSAJS");
+        assert_eq!(TsajsSolver::with_seed(0).with_restarts(4).name(), "TSAJS");
+        assert_eq!(
+            TsajsSolver::with_seed(0)
+                .with_tempering(TemperingConfig::paper_default())
+                .name(),
+            "TSAJS-PT"
+        );
     }
 
     #[test]
     fn multi_start_is_deterministic_and_never_worse_in_expectation() {
         let sc = scenario(8);
         let single = TsajsSolver::new(quick().with_seed(4)).solve(&sc).unwrap();
-        let run_multi = || {
+        let run_multi = |threads: usize| {
             TsajsSolver::new(quick().with_seed(4))
                 .with_restarts(4)
+                .with_threads(threads)
                 .solve(&sc)
                 .unwrap()
         };
-        let a = run_multi();
-        let b = run_multi();
+        let a = run_multi(1);
+        let b = run_multi(3);
         assert_eq!(
             a.assignment, b.assignment,
-            "multi-start must be deterministic"
+            "multi-start must be deterministic at any worker count"
         );
         assert_eq!(a.utility, b.utility);
         // Work is accounted across all chains.
@@ -279,6 +379,30 @@ mod tests {
         // sanity proxy it should at least be feasible and non-negative.
         a.assignment.verify_feasible(&sc).unwrap();
         assert!(a.utility >= 0.0);
+    }
+
+    #[test]
+    fn tempering_strategy_solves_and_is_thread_independent() {
+        let sc = scenario(8);
+        let tcfg = TemperingConfig::paper_default()
+            .with_replicas(4)
+            .with_rounds(5);
+        let run = |threads: usize| {
+            TsajsSolver::new(quick().with_seed(6))
+                .with_tempering(tcfg)
+                .with_threads(threads)
+                .solve(&sc)
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.utility, b.utility);
+        assert_eq!(a.stats.iterations, b.stats.iterations);
+        a.assignment.verify_feasible(&sc).unwrap();
+        assert!(a.utility >= 0.0);
+        let recomputed = Evaluator::new(&sc).objective(&a.assignment);
+        assert!((a.utility - recomputed).abs() < 1e-9);
     }
 
     #[test]
@@ -310,6 +434,35 @@ mod tests {
         assert!(a.stats.iterations <= 200 + refresh.inner_iterations as u64);
         let recomputed = Evaluator::new(&sc).objective(&a.assignment);
         assert!((a.utility - recomputed).abs() < 1e-12);
+        a.assignment.verify_feasible(&sc).unwrap();
+    }
+
+    #[test]
+    fn tempered_warm_start_routes_through_the_short_ladder() {
+        let sc = scenario(6);
+        let warm = TsajsSolver::new(quick().with_seed(5))
+            .solve(&sc)
+            .unwrap()
+            .assignment;
+        let warm_obj = Evaluator::new(&sc).objective(&warm);
+        let tcfg = TemperingConfig::paper_default().with_replicas(4);
+        let refresh = quick()
+            .with_proposal_budget(2_000)
+            .with_initial_temperature(crate::config::InitialTemperature::Fixed(0.05));
+        let run = |threads: usize| {
+            TsajsSolver::new(refresh.with_seed(9))
+                .with_tempering(tcfg)
+                .with_threads(threads)
+                .solve_from(&sc, warm.clone())
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(2);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.utility, b.utility);
+        // The budget-derived ladder stays within the anytime cap.
+        assert!(a.stats.iterations <= 2_000);
+        assert!(a.utility >= warm_obj - 1e-12);
         a.assignment.verify_feasible(&sc).unwrap();
     }
 

@@ -262,6 +262,20 @@ impl DynamicSimulation {
                     let refresh = mode.refresh_config(&base);
                     tsajs::anneal_from(&scenario, &refresh, &kernel, &mut chain_rng, warm.clone())
                 }
+                (tsajs::ResolveMode::WarmTempered { tempering, .. }, Some(warm)) => {
+                    // The same refresh contract, spent by a shortened
+                    // tempering ladder seeded from the inherited schedule.
+                    let refresh = mode.refresh_config(&base);
+                    tsajs::temper_from(
+                        &scenario,
+                        &tempering,
+                        &refresh,
+                        &kernel,
+                        &mut chain_rng,
+                        mec_types::effective_parallelism(None),
+                        warm.clone(),
+                    )
+                }
             };
 
             let nearest: Vec<ServerId> = self

@@ -25,12 +25,12 @@ use crate::sla::{CompletedUser, SlaLog};
 use mec_mobility::RandomWaypoint;
 use mec_system::{Assignment, Evaluator, Scenario};
 use mec_topology::NetworkLayout;
-use mec_types::{DeviceProfile, Error, Seconds, Task, UserId};
+use mec_types::{effective_parallelism, DeviceProfile, Error, Seconds, Task, UserId};
 use mec_workloads::{ChurnEvent, ChurnEventKind, ExperimentParams, ScenarioGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tsajs::{anneal, anneal_from, NeighborhoodKernel, ResolveMode, TtsaConfig};
+use tsajs::{anneal, anneal_from, temper_from, NeighborhoodKernel, ResolveMode, TtsaConfig};
 
 /// Engine-level knobs of an online run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -407,17 +407,30 @@ impl OnlineEngine {
                 (Some(prev), Some(map)) => Some(prev.assignment.patched(map)?),
                 _ => None,
             };
-            let warm_eligible =
-                matches!(self.config.mode, ResolveMode::WarmStart { .. }) && patched.is_some();
+            let warm_eligible = matches!(
+                self.config.mode,
+                ResolveMode::WarmStart { .. } | ResolveMode::WarmTempered { .. }
+            ) && patched.is_some();
             let outcome = if warm_eligible {
                 let refresh = self.config.mode.refresh_config(&self.config.base);
-                anneal_from(
-                    &scenario,
-                    &refresh,
-                    &self.kernel,
-                    &mut self.chain_rng,
-                    patched.clone().expect("warm_eligible implies a patch"),
-                )
+                let warm = patched.clone().expect("warm_eligible implies a patch");
+                if let ResolveMode::WarmTempered { tempering, .. } = self.config.mode {
+                    // A shortened warm ladder: every replica starts from
+                    // the patched schedule, the rung temperatures anchor
+                    // at the refresh temperature, and the refresh budget
+                    // bounds the whole ensemble (quench included).
+                    temper_from(
+                        &scenario,
+                        &tempering,
+                        &refresh,
+                        &self.kernel,
+                        &mut self.chain_rng,
+                        effective_parallelism(None),
+                        warm,
+                    )
+                } else {
+                    anneal_from(&scenario, &refresh, &self.kernel, &mut self.chain_rng, warm)
+                }
             } else {
                 anneal(
                     &scenario,

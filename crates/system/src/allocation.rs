@@ -39,12 +39,7 @@ impl ResourceAllocation {
 
     /// Total capacity handed out by server `s` under assignment `x`.
     pub fn server_load(&self, s: ServerId, x: &Assignment) -> Hertz {
-        Hertz::new(
-            x.server_users(s)
-                .iter()
-                .map(|u| self.shares[u.index()])
-                .sum(),
-        )
+        Hertz::new(x.server_users_iter(s).map(|u| self.shares[u.index()]).sum())
     }
 
     /// Checks constraints (12e) and (12f): every offloaded user receives a
@@ -116,23 +111,24 @@ impl ResourceAllocation {
 pub fn kkt_allocation(scenario: &Scenario, x: &Assignment) -> ResourceAllocation {
     let mut shares = vec![0.0; scenario.num_users()];
     for s in scenario.server_ids() {
-        let users = x.server_users(s);
-        if users.is_empty() {
+        // Two passes over the occupancy row instead of collecting `U_s`.
+        let mut count = 0usize;
+        let mut denom = 0.0f64;
+        for u in x.server_users_iter(s) {
+            count += 1;
+            denom += scenario.coefficients(u).eta.sqrt();
+        }
+        if count == 0 {
             continue;
         }
         let capacity = scenario.server(s).capacity().as_hz();
-        let sqrt_etas: Vec<f64> = users
-            .iter()
-            .map(|u| scenario.coefficients(*u).eta.sqrt())
-            .collect();
-        let denom: f64 = sqrt_etas.iter().sum();
         if denom > 0.0 {
-            for (u, sqrt_eta) in users.iter().zip(&sqrt_etas) {
-                shares[u.index()] = capacity * sqrt_eta / denom;
+            for u in x.server_users_iter(s) {
+                shares[u.index()] = capacity * scenario.coefficients(u).eta.sqrt() / denom;
             }
         } else {
-            let equal = capacity / users.len() as f64;
-            for u in &users {
+            let equal = capacity / count as f64;
+            for u in x.server_users_iter(s) {
                 shares[u.index()] = equal;
             }
         }
@@ -145,12 +141,12 @@ pub fn kkt_allocation(scenario: &Scenario, x: &Assignment) -> ResourceAllocation
 pub fn equal_share_allocation(scenario: &Scenario, x: &Assignment) -> ResourceAllocation {
     let mut shares = vec![0.0; scenario.num_users()];
     for s in scenario.server_ids() {
-        let users = x.server_users(s);
-        if users.is_empty() {
+        let count = x.server_users_iter(s).count();
+        if count == 0 {
             continue;
         }
-        let equal = scenario.server(s).capacity().as_hz() / users.len() as f64;
-        for u in &users {
+        let equal = scenario.server(s).capacity().as_hz() / count as f64;
+        for u in x.server_users_iter(s) {
             shares[u.index()] = equal;
         }
     }
@@ -166,9 +162,8 @@ pub fn optimal_lambda_cost(scenario: &Scenario, x: &Assignment) -> f64 {
     let mut total = 0.0;
     for s in scenario.server_ids() {
         let sum_sqrt: f64 = x
-            .server_users(s)
-            .iter()
-            .map(|u| scenario.coefficients(*u).eta.sqrt())
+            .server_users_iter(s)
+            .map(|u| scenario.coefficients(u).eta.sqrt())
             .sum();
         if sum_sqrt > 0.0 {
             total += sum_sqrt * sum_sqrt / scenario.server(s).capacity().as_hz();

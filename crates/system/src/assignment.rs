@@ -36,7 +36,7 @@ use std::fmt;
 /// assert!(x.assign(UserId::new(1), ServerId::new(1), SubchannelId::new(0)).is_err());
 /// # Ok::<(), mec_types::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Assignment {
     num_servers: usize,
     num_subchannels: usize,
@@ -44,6 +44,28 @@ pub struct Assignment {
     slots: Vec<Option<(ServerId, SubchannelId)>>,
     /// Reverse index `[s·N + j] -> occupant`.
     occupancy: Vec<Option<UserId>>,
+}
+
+// Hand-written so `clone_from` reuses the destination's buffers: the search
+// hot loops snapshot the incumbent via `best.clone_from(..)`, and the derived
+// impl's `clone_from` (`*self = source.clone()`) would heap-allocate on every
+// improving move.
+impl Clone for Assignment {
+    fn clone(&self) -> Self {
+        Self {
+            num_servers: self.num_servers,
+            num_subchannels: self.num_subchannels,
+            slots: self.slots.clone(),
+            occupancy: self.occupancy.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.num_servers = source.num_servers;
+        self.num_subchannels = source.num_subchannels;
+        self.slots.clone_from(&source.slots);
+        self.occupancy.clone_from(&source.occupancy);
+    }
 }
 
 impl Assignment {
@@ -150,17 +172,28 @@ impl Assignment {
 
     /// The active transmissions implied by this decision, for SINR
     /// computation.
+    ///
+    /// Allocates; hot loops should prefer [`Assignment::transmissions_iter`].
     pub fn transmissions(&self) -> Vec<Transmission> {
-        self.offloaded()
-            .map(|(u, s, j)| Transmission::new(u, s, j))
-            .collect()
+        self.transmissions_iter().collect()
+    }
+
+    /// Allocation-free variant of [`Assignment::transmissions`].
+    pub fn transmissions_iter(&self) -> impl Iterator<Item = Transmission> + '_ {
+        self.offloaded().map(|(u, s, j)| Transmission::new(u, s, j))
     }
 
     /// Users currently attached to server `s` (the set `U_s`).
+    ///
+    /// Allocates; hot loops should prefer [`Assignment::server_users_iter`].
     pub fn server_users(&self, s: ServerId) -> Vec<UserId> {
-        (0..self.num_subchannels)
-            .filter_map(|j| self.occupant(s, SubchannelId::new(j)))
-            .collect()
+        self.server_users_iter(s).collect()
+    }
+
+    /// Allocation-free variant of [`Assignment::server_users`], in
+    /// subchannel order.
+    pub fn server_users_iter(&self, s: ServerId) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.num_subchannels).filter_map(move |j| self.occupant(s, SubchannelId::new(j)))
     }
 
     /// The lowest-indexed free subchannel at server `s`, if any.
@@ -171,11 +204,18 @@ impl Assignment {
     }
 
     /// All free subchannels at server `s`.
+    ///
+    /// Allocates; hot loops should prefer
+    /// [`Assignment::free_subchannels_iter`].
     pub fn free_subchannels(&self, s: ServerId) -> Vec<SubchannelId> {
+        self.free_subchannels_iter(s).collect()
+    }
+
+    /// Allocation-free variant of [`Assignment::free_subchannels`].
+    pub fn free_subchannels_iter(&self, s: ServerId) -> impl Iterator<Item = SubchannelId> + '_ {
         (0..self.num_subchannels)
             .map(SubchannelId::new)
-            .filter(|j| self.occupant(s, *j).is_none())
-            .collect()
+            .filter(move |j| self.occupant(s, *j).is_none())
     }
 
     /// Assigns user `u` to `(s, j)`.

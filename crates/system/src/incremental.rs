@@ -426,6 +426,24 @@ impl<'a> IncrementalObjective<'a> {
         self.x
     }
 
+    /// Replaces the current decision wholesale and rebuilds every
+    /// maintained sum from it — the replica restore path of the tempering
+    /// engine (elite migration, state exchange). Costs one full resync;
+    /// any pending undo state is discarded. The destination's buffers are
+    /// reused, so a replica can adopt another's snapshot without touching
+    /// the heap.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the state unchanged) if `x` does not fit the
+    /// scenario's geometry.
+    pub fn replace_assignment(&mut self, x: &Assignment) -> Result<(), Error> {
+        x.verify_feasible(self.scenario)?;
+        self.x.clone_from(x);
+        self.resync();
+        Ok(())
+    }
+
     /// The current `J*(X)`: `0.0` for the all-local decision, `−∞` when any
     /// offloaded user has a non-finite Γ term (zero SINR), otherwise the
     /// maintained `gain − Γ − Λ`.

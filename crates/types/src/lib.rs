@@ -37,6 +37,7 @@ pub mod ids;
 pub mod preferences;
 pub mod server;
 pub mod task;
+pub mod threads;
 pub mod units;
 
 pub use device::{DeviceProfile, LocalCost};
@@ -45,6 +46,7 @@ pub use ids::{ServerId, SubchannelId, UserId};
 pub use preferences::{ProviderPreference, UserPreferences};
 pub use server::ServerProfile;
 pub use task::Task;
+pub use threads::effective_parallelism;
 pub use units::{
     Bits, BitsPerSecond, Cycles, DbMilliwatts, Decibels, Hertz, Joules, Meters, Seconds, Watts,
 };

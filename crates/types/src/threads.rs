@@ -1,0 +1,74 @@
+//! Worker-thread budgeting shared by every parallel component.
+//!
+//! All fan-out in the workspace (multi-start chains, the tempering worker
+//! pool, the exhaustive solver, the workload runner) resolves its thread
+//! count through [`effective_parallelism`] instead of calling
+//! [`std::thread::available_parallelism`] directly, so a single CLI flag
+//! (`--threads`) or environment variable (`TSAJS_THREADS`) caps the whole
+//! process.
+//!
+//! Resolution order:
+//!
+//! 1. an explicit, per-call override (e.g. from `--threads N`), when `> 0`;
+//! 2. the `TSAJS_THREADS` environment variable, when it parses to `> 0`;
+//! 3. [`std::thread::available_parallelism`], falling back to 1.
+//!
+//! The result is always at least 1. Note that worker count never affects
+//! *results* anywhere in the workspace — every parallel component is
+//! deterministic by construction — only wall-clock time.
+
+/// Environment variable consulted when no explicit thread override is given.
+pub const THREADS_ENV_VAR: &str = "TSAJS_THREADS";
+
+/// Resolve the number of worker threads a parallel component should use.
+///
+/// `explicit` is an optional per-call override (typically wired to a
+/// `--threads` CLI flag); zero is treated as "not set". See the module
+/// docs for the full resolution order.
+///
+/// ## Example
+///
+/// ```
+/// use mec_types::threads::effective_parallelism;
+///
+/// // An explicit override always wins.
+/// assert_eq!(effective_parallelism(Some(3)), 3);
+/// // Without one, the result is still at least one worker.
+/// assert!(effective_parallelism(None) >= 1);
+/// ```
+#[must_use]
+pub fn effective_parallelism(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV_VAR) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_override_wins_and_zero_is_ignored() {
+        assert_eq!(effective_parallelism(Some(7)), 7);
+        assert_eq!(effective_parallelism(Some(1)), 1);
+        // Zero falls through to the environment / hardware default.
+        assert!(effective_parallelism(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn default_is_at_least_one_worker() {
+        assert!(effective_parallelism(None) >= 1);
+    }
+}

@@ -26,7 +26,8 @@ pub struct TrialOutcome {
 /// it with a fresh solver built by `make_solver(base_seed + i)` — so
 /// results are reproducible regardless of how trials are scheduled over
 /// threads. Trials run in parallel on up to
-/// [`std::thread::available_parallelism`] workers.
+/// [`mec_types::effective_parallelism`] workers (`TSAJS_THREADS` caps the
+/// pool).
 ///
 /// # Errors
 ///
@@ -41,10 +42,7 @@ pub fn run_trials<F>(
 where
     F: Fn(u64) -> Box<dyn Solver> + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trials.max(1));
+    let workers = mec_types::effective_parallelism(None).min(trials.max(1));
 
     let mut results: Vec<Option<Result<TrialOutcome, Error>>> = Vec::new();
     results.resize_with(trials, || None);
