@@ -188,11 +188,13 @@ impl HJtoraSolver {
     /// Steepest ascent from `x` until no adjustment improves; returns the
     /// local optimum and its objective.
     ///
-    /// Every candidate is scored as apply → delta-evaluate → bit-exact
-    /// undo against persistent [`IncrementalObjective`] state, so a round
-    /// costs `O(candidates · S)` instead of `O(candidates · T·S)`. The
-    /// state is re-synchronized after each applied adjustment, which
-    /// bounds drift to a single round.
+    /// Every candidate is scored speculatively against persistent
+    /// [`IncrementalObjective`] state
+    /// ([`score`](IncrementalObjective::score) replays the apply-path
+    /// arithmetic bit-exactly without mutating anything), so a round
+    /// costs `O(candidates · S)` with no per-candidate journaling or
+    /// undo. The state is re-synchronized after each applied adjustment,
+    /// which bounds drift to a single round.
     fn ascend(
         &self,
         scenario: &Scenario,
@@ -207,9 +209,7 @@ impl HJtoraSolver {
             let mut best_move: Option<(MoveDesc, f64)> = None;
             for mv in Self::candidate_moves(scenario, inc.assignment()) {
                 let desc = mv.to_desc(inc.assignment());
-                inc.apply(&desc);
-                let obj = inc.current();
-                inc.undo();
+                let obj = inc.score(&desc);
                 *evals += 1;
                 if obj > best_obj + self.improvement_tolerance
                     && best_move.is_none_or(|(_, prev)| obj > prev)

@@ -66,10 +66,11 @@ impl Solver for LocalSearchSolver {
         let start = Instant::now();
         let kernel = NeighborhoodKernel::new();
 
-        // Delta-evaluation hot loop: propose a compact move, apply it to
-        // the maintained sums, and roll it back bit-exactly unless it
-        // improves — no clone and no full O(T·S) re-evaluation per
-        // proposal. Draw order matches the historical cloning loop.
+        // Delta-evaluation hot loop: propose a compact move and score it
+        // speculatively against the maintained sums — rejected proposals
+        // (the vast majority once the climb stalls) never mutate the
+        // state, so they cost no journaling and no undo. Draw order and
+        // trajectory match the historical apply/undo loop bit for bit.
         let mut inc = IncrementalObjective::new(scenario, Assignment::all_local(scenario))?;
         let mut current_obj = 0.0;
         let mut evals: u64 = 0;
@@ -78,16 +79,15 @@ impl Solver for LocalSearchSolver {
 
         while iterations < self.max_iterations && stale < self.patience {
             let (mv, _) = kernel.propose_move(scenario, inc.assignment(), &mut self.rng);
-            inc.apply(&mv);
-            let obj = inc.current();
+            let obj = inc.score(&mv);
             evals += 1;
             iterations += 1;
             if obj > current_obj {
+                inc.apply(&mv);
                 inc.commit();
                 current_obj = obj;
                 stale = 0;
             } else {
-                inc.undo();
                 stale += 1;
             }
             if iterations.is_multiple_of(Self::RESYNC_INTERVAL) {

@@ -63,8 +63,12 @@ fn json_runs(runs: &[Run]) -> String {
         .iter()
         .map(|r| {
             format!(
-                "{{\"seed\":{},\"utility\":{},\"seconds\":{},\"proposals\":{}}}",
-                r.seed, r.utility, r.seconds, r.proposals
+                "{{\"seed\":{},\"utility\":{},\"seconds\":{},\"proposals\":{},\"proposals_per_sec\":{}}}",
+                r.seed,
+                r.utility,
+                r.seconds,
+                r.proposals,
+                r.proposals as f64 / r.seconds
             )
         })
         .collect();
@@ -111,15 +115,20 @@ fn main() {
     let mut tempered = Vec::new();
     println!("tempering bench: U={users}, seeds {SEEDS:?}, quick={quick}");
     println!(
-        "{:<10} {:>6} {:>14} {:>10} {:>12}",
-        "engine", "seed", "utility", "time(s)", "proposals"
+        "{:<10} {:>6} {:>14} {:>10} {:>12} {:>12}",
+        "engine", "seed", "utility", "time(s)", "proposals", "prop/s"
     );
     for seed in SEEDS {
         let scenario = generator.generate(seed).expect("scenario");
         let run = run_solver(|| TsajsSolver::new(base.with_seed(seed)), &scenario, seed);
         println!(
-            "{:<10} {:>6} {:>14.6} {:>10.3} {:>12}",
-            "single", seed, run.utility, run.seconds, run.proposals
+            "{:<10} {:>6} {:>14.6} {:>10.3} {:>12} {:>12.0}",
+            "single",
+            seed,
+            run.utility,
+            run.seconds,
+            run.proposals,
+            run.proposals as f64 / run.seconds
         );
         single.push(run);
         let run = run_solver(
@@ -128,8 +137,13 @@ fn main() {
             seed,
         );
         println!(
-            "{:<10} {:>6} {:>14.6} {:>10.3} {:>12}",
-            "tempering", seed, run.utility, run.seconds, run.proposals
+            "{:<10} {:>6} {:>14.6} {:>10.3} {:>12} {:>12.0}",
+            "tempering",
+            seed,
+            run.utility,
+            run.seconds,
+            run.proposals,
+            run.proposals as f64 / run.seconds
         );
         tempered.push(run);
     }
@@ -138,6 +152,8 @@ fn main() {
     let tempered_time = mean(tempered.iter().map(|r| r.seconds));
     let single_j = mean(single.iter().map(|r| r.utility));
     let tempered_j = mean(tempered.iter().map(|r| r.utility));
+    let single_tp = mean(single.iter().map(|r| r.proposals as f64 / r.seconds));
+    let tempered_tp = mean(tempered.iter().map(|r| r.proposals as f64 / r.seconds));
     let speedup = single_time / tempered_time;
     println!(
         "mean: single {single_j:.6} in {single_time:.3}s, \
@@ -154,6 +170,8 @@ fn main() {
          \"mean_utility_tempering\": {tempered_j},\n  \
          \"mean_seconds_single\": {single_time},\n  \
          \"mean_seconds_tempering\": {tempered_time},\n  \
+         \"mean_proposals_per_sec_single\": {single_tp},\n  \
+         \"mean_proposals_per_sec_tempering\": {tempered_tp},\n  \
          \"speedup\": {speedup}\n}}\n",
         tempering.replicas,
         json_runs(&single),

@@ -105,8 +105,9 @@ USAGE:
                      [--output-kb D --downlink-mbps R]
                      [--seed SEED] --out FILE
   tsajs-sim solve    --scenario FILE [--solver NAME] [--seed SEED]
-                     [--threads N] [--report FILE]
+                     [--threads N] [--batch K] [--report FILE]
   tsajs-sim compare  --scenario FILE [--seed SEED] [--threads N]
+                     [--batch K]
   tsajs-sim render   --scenario FILE --out FILE.svg
                      [--solver NAME] [--seed SEED] [--threads N]
   tsajs-sim inspect  --scenario FILE
@@ -128,6 +129,12 @@ SOLVERS: tsajs (default), tempering, hjtora, greedy, localsearch,
 multi-start, exhaustive); the TSAJS_THREADS environment variable does
 the same when no flag is given. Results are bit-identical at any
 thread count.
+
+`--batch K` sets the speculative proposal batch width of the annealing
+solvers (tsajs, tempering): K candidate moves are drawn and scored per
+step and the first Metropolis acceptance wins. K=1 (the default) is the
+paper's one-proposal-at-a-time walk; results are deterministic per seed
+at any K and any thread count.
 
 The `online` command runs the event-driven engine (Poisson arrivals,
 exponential sojourns, per-epoch warm-started re-solves) and writes one
@@ -159,6 +166,8 @@ pub enum Command {
         seed: u64,
         /// Worker-pool cap for parallel solvers (`None` = auto).
         threads: Option<usize>,
+        /// Speculative batch width for the annealing solvers (`None` = 1).
+        batch: Option<usize>,
         /// Optional JSON report path.
         report: Option<PathBuf>,
     },
@@ -170,6 +179,8 @@ pub enum Command {
         seed: u64,
         /// Worker-pool cap for parallel solvers (`None` = auto).
         threads: Option<usize>,
+        /// Speculative batch width for the annealing solvers (`None` = 1).
+        batch: Option<usize>,
     },
     /// Solve a scenario file and write the schedule as an SVG figure.
     Render {
@@ -264,6 +275,14 @@ fn parse_threads(value: &str) -> Result<usize, CliError> {
     Ok(n)
 }
 
+fn parse_batch(value: &str) -> Result<usize, CliError> {
+    let n: usize = parse_num("--batch", value)?;
+    if n == 0 {
+        return Err(CliError::Usage("--batch must be at least 1".into()));
+    }
+    Ok(n)
+}
+
 /// Parses a command line (without the program name).
 ///
 /// # Errors
@@ -326,6 +345,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
             let mut solver = "tsajs".to_string();
             let mut seed = 0u64;
             let mut threads: Option<usize> = None;
+            let mut batch: Option<usize> = None;
             let mut report: Option<PathBuf> = None;
             while let Some(flag) = iter.next() {
                 match flag {
@@ -333,6 +353,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                     "--solver" => solver = take_value(flag, &mut iter)?.to_string(),
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
                     "--threads" => threads = Some(parse_threads(take_value(flag, &mut iter)?)?),
+                    "--batch" => batch = Some(parse_batch(take_value(flag, &mut iter)?)?),
                     "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
@@ -344,6 +365,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 solver,
                 seed,
                 threads,
+                batch,
                 report,
             })
         }
@@ -351,11 +373,13 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
             let mut scenario: Option<PathBuf> = None;
             let mut seed = 0u64;
             let mut threads: Option<usize> = None;
+            let mut batch: Option<usize> = None;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
                     "--threads" => threads = Some(parse_threads(take_value(flag, &mut iter)?)?),
+                    "--batch" => batch = Some(parse_batch(take_value(flag, &mut iter)?)?),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
             }
@@ -365,6 +389,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 scenario,
                 seed,
                 threads,
+                batch,
             })
         }
         "render" => {
@@ -525,6 +550,10 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
 /// multi-start, exhaustive); `None` defers to `TSAJS_THREADS` and the
 /// machine's available parallelism. Thread count never changes results.
 ///
+/// `batch` sets the speculative proposal batch width of the annealing
+/// solvers (tsajs, tempering); `None` keeps the paper's one-proposal-at-
+/// a-time walk (K=1). The flag is ignored by the non-annealing baselines.
+///
 /// # Errors
 ///
 /// Returns [`CliError::Usage`] for an unknown solver name.
@@ -532,18 +561,27 @@ pub fn build_solver(
     name: &str,
     seed: u64,
     threads: Option<usize>,
+    batch: Option<usize>,
 ) -> Result<Box<dyn Solver>, CliError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "tsajs" => {
-            let mut solver = TsajsSolver::new(TtsaConfig::paper_default().with_seed(seed));
+            let mut config = TtsaConfig::paper_default().with_seed(seed);
+            if let Some(k) = batch {
+                config = config.with_batch_width(k);
+            }
+            let mut solver = TsajsSolver::new(config);
             if let Some(n) = threads {
                 solver = solver.with_threads(n);
             }
             Box::new(solver)
         }
         "tempering" | "tsajs-pt" => {
-            let mut solver = TsajsSolver::new(TtsaConfig::paper_default().with_seed(seed))
-                .with_tempering(TemperingConfig::paper_default());
+            let mut config = TtsaConfig::paper_default().with_seed(seed);
+            if let Some(k) = batch {
+                config = config.with_batch_width(k);
+            }
+            let mut solver =
+                TsajsSolver::new(config).with_tempering(TemperingConfig::paper_default());
             if let Some(n) = threads {
                 solver = solver.with_threads(n);
             }
@@ -608,10 +646,11 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             solver,
             seed,
             threads,
+            batch,
             report,
         } => {
             let scenario = load_scenario(&scenario)?;
-            let mut solver = build_solver(&solver, seed, threads)?;
+            let mut solver = build_solver(&solver, seed, threads, batch)?;
             let solution = solver.solve(&scenario)?;
             let evaluation = solution.evaluate(&scenario)?;
             writeln!(out, "solver      : {}", solver.name())?;
@@ -667,7 +706,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 )
             })?;
             let scenario = spec.into_scenario()?;
-            let mut solver = build_solver(&solver, seed, threads)?;
+            let mut solver = build_solver(&solver, seed, threads, None)?;
             let solution = solver.solve(&scenario)?;
             // Rebuild the layout from the paper's ISD; stations in specs
             // always come from the hexagonal generator.
@@ -753,12 +792,12 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 }
             };
             // Validate the name eagerly so a bad one errors before the run.
-            build_solver(&solver, seed, threads)?;
+            build_solver(&solver, seed, threads, None)?;
             let params = ExperimentParams::paper_default().with_users(users);
             let mut sim = DynamicSimulation::new(params, profile, seed)?;
             let solver_name = solver.clone();
             let history = sim.run(epochs, |epoch_seed| {
-                build_solver(&solver_name, epoch_seed, threads)
+                build_solver(&solver_name, epoch_seed, threads, None)
                     .expect("solver name validated before the run")
             })?;
             writeln!(
@@ -851,12 +890,13 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             scenario,
             seed,
             threads,
+            batch,
         } => {
             let scenario = load_scenario(&scenario)?;
             writeln!(
                 out,
-                "{:<12} {:>12} {:>10} {:>12}",
-                "solver", "utility", "offloaded", "time(ms)"
+                "{:<12} {:>12} {:>10} {:>12} {:>12} {:>12}",
+                "solver", "utility", "offloaded", "time(ms)", "proposals", "prop/s"
             )?;
             for name in [
                 "tsajs",
@@ -867,15 +907,23 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
                 "random",
                 "alllocal",
             ] {
-                let mut solver = build_solver(name, seed, threads)?;
+                let mut solver = build_solver(name, seed, threads, batch)?;
                 let solution = solver.solve(&scenario)?;
+                let secs = solution.stats.elapsed.as_secs_f64();
+                let throughput = if secs > 0.0 {
+                    solution.stats.iterations as f64 / secs
+                } else {
+                    0.0
+                };
                 writeln!(
                     out,
-                    "{:<12} {:>12.6} {:>10} {:>12.2}",
+                    "{:<12} {:>12.6} {:>10} {:>12.2} {:>12} {:>12.0}",
                     solver.name(),
                     solution.utility,
                     solution.assignment.num_offloaded(),
-                    solution.stats.elapsed.as_secs_f64() * 1e3
+                    secs * 1e3,
+                    solution.stats.iterations,
+                    throughput
                 )?;
             }
             Ok(())
@@ -949,6 +997,7 @@ mod tests {
                 solver: "greedy".into(),
                 seed: 3,
                 threads: None,
+                batch: None,
                 report: None,
             }
         );
@@ -959,8 +1008,43 @@ mod tests {
                 scenario: PathBuf::from("s.json"),
                 seed: 0,
                 threads: None,
+                batch: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_batch_and_rejects_zero() {
+        let cmd = parse_args(&["solve", "--scenario", "s.json", "--batch", "8"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                scenario: PathBuf::from("s.json"),
+                solver: "tsajs".into(),
+                seed: 0,
+                threads: None,
+                batch: Some(8),
+                report: None,
+            }
+        );
+        let cmd = parse_args(&["compare", "--scenario", "s.json", "--batch", "4"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compare {
+                scenario: PathBuf::from("s.json"),
+                seed: 0,
+                threads: None,
+                batch: Some(4),
+            }
+        );
+        assert!(matches!(
+            parse_args(&["solve", "--scenario", "s.json", "--batch", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&["compare", "--scenario", "s.json", "--batch", "x"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -982,6 +1066,7 @@ mod tests {
                 solver: "tempering".into(),
                 seed: 0,
                 threads: Some(4),
+                batch: None,
                 report: None,
             }
         );
@@ -1044,7 +1129,7 @@ mod tests {
             Err(CliError::Usage(_)),
         ));
         assert!(matches!(
-            build_solver("nope", 0, None),
+            build_solver("nope", 0, None, None),
             Err(CliError::Usage(_))
         ));
     }
@@ -1472,7 +1557,7 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(value["passed"], serde_json::Value::Bool(true));
         assert_eq!(value["seeds"].as_u64(), Some(2));
-        assert_eq!(value["invariants"].as_array().unwrap().len(), 9);
+        assert_eq!(value["invariants"].as_array().unwrap().len(), 10);
         // The --out file carries the same report.
         let file = std::fs::read_to_string(&report_path).unwrap();
         assert_eq!(text.trim_end(), file);

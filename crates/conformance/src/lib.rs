@@ -140,6 +140,7 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
     let mut incremental = InvariantVerdict::new("incremental_vs_resync");
     let mut order = InvariantVerdict::new("solver_partial_order");
     let mut threads = InvariantVerdict::new("tempering_thread_independence");
+    let mut batched = InvariantVerdict::new("batched_proposal_determinism");
     let mut permutation = InvariantVerdict::new("metamorphic_user_permutation");
     let mut rescale = InvariantVerdict::new("metamorphic_lambda_rescale");
     let mut online = InvariantVerdict::new("online_seed_replay");
@@ -172,6 +173,14 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
             threads.record(
                 seed,
                 differential::check_thread_independence(&scenario, seed, config.ttsa_budget),
+            );
+            batched.record(
+                seed,
+                differential::check_batched_proposal_determinism(
+                    &scenario,
+                    seed,
+                    config.ttsa_budget,
+                ),
             );
         }
         if i % config.metamorphic_stride.max(1) == 0 {
@@ -211,6 +220,7 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
             incremental,
             order,
             threads,
+            batched,
             permutation,
             rescale,
             online,
@@ -258,6 +268,6 @@ mod tests {
         let report = run_conformance(&ConformanceConfig::smoke().with_seeds(2).with_base_seed(7));
         assert_eq!(report.seeds, 2);
         assert_eq!(report.base_seed, 7);
-        assert_eq!(report.invariants.len(), 9);
+        assert_eq!(report.invariants.len(), 10);
     }
 }

@@ -43,6 +43,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hot-path layout gates: range loops that should be iterator/chunk sweeps
+// and oversized stack buffers are bugs here, not style.
+#![deny(clippy::needless_range_loop)]
+#![deny(clippy::large_stack_arrays)]
 
 pub mod annealing;
 pub mod config;

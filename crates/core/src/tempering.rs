@@ -307,7 +307,7 @@ fn run<'a, R: Rng + ?Sized>(
                 None => initial_solution(scenario, base.initial_solution, &mut rung_rng),
             };
             Some(Replica {
-                state: ChainState::from_initial(scenario, initial),
+                state: ChainState::from_initial(scenario, initial, base.batch_width),
                 rng: rung_rng,
                 temperature: t0 / tcfg.ladder_ratio.powi((k - 1 - i) as i32),
                 round_stats: EpochStats::default(),
@@ -446,14 +446,16 @@ fn run<'a, R: Rng + ?Sized>(
                     if mv.is_noop() {
                         continue;
                     }
-                    let candidate = inc.apply(&mv);
+                    // Speculative scoring: rejected candidates (the vast
+                    // majority near a local optimum) never touch the
+                    // state, so they cost no journaling and no undo.
+                    let candidate = inc.score(&mv);
                     spent += 1;
                     if candidate > current {
+                        inc.apply(&mv);
                         inc.commit();
                         current = candidate;
                         improved = true;
-                    } else {
-                        inc.undo();
                     }
                 }
             }
@@ -478,14 +480,13 @@ fn run<'a, R: Rng + ?Sized>(
                     if mv.is_noop() {
                         continue;
                     }
-                    let candidate = inc.apply(&mv);
+                    let candidate = inc.score(&mv);
                     spent += 1;
                     if candidate > current {
+                        inc.apply(&mv);
                         inc.commit();
                         current = candidate;
                         improved = true;
-                    } else {
-                        inc.undo();
                     }
                 }
             }

@@ -42,7 +42,8 @@ pub struct Assignment {
     num_subchannels: usize,
     /// Per-user slot: `None` = local execution.
     slots: Vec<Option<(ServerId, SubchannelId)>>,
-    /// Reverse index `[s·N + j] -> occupant`.
+    /// Reverse index `[j·S + s] -> occupant` (subchannel-major, so the
+    /// per-subchannel server scans of the hot loops walk contiguous rows).
     occupancy: Vec<Option<UserId>>,
 }
 
@@ -155,6 +156,14 @@ impl Assignment {
     #[inline]
     pub fn occupant(&self, s: ServerId, j: SubchannelId) -> Option<UserId> {
         self.occupancy[self.occ_index(s, j)]
+    }
+
+    /// The contiguous occupancy row of subchannel `j`, indexed by server —
+    /// the gather the incremental evaluator's Γ refresh and speculative
+    /// scoring sweep across all servers at once.
+    #[inline]
+    pub fn occupants_on(&self, j: SubchannelId) -> &[Option<UserId>] {
+        &self.occupancy[j.index() * self.num_servers..][..self.num_servers]
     }
 
     /// Number of offloading users `|U_offload|`.

@@ -61,6 +61,56 @@ impl UserCoefficients {
     }
 }
 
+/// Structure-of-arrays view of the per-user constants the search hot
+/// loops read: one flat `f64` column per derived quantity, indexed by
+/// user, instead of gathering fields out of [`UserCoefficients`] structs.
+///
+/// The three columns are exactly the per-user constants `J*(X)` needs:
+/// `√η_u` (KKT allocation, Eq. 22), `φ_u + ψ_u·p_u` (the Γ numerator,
+/// Eq. 19), and `gain_constant − download_cost` (the benefit of
+/// offloading `u`, Eq. 24). Building them once per scenario keeps the
+/// per-proposal inner loops free of struct-field gathers and lets the
+/// evaluators share one precomputation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoefficientBlocks {
+    /// `√η_u` per user.
+    pub sqrt_eta: Vec<f64>,
+    /// `φ_u + ψ_u·p_u` per user — the numerator of the Γ term.
+    pub gamma_num: Vec<f64>,
+    /// `gain_constant − download_cost` per user — the benefit of
+    /// offloading.
+    pub gain_const: Vec<f64>,
+}
+
+impl CoefficientBlocks {
+    /// Packs per-user coefficient structs (paired with each user's linear
+    /// transmit power in watts) into flat columns.
+    pub fn pack<'c>(users: impl Iterator<Item = (&'c UserCoefficients, f64)>) -> Self {
+        let (lo, _) = users.size_hint();
+        let mut blocks = Self {
+            sqrt_eta: Vec::with_capacity(lo),
+            gamma_num: Vec::with_capacity(lo),
+            gain_const: Vec::with_capacity(lo),
+        };
+        for (c, power) in users {
+            blocks.sqrt_eta.push(c.eta.sqrt());
+            blocks.gamma_num.push(c.phi + c.psi * power);
+            blocks.gain_const.push(c.gain_constant - c.download_cost);
+        }
+        blocks
+    }
+
+    /// Number of users packed.
+    pub fn len(&self) -> usize {
+        self.gamma_num.len()
+    }
+
+    /// Whether the block store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gamma_num.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +201,28 @@ mod tests {
         let c =
             UserCoefficients::compute(&plain, &lp, w, Some(mec_types::BitsPerSecond::new(10.0e6)));
         assert_eq!(c.download_cost, 0.0);
+    }
+
+    #[test]
+    fn packed_blocks_match_per_user_structs() {
+        let specs = [spec(0.5, 1.0), spec(1.0, 0.8), spec(0.2, 0.3)];
+        let w = Hertz::new(1.0e6);
+        let coeffs: Vec<UserCoefficients> = specs
+            .iter()
+            .map(|u| UserCoefficients::compute(u, &u.task.local_cost(&u.device), w, None))
+            .collect();
+        let powers = [0.01, 0.05, 0.1];
+        let blocks = CoefficientBlocks::pack(coeffs.iter().zip(powers.iter().copied()));
+        assert_eq!(blocks.len(), 3);
+        assert!(!blocks.is_empty());
+        for (u, (c, p)) in coeffs.iter().zip(powers).enumerate() {
+            assert_eq!(blocks.sqrt_eta[u].to_bits(), c.eta.sqrt().to_bits());
+            assert_eq!(blocks.gamma_num[u].to_bits(), (c.phi + c.psi * p).to_bits());
+            assert_eq!(
+                blocks.gain_const[u].to_bits(),
+                (c.gain_constant - c.download_cost).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -117,24 +117,28 @@ impl<'a> Evaluator<'a> {
             return 0.0;
         }
 
-        // SINR totals, as in `sinrs` but into reused buffers.
+        // SINR totals, as in `sinrs` but into reused buffers laid out in
+        // the same subchannel-major, lane-padded rows as the incremental
+        // evaluator (`totals[j·stride + s]`) — index-only relative to the
+        // server-major variant, so the arithmetic is unchanged.
         let num_sub = sc.num_subchannels();
+        let stride = crate::simd::padded_len(sc.num_servers());
         let powers = sc.tx_powers_watts();
         let gains = sc.gains();
         let noise = sc.noise().as_watts();
         scratch.totals.clear();
-        scratch.totals.resize(sc.num_servers() * num_sub, 0.0);
+        scratch.totals.resize(stride * num_sub, 0.0);
         for t in &scratch.transmissions {
             let p = powers[t.user.index()];
             for s in sc.server_ids() {
-                scratch.totals[s.index() * num_sub + t.subchannel.index()] +=
+                scratch.totals[t.subchannel.index() * stride + s.index()] +=
                     p * gains.gain(t.user, s, t.subchannel);
             }
         }
         scratch.sinrs.clear();
         scratch.sinrs.extend(scratch.transmissions.iter().map(|t| {
             let signal = powers[t.user.index()] * gains.gain(t.user, t.server, t.subchannel);
-            let interference = (scratch.totals[t.server.index() * num_sub + t.subchannel.index()]
+            let interference = (scratch.totals[t.subchannel.index() * stride + t.server.index()]
                 - signal)
                 .max(0.0);
             signal / (interference + noise)

@@ -21,6 +21,30 @@
 //! allocation after warm-up. [`MoveDesc`] is the compact move language
 //! the kernels speak — at most four primitive assign/release operations.
 //!
+//! ## Memory layout
+//!
+//! All per-`(server, subchannel)` state is stored as structure-of-arrays
+//! blocks whose server dimension is padded to a multiple of
+//! [`simd::LANES`]: the weighted gains `p_u·h[u][·][j]` as one contiguous
+//! lane-padded row per `(user, subchannel)`, the received-power totals as
+//! one row per subchannel. Every row sweep then runs through the
+//! `chunks_exact`-based kernels of [`crate::simd`], which are
+//! bit-identical to the scalar loops they replace (per-slot arithmetic is
+//! independent across servers). Per-user constants live in flat
+//! [`CoefficientBlocks`] columns instead of per-user structs.
+//!
+//! ## Speculative scoring
+//!
+//! [`score`](IncrementalObjective::score) evaluates a candidate move
+//! *without mutating anything*: it replays exactly the floating-point
+//! operations `apply` would perform, on local copies of the scalar sums
+//! and a scratch totals row, and returns the candidate objective —
+//! bit-identical to `apply` + [`current`](IncrementalObjective::current).
+//! Search loops score first and only `apply`+`commit` accepted moves, so
+//! a rejected proposal costs pure arithmetic: no assignment mutation, no
+//! journaling, no undo. This is the batched-proposal fast path of the
+//! TTSA/tempering/local-search/hJTORA engines.
+//!
 //! ## Exactness and drift
 //!
 //! `undo` restores state *bit-exactly*. Expensive per-slot refreshes
@@ -34,11 +58,14 @@
 //! accumulates floating-point drift relative to a fresh evaluation — on
 //! the order of an ulp per accepted move. Callers bound it by calling
 //! [`resync`](IncrementalObjective::resync) periodically (the TTSA and
-//! local-search loops do so every 4096 proposals); a property test in
-//! `tests/proptests.rs` pins the drift below `1e-9` relative.
+//! local-search loops do so every 4096 proposals); the property suite in
+//! `tests/soa_props.rs` pins the drift below `1e-9` relative and the
+//! score/apply deltas bit-exact against each other.
 
 use crate::assignment::Assignment;
+use crate::coefficients::CoefficientBlocks;
 use crate::scenario::Scenario;
+use crate::simd;
 use mec_types::{Error, ServerId, SubchannelId, UserId};
 
 /// One primitive mutation of an [`Assignment`].
@@ -314,20 +341,21 @@ pub struct IncrementalObjective<'a> {
     scenario: &'a Scenario,
     x: Assignment,
     num_sub: usize,
+    /// The server-row stride: `num_servers` padded up to a multiple of
+    /// [`simd::LANES`], so every per-server row is `chunks_exact`-clean.
+    stride: usize,
     noise: f64,
-    // Per-user constants, hoisted out of the hot loop.
-    sqrt_eta: Vec<f64>,
-    /// `φ_u + ψ_u·p_u`, the numerator of the Γ term.
-    gamma_num: Vec<f64>,
-    /// `gain_constant − download_cost`, the benefit of offloading `u`.
-    gain_const: Vec<f64>,
+    /// Per-user constants (`√η`, `φ+ψ·p`, net gain), hoisted out of the
+    /// hot loop as flat SoA columns.
+    coeffs: CoefficientBlocks,
     capacity: Vec<f64>,
-    /// Weighted gains `p_u·h[u][s][j]`, laid out `[u][j][s]` so the fused
-    /// totals pass sweeps a contiguous per-server row per op.
+    /// Weighted gains `p_u·h[u][s][j]`, laid out `[u][j][s]` with the
+    /// server dimension padded to `stride` (padding lanes hold `0.0`), so
+    /// the fused totals pass sweeps one lane-aligned row per op.
     wgain: Vec<f64>,
     // Persistent sums.
-    /// `totals[j·S + s] = Σ_{k transmitting on j} p_k·h[k][s][j]` — the
-    /// per-subchannel layout keeps each row the hot loops touch contiguous.
+    /// `totals[j·stride + s] = Σ_{k transmitting on j} p_k·h[k][s][j]` —
+    /// per-subchannel lane-padded rows, contiguous for the hot loops.
     totals: Vec<f64>,
     /// Cached Γ term per user (`0.0` for local users and non-finite terms).
     gamma_of: Vec<f64>,
@@ -345,6 +373,12 @@ pub struct IncrementalObjective<'a> {
     nonfinite: u32,
     num_offloaded: usize,
     log: MoveLog,
+    /// Scratch totals rows for [`score`](Self::score) — reused across
+    /// calls so speculative scoring never allocates.
+    score_totals: Vec<f64>,
+    /// Scratch `(Γ numerator, SINR)` pairs for [`score`](Self::score)'s
+    /// split Γ fold — gathered call-free, consumed by the `log2` pass.
+    score_fold: Vec<(f64, f64)>,
 }
 
 impl<'a> IncrementalObjective<'a> {
@@ -359,13 +393,16 @@ impl<'a> IncrementalObjective<'a> {
         let users = scenario.num_users();
         let servers = scenario.num_servers();
         let num_sub = scenario.num_subchannels();
+        let stride = simd::padded_len(servers);
         let powers = scenario.tx_powers_watts();
         let gains = scenario.gains();
-        let mut wgain = vec![0.0; users * num_sub * servers];
+        // Repack the `[u][s][j]` gain tensor into lane-padded `[u][j][·]`
+        // SoA rows (padding lanes stay 0.0 and never contribute).
+        let mut wgain = vec![0.0; users * num_sub * stride];
         for u in 0..users {
             for j in 0..num_sub {
                 for s in 0..servers {
-                    wgain[(u * num_sub + j) * servers + s] = powers[u]
+                    wgain[(u * num_sub + j) * stride + s] = powers[u]
                         * gains.gain(UserId::new(u), ServerId::new(s), SubchannelId::new(j));
                 }
             }
@@ -374,27 +411,16 @@ impl<'a> IncrementalObjective<'a> {
             scenario,
             x,
             num_sub,
+            stride,
             noise: scenario.noise().as_watts(),
-            sqrt_eta: (0..users)
-                .map(|u| scenario.coefficients(UserId::new(u)).eta.sqrt())
-                .collect(),
-            gamma_num: (0..users)
-                .map(|u| {
-                    let c = scenario.coefficients(UserId::new(u));
-                    c.phi + c.psi * powers[u]
-                })
-                .collect(),
-            gain_const: (0..users)
-                .map(|u| {
-                    let c = scenario.coefficients(UserId::new(u));
-                    c.gain_constant - c.download_cost
-                })
-                .collect(),
+            coeffs: CoefficientBlocks::pack(
+                (0..users).map(|u| (scenario.coefficients(UserId::new(u)), powers[u])),
+            ),
             capacity: (0..servers)
                 .map(|s| scenario.server(ServerId::new(s)).capacity().as_hz())
                 .collect(),
             wgain,
-            totals: vec![0.0; servers * num_sub],
+            totals: vec![0.0; stride * num_sub],
             gamma_of: vec![0.0; users],
             signal_of: vec![0.0; users],
             gamma_bad: vec![false; users],
@@ -405,7 +431,9 @@ impl<'a> IncrementalObjective<'a> {
             lambda_sum: 0.0,
             nonfinite: 0,
             num_offloaded: 0,
-            log: MoveLog::with_capacity(servers),
+            log: MoveLog::with_capacity(servers, stride),
+            score_totals: Vec::with_capacity(MAX_MOVE_OPS * stride),
+            score_fold: Vec::with_capacity(stride),
         };
         inc.resync();
         Ok(inc)
@@ -458,22 +486,16 @@ impl<'a> IncrementalObjective<'a> {
         self.gain_sum - self.gamma_sum - self.lambda_sum
     }
 
-    /// The contiguous weighted-gain row `p_u·h[u][·][j]` over all servers.
+    /// The contiguous lane-padded weighted-gain row `p_u·h[u][·][j]`.
     #[inline]
     fn wgain_row(&self, u: usize, j: usize) -> &[f64] {
-        let servers = self.capacity.len();
-        &self.wgain[(u * self.num_sub + j) * servers..][..servers]
+        &self.wgain[(u * self.num_sub + j) * self.stride..][..self.stride]
     }
 
     /// Λ term of one server from its current `Σ√η` sum (Eq. 23).
     #[inline]
     fn lambda_term(&self, s: usize) -> f64 {
-        let sum = self.sum_sqrt_eta[s];
-        if sum > 0.0 {
-            sum * sum / self.capacity[s]
-        } else {
-            0.0
-        }
+        lambda_term_from(self.sum_sqrt_eta[s], self.capacity[s])
     }
 
     /// Rebuilds every sum from the assignment, discarding accumulated
@@ -485,12 +507,14 @@ impl<'a> IncrementalObjective<'a> {
     pub fn resync(&mut self) {
         self.log.discard();
         let servers = self.scenario.num_servers();
+        let stride = self.stride;
         self.totals.iter_mut().for_each(|t| *t = 0.0);
         for (u, _, j) in self.x.offloaded() {
-            let row = (u.index() * self.num_sub + j.index()) * servers;
-            for s in 0..servers {
-                self.totals[j.index() * servers + s] += self.wgain[row + s];
-            }
+            let row = (u.index() * self.num_sub + j.index()) * stride;
+            simd::add_assign_rows(
+                &mut self.totals[j.index() * stride..][..stride],
+                &self.wgain[row..][..stride],
+            );
         }
 
         self.gain_sum = 0.0;
@@ -501,7 +525,7 @@ impl<'a> IncrementalObjective<'a> {
         self.gamma_bad.iter_mut().for_each(|b| *b = false);
         for (u, s, j) in self.x.offloaded() {
             self.num_offloaded += 1;
-            self.gain_sum += self.gain_const[u.index()];
+            self.gain_sum += self.coeffs.gain_const[u.index()];
             self.signal_of[u.index()] = self.wgain_row(u.index(), j.index())[s.index()];
             let term = self.gamma_term(u, s, j);
             if term.is_finite() {
@@ -519,7 +543,7 @@ impl<'a> IncrementalObjective<'a> {
             let mut count = 0;
             for j in 0..self.num_sub {
                 if let Some(u) = self.x.occupant(ServerId::new(s), SubchannelId::new(j)) {
-                    sum += self.sqrt_eta[u.index()];
+                    sum += self.coeffs.sqrt_eta[u.index()];
                     count += 1;
                 }
             }
@@ -534,10 +558,8 @@ impl<'a> IncrementalObjective<'a> {
     #[inline]
     fn gamma_term(&self, u: UserId, s: ServerId, j: SubchannelId) -> f64 {
         let signal = self.wgain_row(u.index(), j.index())[s.index()];
-        let interference =
-            (self.totals[j.index() * self.capacity.len() + s.index()] - signal).max(0.0);
-        let sinr = signal / (interference + self.noise);
-        self.gamma_num[u.index()] / (1.0 + sinr).log2()
+        let total = self.totals[j.index() * self.stride + s.index()];
+        gamma_term_from(self.coeffs.gamma_num[u.index()], signal, total, self.noise)
     }
 
     /// Applies `mv` to the assignment and all sums, returning
@@ -625,47 +647,79 @@ impl<'a> IncrementalObjective<'a> {
 
         // Fused totals + Γ pass over each affected subchannel: seed the
         // buffered totals row from the committed values, sweep each op's
-        // contiguous weighted-gain row over it (per-slot add order is the
-        // op order, so the float rounding matches sequential per-op
-        // updates), then refresh every slot occupant's Γ term from the
-        // buffered value.
+        // lane-padded weighted-gain row over it with the chunked kernels
+        // (per-slot add order is the op order and per-slot arithmetic is
+        // independent across servers, so the float rounding matches the
+        // sequential scalar updates), then refresh every slot occupant's
+        // Γ term from the buffered value.
         let servers = self.scenario.num_servers();
+        let stride = self.stride;
         for j in touched.iter().flatten() {
             let ji = j.index();
             self.log.touched_subs.push(ji);
             let base = self.log.new_totals.len();
             self.log
                 .new_totals
-                .extend_from_slice(&self.totals[ji * servers..][..servers]);
+                .extend_from_slice(&self.totals[ji * stride..][..stride]);
             for (user, ja, joined) in changes.iter().flatten() {
                 if ja != j {
                     continue;
                 }
-                let row = &self.wgain[(user.index() * self.num_sub + ji) * servers..][..servers];
-                let slots = &mut self.log.new_totals[base..];
+                let row = &self.wgain[(user.index() * self.num_sub + ji) * stride..][..stride];
+                let slots = &mut self.log.new_totals[base..][..stride];
                 if *joined {
-                    for (slot, &w) in slots.iter_mut().zip(row) {
-                        *slot += w;
-                    }
+                    simd::add_assign_rows(slots, row);
                 } else {
-                    for (slot, &w) in slots.iter_mut().zip(row) {
-                        *slot -= w;
-                    }
+                    simd::sub_assign_rows(slots, row);
                 }
             }
             // Two independent accumulators (retired and fresh terms) keep
             // the adds off the serial `gamma_sum` dependency chain; the
-            // sum is folded in once per subchannel.
+            // sum is folded in once per subchannel. The fold is split:
+            // the gather pass retires each occupant's old term and
+            // collects its post-move SINR call-free, then the second
+            // pass runs the `log2` libm calls over the compact buffer
+            // and patches the journaled Γ entries. Each accumulator's
+            // add order is the server order either way, so the bits are
+            // unchanged relative to a fused per-occupant loop. Users the
+            // in-flight move relocated were already retired eagerly by
+            // [`leave`](Self::leave), and the received signal comes from
+            // the `p·h` cache maintained by [`join`](Self::join).
             let mut row_old = 0.0;
             let mut row_new = 0.0;
+            self.score_fold.clear();
             for t in 0..servers {
-                let v = self.log.new_totals[base + t];
+                let total = self.log.new_totals[base + t];
                 let t = ServerId::new(t);
                 if let Some(occupant) = self.x.occupant(t, *j) {
-                    let (old, new) = self.refresh_gamma(occupant, v);
+                    let u = occupant.index();
+                    let old = if self.gamma_bad[u] {
+                        self.nonfinite -= 1;
+                        0.0
+                    } else {
+                        self.gamma_of[u]
+                    };
                     row_old += old;
-                    row_new += new;
+                    self.score_fold.push((
+                        self.coeffs.gamma_num[u],
+                        sinr_from(self.signal_of[u], total, self.noise),
+                    ));
+                    self.log.new_gammas.push((u, 0.0, false));
                 }
+            }
+            let refreshed = self.log.new_gammas.len() - self.score_fold.len();
+            for (k, &(gamma_num, sinr)) in self.score_fold.iter().enumerate() {
+                let term = gamma_term_from_sinr(gamma_num, sinr);
+                let entry = &mut self.log.new_gammas[refreshed + k];
+                let new = if term.is_finite() {
+                    entry.1 = term;
+                    term
+                } else {
+                    entry.2 = true;
+                    self.nonfinite += 1;
+                    0.0
+                };
+                row_new += new;
             }
             self.gamma_sum += row_new - row_old;
         }
@@ -679,7 +733,7 @@ impl<'a> IncrementalObjective<'a> {
     /// subchannel is updated by the caller's fused totals pass.
     fn leave(&mut self, user: UserId, s: ServerId) {
         let u = user.index();
-        self.gain_sum -= self.gain_const[u];
+        self.gain_sum -= self.coeffs.gain_const[u];
         self.num_offloaded -= 1;
 
         // Retire the user's Γ term eagerly (journaling the old cache), so
@@ -707,7 +761,7 @@ impl<'a> IncrementalObjective<'a> {
             // leave a phantom Λ term behind.
             self.sum_sqrt_eta[si] = 0.0;
         } else {
-            self.sum_sqrt_eta[si] -= self.sqrt_eta[u];
+            self.sum_sqrt_eta[si] -= self.coeffs.sqrt_eta[u];
         }
         self.lambda_sum += self.lambda_term(si) - old_term;
     }
@@ -718,7 +772,7 @@ impl<'a> IncrementalObjective<'a> {
     /// received-signal cache is rewritten here, eagerly and journaled.
     fn join(&mut self, user: UserId, s: ServerId, j: SubchannelId) {
         let u = user.index();
-        self.gain_sum += self.gain_const[u];
+        self.gain_sum += self.coeffs.gain_const[u];
         self.num_offloaded += 1;
 
         self.log.old_signals.push((u, self.signal_of[u]));
@@ -730,38 +784,8 @@ impl<'a> IncrementalObjective<'a> {
             .push((si, self.sum_sqrt_eta[si], self.users_on[si]));
         let old_term = self.lambda_term(si);
         self.users_on[si] += 1;
-        self.sum_sqrt_eta[si] += self.sqrt_eta[u];
+        self.sum_sqrt_eta[si] += self.coeffs.sqrt_eta[u];
         self.lambda_sum += self.lambda_term(si) - old_term;
-    }
-
-    /// Recomputes the Γ term of slot occupant `v` against the slot's
-    /// post-move total, buffering the write, and returns the `(retired,
-    /// fresh)` finite contributions for the caller to fold into
-    /// `gamma_sum`. Reads the committed Γ cache directly — users the
-    /// in-flight move relocated were already retired eagerly by
-    /// [`leave`](Self::leave), and the received signal comes from the
-    /// `p·h` cache maintained by [`join`](Self::join).
-    #[inline]
-    fn refresh_gamma(&mut self, v: UserId, total: f64) -> (f64, f64) {
-        let u = v.index();
-        let old = if self.gamma_bad[u] {
-            self.nonfinite -= 1;
-            0.0
-        } else {
-            self.gamma_of[u]
-        };
-        let signal = self.signal_of[u];
-        let interference = (total - signal).max(0.0);
-        let sinr = signal / (interference + self.noise);
-        let term = self.gamma_num[u] / (1.0 + sinr).log2();
-        if term.is_finite() {
-            self.log.new_gammas.push((u, term, false));
-            (old, term)
-        } else {
-            self.log.new_gammas.push((u, 0.0, true));
-            self.nonfinite += 1;
-            (old, 0.0)
-        }
     }
 
     /// Rolls back the last applied (uncommitted) move bit-exactly: the
@@ -816,10 +840,10 @@ impl<'a> IncrementalObjective<'a> {
     /// writes into the persistent arrays. A no-op without a pending move.
     pub fn commit(&mut self) {
         if self.log.valid {
-            let servers = self.capacity.len();
+            let stride = self.stride;
             for (k, &j) in self.log.touched_subs.iter().enumerate() {
-                self.totals[j * servers..][..servers]
-                    .copy_from_slice(&self.log.new_totals[k * servers..][..servers]);
+                self.totals[j * stride..][..stride]
+                    .copy_from_slice(&self.log.new_totals[k * stride..][..stride]);
             }
             for &(u, term, bad) in &self.log.new_gammas {
                 self.gamma_of[u] = term;
@@ -830,20 +854,311 @@ impl<'a> IncrementalObjective<'a> {
     }
 }
 
+impl IncrementalObjective<'_> {
+    /// Scores a candidate move *speculatively*: returns the objective
+    /// `J*(X ⊕ mv)` the move would produce — bit-identical to
+    /// [`apply`](Self::apply) followed by [`current`](Self::current) —
+    /// without mutating the assignment, the persistent sums, or the move
+    /// log. Any pending uncommitted move is committed first, exactly as
+    /// `apply` would.
+    ///
+    /// This is the batched-proposal fast path: search loops score K
+    /// candidates (pure arithmetic — no journaling, no assignment writes,
+    /// no undo) and only `apply` + [`commit`](Self::commit) an accepted
+    /// one. The replay performs the same floating-point operations in the
+    /// same order as `apply`: per-op benefit/Λ updates and Γ retirements
+    /// on local copies of the scalar sums, then the fused per-subchannel
+    /// chunked totals sweep and the ordered Γ refresh fold. The property
+    /// suite in `tests/soa_props.rs` pins `score` and `apply` bit-exact
+    /// against each other over long random walks.
+    ///
+    /// The move must have been built by a [`MoveDesc`] constructor against
+    /// the current assignment; scoring a move built for a different
+    /// decision yields a meaningless value (and panics in debug builds
+    /// where the mismatch is detectable).
+    pub fn score(&mut self, mv: &MoveDesc) -> f64 {
+        self.commit();
+        // Local replicas of the scalar sums `apply` updates in place.
+        let mut gain_sum = self.gain_sum;
+        let mut gamma_sum = self.gamma_sum;
+        let mut lambda_sum = self.lambda_sum;
+        let mut nonfinite = self.nonfinite;
+        let mut num_offloaded = self.num_offloaded;
+
+        // Fixed-size overlays standing in for the assignment mutation
+        // `apply` performs: per-user slots, per-server `Σ√η` sums, the
+        // set of users whose Γ term this move retires, and the op-ordered
+        // slot writes `(server, subchannel, user, joined)` the totals
+        // sweep and the occupancy patches below are derived from.
+        let mut slot_overlay: [Option<SlotWrite>; MAX_MOVE_OPS] = [None; MAX_MOVE_OPS];
+        let mut server_overlay: [Option<(usize, f64, u32)>; MAX_MOVE_OPS] = [None; MAX_MOVE_OPS];
+        let mut num_servers_touched = 0usize;
+        let mut retired_user: [UserId; MAX_MOVE_OPS] = [UserId::new(0); MAX_MOVE_OPS];
+        let mut num_retired = 0usize;
+        let mut writes: [(usize, SubchannelId, UserId, bool); MAX_MOVE_OPS] =
+            [(0, SubchannelId::new(0), UserId::new(0), false); MAX_MOVE_OPS];
+        let mut num_ops = 0usize;
+
+        // Touched subchannels, deduplicated in first-seen order like
+        // `apply`'s pass.
+        let mut touched: [Option<SubchannelId>; MAX_MOVE_OPS] = [None; MAX_MOVE_OPS];
+        let mut touch = |j: SubchannelId| {
+            for slot in touched.iter_mut() {
+                match slot {
+                    Some(seen) if *seen == j => return,
+                    None => {
+                        *slot = Some(j);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        };
+
+        for op in mv.ops() {
+            // The latest overlaid Σ√η state of the op's server (ops may
+            // repeat a server, so the chain must read its own writes).
+            let mut update_server = |si: usize, sqrt_eta: f64, join: bool| {
+                let mut found = None;
+                for (i, e) in server_overlay[..num_servers_touched].iter().enumerate() {
+                    if matches!(e, Some((s0, _, _)) if *s0 == si) {
+                        found = Some(i);
+                    }
+                }
+                let (sum0, count0) = match found {
+                    Some(i) => {
+                        let (_, a, b) = server_overlay[i].expect("found entries are set");
+                        (a, b)
+                    }
+                    None => (self.sum_sqrt_eta[si], self.users_on[si]),
+                };
+                let old_term = lambda_term_from(sum0, self.capacity[si]);
+                let (sum1, count1) = if join {
+                    (sum0 + sqrt_eta, count0 + 1)
+                } else if count0 == 1 {
+                    // Same empty-server pin to exactly zero as `leave`.
+                    (0.0, 0)
+                } else {
+                    (sum0 - sqrt_eta, count0 - 1)
+                };
+                lambda_sum += lambda_term_from(sum1, self.capacity[si]) - old_term;
+                match found {
+                    Some(i) => server_overlay[i] = Some((si, sum1, count1)),
+                    None => {
+                        server_overlay[num_servers_touched] = Some((si, sum1, count1));
+                        num_servers_touched += 1;
+                    }
+                }
+            };
+            match op {
+                PrimOp::Release { user } => {
+                    let slot = slot_overlay[..num_ops]
+                        .iter()
+                        .rev()
+                        .flatten()
+                        .find(|(w, _)| *w == user)
+                        .map(|(_, s)| *s)
+                        .unwrap_or_else(|| self.x.slot(user));
+                    let (s, j) = slot.expect("MoveDesc releases an offloaded user");
+                    let u = user.index();
+                    gain_sum -= self.coeffs.gain_const[u];
+                    num_offloaded -= 1;
+                    // Γ retirement, mirroring `leave` (the committed cache
+                    // is authoritative — one move never releases a user
+                    // twice).
+                    if self.gamma_bad[u] {
+                        nonfinite -= 1;
+                    } else {
+                        gamma_sum -= self.gamma_of[u];
+                    }
+                    retired_user[num_retired] = user;
+                    num_retired += 1;
+                    update_server(s.index(), self.coeffs.sqrt_eta[u], false);
+                    slot_overlay[num_ops] = Some((user, None));
+                    writes[num_ops] = (s.index(), j, user, false);
+                    touch(j);
+                }
+                PrimOp::Assign {
+                    user,
+                    server,
+                    subchannel,
+                } => {
+                    let u = user.index();
+                    gain_sum += self.coeffs.gain_const[u];
+                    num_offloaded += 1;
+                    update_server(server.index(), self.coeffs.sqrt_eta[u], true);
+                    slot_overlay[num_ops] = Some((user, Some((server, subchannel))));
+                    writes[num_ops] = (server.index(), subchannel, user, true);
+                    touch(subchannel);
+                }
+            }
+            num_ops += 1;
+        }
+
+        // Fused totals + Γ pass, as in `apply`, but into the reusable
+        // scratch rows and against occupancy patches instead of a mutated
+        // assignment.
+        let servers = self.capacity.len();
+        let stride = self.stride;
+        self.score_totals.clear();
+        for j in touched.iter().flatten() {
+            let ji = j.index();
+            let base = self.score_totals.len();
+            self.score_totals
+                .extend_from_slice(&self.totals[ji * stride..][..stride]);
+            // This subchannel's occupancy patches, last write per slot
+            // wins (an evicting relocate writes `None` then `Some`).
+            let mut patch_slot: [usize; MAX_MOVE_OPS] = [usize::MAX; MAX_MOVE_OPS];
+            let mut patch_occ: [Option<UserId>; MAX_MOVE_OPS] = [None; MAX_MOVE_OPS];
+            let mut num_patch = 0usize;
+            for (si, ja, user, joined) in &writes[..num_ops] {
+                if ja != j {
+                    continue;
+                }
+                let row = &self.wgain[(user.index() * self.num_sub + ji) * stride..][..stride];
+                let slots = &mut self.score_totals[base..][..stride];
+                if *joined {
+                    simd::add_assign_rows(slots, row);
+                } else {
+                    simd::sub_assign_rows(slots, row);
+                }
+                let occ = joined.then_some(*user);
+                match patch_slot[..num_patch].iter().position(|p| p == si) {
+                    Some(i) => patch_occ[i] = occ,
+                    None => {
+                        patch_slot[num_patch] = *si;
+                        patch_occ[num_patch] = occ;
+                        num_patch += 1;
+                    }
+                }
+            }
+            // Ordered Γ refresh fold over the subchannel's post-move
+            // occupants — same two accumulators and server order as
+            // `apply`, so the rounding matches bit for bit. Occupants of
+            // unpatched slots cannot have been touched by the move (a
+            // user holds exactly one slot), so they read the committed
+            // `gamma_of`/`signal_of` caches directly, exactly like
+            // `apply`'s refresh after `leave`/`join` updated them; only
+            // patched slots (at most one per op) resolve the
+            // relocated-user special cases.
+            let occ_row = &self.x.occupants_on(*j)[..servers];
+            let mut row_old = 0.0;
+            self.score_fold.clear();
+            for (t, committed) in occ_row.iter().enumerate() {
+                let patch = patch_slot[..num_patch].iter().position(|&p| p == t);
+                let Some(v) = patch.map_or(*committed, |i| patch_occ[i]) else {
+                    continue;
+                };
+                let u = v.index();
+                let total = self.score_totals[base + t];
+                let (old, was_bad, signal) = if patch.is_some() {
+                    // `v` was assigned to this slot by the move. Its old
+                    // term is zero if the move also released it first
+                    // (`leave` retires eagerly); its signal is the
+                    // new-slot `p·h`, as `join` caches eagerly.
+                    let retired = retired_user[..num_retired].contains(&v);
+                    let (old, was_bad) = if retired {
+                        (0.0, false)
+                    } else {
+                        (self.gamma_of[u], self.gamma_bad[u])
+                    };
+                    (
+                        old,
+                        was_bad,
+                        self.wgain[(u * self.num_sub + ji) * stride + t],
+                    )
+                } else {
+                    (self.gamma_of[u], self.gamma_bad[u], self.signal_of[u])
+                };
+                if was_bad {
+                    nonfinite -= 1;
+                }
+                row_old += old;
+                self.score_fold.push((
+                    self.coeffs.gamma_num[u],
+                    sinr_from(signal, total, self.noise),
+                ));
+            }
+            // Second pass runs the `log2` libm calls over the gathered
+            // SINRs. Splitting the fold keeps the gather loop call-free
+            // (no spills around the calls) and each accumulator's add
+            // order is still the server order, so the bits match the
+            // fused loop `apply` runs.
+            let mut row_new = 0.0;
+            for &(gamma_num, sinr) in &self.score_fold {
+                let term = gamma_term_from_sinr(gamma_num, sinr);
+                let fresh = if term.is_finite() {
+                    term
+                } else {
+                    nonfinite += 1;
+                    0.0
+                };
+                row_new += fresh;
+            }
+            gamma_sum += row_new - row_old;
+        }
+
+        if num_offloaded == 0 {
+            0.0
+        } else if nonfinite > 0 {
+            f64::NEG_INFINITY
+        } else {
+            gain_sum - gamma_sum - lambda_sum
+        }
+    }
+}
+
+/// One overlaid per-user slot write of a speculative score:
+/// `(user, its post-op slot)`.
+type SlotWrite = (UserId, Option<(ServerId, SubchannelId)>);
+
+/// Λ term of one server from a `Σ√η` sum against its capacity (Eq. 23).
+#[inline]
+fn lambda_term_from(sum: f64, capacity: f64) -> f64 {
+    if sum > 0.0 {
+        sum * sum / capacity
+    } else {
+        0.0
+    }
+}
+
+/// The Γ term of a user receiving `signal` on a slot whose received-power
+/// total is `total` — the exact expression of the reference evaluator,
+/// shared verbatim by the apply and score paths so their rounding agrees.
+#[inline]
+fn gamma_term_from(gamma_num: f64, signal: f64, total: f64, noise: f64) -> f64 {
+    gamma_term_from_sinr(gamma_num, sinr_from(signal, total, noise))
+}
+
+/// The SINR half of [`gamma_term_from`] — call-free, so gather loops
+/// over a subchannel's occupants pipeline without spilling around libm.
+#[inline]
+fn sinr_from(signal: f64, total: f64, noise: f64) -> f64 {
+    let interference = (total - signal).max(0.0);
+    signal / (interference + noise)
+}
+
+/// The `log2` half of [`gamma_term_from`] (Eq. 24's rate denominator).
+#[inline]
+fn gamma_term_from_sinr(gamma_num: f64, sinr: f64) -> f64 {
+    gamma_num / (1.0 + sinr).log2()
+}
+
 impl MoveDesc {
     /// Reverses the op order in place (used to turn a forward journal of
     /// inverse ops into undo order).
-    fn reverse(&mut self) {
+    pub(crate) fn reverse(&mut self) {
         self.ops[..self.len as usize].reverse();
     }
 }
 
 impl MoveLog {
     /// An empty journal with buffers sized for the worst-case move against
-    /// `servers` stations, so even the first apply does not allocate.
-    fn with_capacity(servers: usize) -> Self {
+    /// `servers` stations (`stride` lane-padded totals slots per row), so
+    /// even the first apply does not allocate.
+    fn with_capacity(servers: usize, stride: usize) -> Self {
         Self {
-            new_totals: Vec::with_capacity(MAX_MOVE_OPS * servers),
+            new_totals: Vec::with_capacity(MAX_MOVE_OPS * stride),
             touched_subs: Vec::with_capacity(MAX_MOVE_OPS),
             new_gammas: Vec::with_capacity(MAX_MOVE_OPS * (servers + 1)),
             old_gammas: Vec::with_capacity(MAX_MOVE_OPS),
@@ -1097,6 +1412,73 @@ mod tests {
                     assert_eq!(via_desc, via_evict);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn score_matches_apply_bit_exactly() {
+        for seed in 0..6 {
+            let sc = random_scenario(seed, 10, 3, 3);
+            let mut rng = StdRng::seed_from_u64(seed + 71);
+            let mut inc =
+                IncrementalObjective::new(&sc, random_assignment(&sc, seed + 29)).unwrap();
+            for step in 0..300 {
+                let mv = random_move(&sc, inc.assignment(), &mut rng);
+                let speculative = inc.score(&mv);
+                let x_before = inc.assignment().clone();
+                let before = inc.current();
+                inc.apply(&mv);
+                let applied = inc.current();
+                assert_eq!(
+                    speculative.to_bits(),
+                    applied.to_bits(),
+                    "seed {seed} step {step}: score {speculative} vs apply {applied}"
+                );
+                // Scoring never mutates: the assignment and the committed
+                // state are untouched after an undo of the real apply.
+                inc.undo();
+                assert_eq!(inc.assignment(), &x_before);
+                assert_eq!(inc.current().to_bits(), before.to_bits());
+                // Occasionally walk forward so scoring is exercised from
+                // many committed states.
+                if rng.gen_bool(0.3) {
+                    inc.apply(&mv);
+                    inc.commit();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_handles_noop_and_all_local() {
+        let sc = random_scenario(12, 5, 2, 2);
+        let mut inc = IncrementalObjective::new(&sc, Assignment::all_local(&sc)).unwrap();
+        assert_eq!(inc.score(&MoveDesc::noop()), 0.0);
+        let mv = MoveDesc::relocate(
+            inc.assignment(),
+            UserId::new(0),
+            Some((ServerId::new(0), SubchannelId::new(0))),
+        );
+        let speculative = inc.score(&mv);
+        inc.apply(&mv);
+        assert_eq!(speculative.to_bits(), inc.current().to_bits());
+        inc.commit();
+        // Releasing the only offloaded user scores exactly 0.0 again.
+        let back = MoveDesc::relocate(inc.assignment(), UserId::new(0), None);
+        assert_eq!(inc.score(&back), 0.0);
+    }
+
+    #[test]
+    fn padded_lanes_stay_zero_and_inert() {
+        // A geometry whose server count is not a lane multiple: the padded
+        // layout must agree with the reference evaluator everywhere.
+        let mut scratch = EvalScratch::default();
+        for servers in [1, 2, 3, 5, 6, 7, 9] {
+            let sc = random_scenario(40 + servers as u64, 12, servers, 3);
+            let x = random_assignment(&sc, 7);
+            let inc = IncrementalObjective::new(&sc, x.clone()).unwrap();
+            let reference = Evaluator::new(&sc).objective_with(&x, &mut scratch);
+            assert_close(inc.current(), reference, &format!("{servers} servers"));
         }
     }
 

@@ -49,6 +49,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hot-path layout gates: range loops that should be iterator/chunk sweeps
+// and oversized stack buffers are bugs here, not style.
+#![deny(clippy::needless_range_loop)]
+#![deny(clippy::large_stack_arrays)]
 
 pub mod allocation;
 pub mod assignment;
@@ -57,7 +61,10 @@ pub mod cra_numeric;
 pub mod evaluation;
 pub mod incremental;
 pub mod metrics;
+#[doc(hidden)]
+pub mod pr1_baseline;
 pub mod scenario;
+pub mod simd;
 pub mod solver;
 pub mod spec;
 
@@ -65,7 +72,7 @@ pub use allocation::{
     equal_share_allocation, kkt_allocation, optimal_lambda_cost, ResourceAllocation,
 };
 pub use assignment::Assignment;
-pub use coefficients::UserCoefficients;
+pub use coefficients::{CoefficientBlocks, UserCoefficients};
 pub use cra_numeric::{numeric_allocation, solve_server_numeric, NumericCraOptions};
 pub use evaluation::{EvalScratch, Evaluator};
 pub use incremental::{IncrementalObjective, MoveDesc, PrimOp};

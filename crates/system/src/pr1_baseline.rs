@@ -1,0 +1,625 @@
+//! The PR-1 incremental evaluator, frozen as a measured baseline.
+//!
+//! This is the AoS/scalar delta-evaluation path exactly as it shipped in
+//! PR 1 (commit `fdd21ba`), before the SoA/padded layout, the split Γ
+//! fold and the speculative [`score`] path landed: unpadded `[u][j][s]`
+//! weighted-gain rows, per-occupant Γ refreshes with the `log2` call
+//! inline in the gather loop, and no way to price a move without
+//! mutating. It exists so the `objective` benchmark can measure the old
+//! and new paths **in the same process on the same machine state** —
+//! recorded baseline numbers from another day are hostage to container
+//! phase noise, a same-run denominator is not. The property suite also
+//! cross-validates the two implementations bit-for-bit against each
+//! other here, which pins the layout refactor to the frozen arithmetic.
+//!
+//! Not part of the public API: hidden from docs, no stability promise,
+//! and nothing outside benchmarks and tests should construct one. It
+//! shares [`MoveDesc`]/[`PrimOp`] with the live path so both evaluators
+//! can replay the identical move stream.
+//!
+//! [`score`]: crate::IncrementalObjective::score
+
+use crate::assignment::Assignment;
+use crate::incremental::{MoveDesc, PrimOp, MAX_MOVE_OPS};
+use crate::scenario::Scenario;
+use mec_types::{Error, ServerId, SubchannelId, UserId};
+
+/// Log of the last [`Pr1IncrementalObjective::apply`]: totals and Γ writes
+/// are buffered (write-behind) and only flushed by `commit`, so `undo`
+/// merely drops them. Identical to the PR-1 `MoveLog`.
+#[derive(Debug, Clone, Default)]
+struct MoveLog {
+    valid: bool,
+    new_totals: Vec<f64>,
+    touched_subs: Vec<usize>,
+    new_gammas: Vec<(usize, f64, bool)>,
+    old_gammas: Vec<(usize, f64, bool)>,
+    old_signals: Vec<(usize, f64)>,
+    servers: Vec<(usize, f64, u32)>,
+    inverse: MoveDesc,
+    gain_sum: f64,
+    gamma_sum: f64,
+    lambda_sum: f64,
+    nonfinite: u32,
+    num_offloaded: usize,
+}
+
+/// The PR-1 `IncrementalObjective`, byte-for-byte in its arithmetic:
+/// unpadded AoS-flavored rows, scalar folds, no speculative scoring.
+#[derive(Debug, Clone)]
+pub struct Pr1IncrementalObjective<'a> {
+    scenario: &'a Scenario,
+    x: Assignment,
+    num_sub: usize,
+    noise: f64,
+    sqrt_eta: Vec<f64>,
+    /// `φ_u + ψ_u·p_u`, the numerator of the Γ term.
+    gamma_num: Vec<f64>,
+    /// `gain_constant − download_cost`, the benefit of offloading `u`.
+    gain_const: Vec<f64>,
+    capacity: Vec<f64>,
+    /// Weighted gains `p_u·h[u][s][j]`, laid out `[u][j][s]` (unpadded).
+    wgain: Vec<f64>,
+    /// `totals[j·S + s] = Σ_{k transmitting on j} p_k·h[k][s][j]`.
+    totals: Vec<f64>,
+    gamma_of: Vec<f64>,
+    signal_of: Vec<f64>,
+    gamma_bad: Vec<bool>,
+    sum_sqrt_eta: Vec<f64>,
+    users_on: Vec<u32>,
+    gain_sum: f64,
+    gamma_sum: f64,
+    lambda_sum: f64,
+    nonfinite: u32,
+    num_offloaded: usize,
+    log: MoveLog,
+}
+
+impl<'a> Pr1IncrementalObjective<'a> {
+    /// Builds the incremental state for `x` in `O(T·S)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `x` does not fit the scenario's geometry.
+    pub fn new(scenario: &'a Scenario, x: Assignment) -> Result<Self, Error> {
+        x.verify_feasible(scenario)?;
+        let users = scenario.num_users();
+        let servers = scenario.num_servers();
+        let num_sub = scenario.num_subchannels();
+        let powers = scenario.tx_powers_watts();
+        let gains = scenario.gains();
+        let mut wgain = vec![0.0; users * num_sub * servers];
+        for u in 0..users {
+            for j in 0..num_sub {
+                for s in 0..servers {
+                    wgain[(u * num_sub + j) * servers + s] = powers[u]
+                        * gains.gain(UserId::new(u), ServerId::new(s), SubchannelId::new(j));
+                }
+            }
+        }
+        let mut inc = Self {
+            scenario,
+            x,
+            num_sub,
+            noise: scenario.noise().as_watts(),
+            sqrt_eta: (0..users)
+                .map(|u| scenario.coefficients(UserId::new(u)).eta.sqrt())
+                .collect(),
+            gamma_num: (0..users)
+                .map(|u| {
+                    let c = scenario.coefficients(UserId::new(u));
+                    c.phi + c.psi * powers[u]
+                })
+                .collect(),
+            gain_const: (0..users)
+                .map(|u| {
+                    let c = scenario.coefficients(UserId::new(u));
+                    c.gain_constant - c.download_cost
+                })
+                .collect(),
+            capacity: (0..servers)
+                .map(|s| scenario.server(ServerId::new(s)).capacity().as_hz())
+                .collect(),
+            wgain,
+            totals: vec![0.0; servers * num_sub],
+            gamma_of: vec![0.0; users],
+            signal_of: vec![0.0; users],
+            gamma_bad: vec![false; users],
+            sum_sqrt_eta: vec![0.0; servers],
+            users_on: vec![0; servers],
+            gain_sum: 0.0,
+            gamma_sum: 0.0,
+            lambda_sum: 0.0,
+            nonfinite: 0,
+            num_offloaded: 0,
+            log: MoveLog::with_capacity(servers),
+        };
+        inc.resync();
+        Ok(inc)
+    }
+
+    /// The current decision.
+    pub fn assignment(&self) -> &Assignment {
+        &self.x
+    }
+
+    /// The current `J*(X)`.
+    #[inline]
+    pub fn current(&self) -> f64 {
+        if self.num_offloaded == 0 {
+            return 0.0;
+        }
+        if self.nonfinite > 0 {
+            return f64::NEG_INFINITY;
+        }
+        self.gain_sum - self.gamma_sum - self.lambda_sum
+    }
+
+    /// The contiguous weighted-gain row `p_u·h[u][·][j]` over all servers.
+    #[inline]
+    fn wgain_row(&self, u: usize, j: usize) -> &[f64] {
+        let servers = self.capacity.len();
+        &self.wgain[(u * self.num_sub + j) * servers..][..servers]
+    }
+
+    /// Λ term of one server from its current `Σ√η` sum (Eq. 23).
+    #[inline]
+    fn lambda_term(&self, s: usize) -> f64 {
+        let sum = self.sum_sqrt_eta[s];
+        if sum > 0.0 {
+            sum * sum / self.capacity[s]
+        } else {
+            0.0
+        }
+    }
+
+    /// Rebuilds every sum from the assignment, discarding drift and any
+    /// pending undo state.
+    pub fn resync(&mut self) {
+        self.log.discard();
+        let servers = self.scenario.num_servers();
+        self.totals.iter_mut().for_each(|t| *t = 0.0);
+        for (u, _, j) in self.x.offloaded() {
+            let row = (u.index() * self.num_sub + j.index()) * servers;
+            let slots = &mut self.totals[j.index() * servers..][..servers];
+            for (slot, &w) in slots.iter_mut().zip(&self.wgain[row..][..servers]) {
+                *slot += w;
+            }
+        }
+
+        self.gain_sum = 0.0;
+        self.gamma_sum = 0.0;
+        self.nonfinite = 0;
+        self.num_offloaded = 0;
+        self.gamma_of.iter_mut().for_each(|g| *g = 0.0);
+        self.gamma_bad.iter_mut().for_each(|b| *b = false);
+        for (u, s, j) in self.x.offloaded() {
+            self.num_offloaded += 1;
+            self.gain_sum += self.gain_const[u.index()];
+            self.signal_of[u.index()] = self.wgain_row(u.index(), j.index())[s.index()];
+            let term = self.gamma_term(u, s, j);
+            if term.is_finite() {
+                self.gamma_sum += term;
+                self.gamma_of[u.index()] = term;
+            } else {
+                self.gamma_bad[u.index()] = true;
+                self.nonfinite += 1;
+            }
+        }
+
+        self.lambda_sum = 0.0;
+        for s in 0..servers {
+            let mut sum = 0.0;
+            let mut count = 0;
+            for j in 0..self.num_sub {
+                if let Some(u) = self.x.occupant(ServerId::new(s), SubchannelId::new(j)) {
+                    sum += self.sqrt_eta[u.index()];
+                    count += 1;
+                }
+            }
+            self.sum_sqrt_eta[s] = sum;
+            self.users_on[s] = count;
+            self.lambda_sum += self.lambda_term(s);
+        }
+    }
+
+    /// The Γ term of user `u` transmitting at `(s, j)`, from the current
+    /// totals — the exact expression of the reference evaluator.
+    #[inline]
+    fn gamma_term(&self, u: UserId, s: ServerId, j: SubchannelId) -> f64 {
+        let signal = self.wgain_row(u.index(), j.index())[s.index()];
+        let interference =
+            (self.totals[j.index() * self.capacity.len() + s.index()] - signal).max(0.0);
+        let sinr = signal / (interference + self.noise);
+        self.gamma_num[u.index()] / (1.0 + sinr).log2()
+    }
+
+    /// Applies `mv` to the assignment and all sums, returning
+    /// `J*(X_new) − J*(X_old)`. Writes to the totals and Γ arrays are
+    /// buffered; call [`undo`](Self::undo) to roll back bit-exactly or
+    /// [`commit`](Self::commit) to flush them. Applying a new move
+    /// implicitly commits the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op is invalid against the current assignment.
+    pub fn apply(&mut self, mv: &MoveDesc) -> f64 {
+        self.commit();
+        let before = self.current();
+        self.log.begin(
+            self.gain_sum,
+            self.gamma_sum,
+            self.lambda_sum,
+            self.nonfinite,
+            self.num_offloaded,
+        );
+
+        // Subchannels whose membership changed: every user transmitting on
+        // one of them needs its Γ term refreshed.
+        let mut touched: [Option<SubchannelId>; MAX_MOVE_OPS] = [None; MAX_MOVE_OPS];
+        let mut touch = |j: SubchannelId| {
+            for slot in touched.iter_mut() {
+                match slot {
+                    Some(seen) if *seen == j => return,
+                    None => {
+                        *slot = Some(j);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        };
+        // Power contributions to fold into the totals, in op order:
+        // `(user, subchannel, joined)`.
+        let mut changes: [Option<(UserId, SubchannelId, bool)>; MAX_MOVE_OPS] =
+            [None; MAX_MOVE_OPS];
+        let mut num_changes = 0usize;
+
+        for op in mv.ops() {
+            match op {
+                PrimOp::Release { user } => {
+                    let (s, j) = self
+                        .x
+                        .release(user)
+                        .expect("MoveDesc releases an offloaded user");
+                    self.leave(user, s);
+                    touch(j);
+                    changes[num_changes] = Some((user, j, false));
+                    self.log.inverse.push(PrimOp::Assign {
+                        user,
+                        server: s,
+                        subchannel: j,
+                    });
+                }
+                PrimOp::Assign {
+                    user,
+                    server,
+                    subchannel,
+                } => {
+                    self.x
+                        .assign(user, server, subchannel)
+                        .expect("MoveDesc assigns into a free slot");
+                    self.join(user, server, subchannel);
+                    touch(subchannel);
+                    changes[num_changes] = Some((user, subchannel, true));
+                    self.log.inverse.push(PrimOp::Release { user });
+                }
+            }
+            num_changes += 1;
+        }
+        self.log.inverse.reverse();
+        let changes = &changes[..num_changes];
+
+        // Fused totals + Γ pass over each affected subchannel: seed the
+        // buffered totals row from the committed values, sweep each op's
+        // contiguous weighted-gain row over it, then refresh every slot
+        // occupant's Γ term from the buffered value — the scalar,
+        // log2-in-the-gather-loop fold the SoA path replaced.
+        let servers = self.scenario.num_servers();
+        for j in touched.iter().flatten() {
+            let ji = j.index();
+            self.log.touched_subs.push(ji);
+            let base = self.log.new_totals.len();
+            self.log
+                .new_totals
+                .extend_from_slice(&self.totals[ji * servers..][..servers]);
+            for (user, ja, joined) in changes.iter().flatten() {
+                if ja != j {
+                    continue;
+                }
+                let row = &self.wgain[(user.index() * self.num_sub + ji) * servers..][..servers];
+                let slots = &mut self.log.new_totals[base..];
+                if *joined {
+                    for (slot, &w) in slots.iter_mut().zip(row) {
+                        *slot += w;
+                    }
+                } else {
+                    for (slot, &w) in slots.iter_mut().zip(row) {
+                        *slot -= w;
+                    }
+                }
+            }
+            let mut row_old = 0.0;
+            let mut row_new = 0.0;
+            for t in 0..servers {
+                let v = self.log.new_totals[base + t];
+                let t = ServerId::new(t);
+                if let Some(occupant) = self.x.occupant(t, *j) {
+                    let (old, new) = self.refresh_gamma(occupant, v);
+                    row_old += old;
+                    row_new += new;
+                }
+            }
+            self.gamma_sum += row_new - row_old;
+        }
+
+        self.log.valid = true;
+        self.current() - before
+    }
+
+    /// Membership bookkeeping when `user` leaves server `s`.
+    fn leave(&mut self, user: UserId, s: ServerId) {
+        let u = user.index();
+        self.gain_sum -= self.gain_const[u];
+        self.num_offloaded -= 1;
+
+        self.log
+            .old_gammas
+            .push((u, self.gamma_of[u], self.gamma_bad[u]));
+        if self.gamma_bad[u] {
+            self.nonfinite -= 1;
+            self.gamma_bad[u] = false;
+        } else {
+            self.gamma_sum -= self.gamma_of[u];
+        }
+        self.gamma_of[u] = 0.0;
+
+        let si = s.index();
+        self.log
+            .servers
+            .push((si, self.sum_sqrt_eta[si], self.users_on[si]));
+        let old_term = self.lambda_term(si);
+        self.users_on[si] -= 1;
+        if self.users_on[si] == 0 {
+            self.sum_sqrt_eta[si] = 0.0;
+        } else {
+            self.sum_sqrt_eta[si] -= self.sqrt_eta[u];
+        }
+        self.lambda_sum += self.lambda_term(si) - old_term;
+    }
+
+    /// Membership bookkeeping when `user` joins slot `(s, j)`.
+    fn join(&mut self, user: UserId, s: ServerId, j: SubchannelId) {
+        let u = user.index();
+        self.gain_sum += self.gain_const[u];
+        self.num_offloaded += 1;
+
+        self.log.old_signals.push((u, self.signal_of[u]));
+        self.signal_of[u] = self.wgain_row(u, j.index())[s.index()];
+
+        let si = s.index();
+        self.log
+            .servers
+            .push((si, self.sum_sqrt_eta[si], self.users_on[si]));
+        let old_term = self.lambda_term(si);
+        self.users_on[si] += 1;
+        self.sum_sqrt_eta[si] += self.sqrt_eta[u];
+        self.lambda_sum += self.lambda_term(si) - old_term;
+    }
+
+    /// Recomputes the Γ term of slot occupant `v` against the slot's
+    /// post-move total, buffering the write.
+    #[inline]
+    fn refresh_gamma(&mut self, v: UserId, total: f64) -> (f64, f64) {
+        let u = v.index();
+        let old = if self.gamma_bad[u] {
+            self.nonfinite -= 1;
+            0.0
+        } else {
+            self.gamma_of[u]
+        };
+        let signal = self.signal_of[u];
+        let interference = (total - signal).max(0.0);
+        let sinr = signal / (interference + self.noise);
+        let term = self.gamma_num[u] / (1.0 + sinr).log2();
+        if term.is_finite() {
+            self.log.new_gammas.push((u, term, false));
+            (old, term)
+        } else {
+            self.log.new_gammas.push((u, 0.0, true));
+            self.nonfinite += 1;
+            (old, 0.0)
+        }
+    }
+
+    /// Rolls back the last applied (uncommitted) move bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no uncommitted move.
+    pub fn undo(&mut self) {
+        assert!(self.log.valid, "no uncommitted move to undo");
+        self.log.valid = false;
+        self.log.new_totals.clear();
+        self.log.touched_subs.clear();
+        self.log.new_gammas.clear();
+        for (u, old_term, old_bad) in self.log.old_gammas.drain(..).rev() {
+            self.gamma_of[u] = old_term;
+            self.gamma_bad[u] = old_bad;
+        }
+        for (u, old_signal) in self.log.old_signals.drain(..).rev() {
+            self.signal_of[u] = old_signal;
+        }
+        for (s, old_sum, old_count) in self.log.servers.drain(..).rev() {
+            self.sum_sqrt_eta[s] = old_sum;
+            self.users_on[s] = old_count;
+        }
+        self.gain_sum = self.log.gain_sum;
+        self.gamma_sum = self.log.gamma_sum;
+        self.lambda_sum = self.log.lambda_sum;
+        self.nonfinite = self.log.nonfinite;
+        self.num_offloaded = self.log.num_offloaded;
+        let inverse = self.log.inverse;
+        self.log.inverse = MoveDesc::noop();
+        // The logged inverse ops are valid by construction, so skip the
+        // feasibility checks of `MoveDesc::apply_to` on this hot path.
+        for op in inverse.ops() {
+            match op {
+                PrimOp::Assign {
+                    user,
+                    server,
+                    subchannel,
+                } => self.x.restore_assign(user, server, subchannel),
+                PrimOp::Release { user } => {
+                    self.x.release(user);
+                }
+            }
+        }
+    }
+
+    /// Accepts the last applied move, flushing its buffered totals and Γ
+    /// writes into the persistent arrays. A no-op without a pending move.
+    pub fn commit(&mut self) {
+        if self.log.valid {
+            let servers = self.capacity.len();
+            for (k, &j) in self.log.touched_subs.iter().enumerate() {
+                self.totals[j * servers..][..servers]
+                    .copy_from_slice(&self.log.new_totals[k * servers..][..servers]);
+            }
+            for &(u, term, bad) in &self.log.new_gammas {
+                self.gamma_of[u] = term;
+                self.gamma_bad[u] = bad;
+            }
+        }
+        self.log.discard();
+    }
+}
+
+impl MoveLog {
+    /// An empty journal with buffers sized for the worst-case move against
+    /// `servers` stations, so even the first apply does not allocate.
+    fn with_capacity(servers: usize) -> Self {
+        Self {
+            new_totals: Vec::with_capacity(MAX_MOVE_OPS * servers),
+            touched_subs: Vec::with_capacity(MAX_MOVE_OPS),
+            new_gammas: Vec::with_capacity(MAX_MOVE_OPS * (servers + 1)),
+            old_gammas: Vec::with_capacity(MAX_MOVE_OPS),
+            old_signals: Vec::with_capacity(MAX_MOVE_OPS),
+            servers: Vec::with_capacity(2 * MAX_MOVE_OPS),
+            ..Self::default()
+        }
+    }
+
+    /// Snapshots the scalar sums for the next move.
+    fn begin(
+        &mut self,
+        gain_sum: f64,
+        gamma_sum: f64,
+        lambda_sum: f64,
+        nonfinite: u32,
+        num_offloaded: usize,
+    ) {
+        debug_assert!(!self.valid && self.new_totals.is_empty() && self.inverse.is_empty());
+        self.gain_sum = gain_sum;
+        self.gamma_sum = gamma_sum;
+        self.lambda_sum = lambda_sum;
+        self.nonfinite = nonfinite;
+        self.num_offloaded = num_offloaded;
+    }
+
+    fn discard(&mut self) {
+        self.valid = false;
+        self.new_totals.clear();
+        self.touched_subs.clear();
+        self.new_gammas.clear();
+        self.old_gammas.clear();
+        self.old_signals.clear();
+        self.servers.clear();
+        self.inverse = MoveDesc::noop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::IncrementalObjective;
+    use crate::scenario::UserSpec;
+    use mec_radio::{ChannelGains, OfdmaConfig};
+    use mec_types::{Cycles, Hertz, ServerProfile, Watts};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_scenario(seed: u64, users: usize, servers: usize, subs: usize) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gains = ChannelGains::from_fn(users, servers, subs, |_, _, _| {
+            10.0_f64.powf(rng.gen_range(-13.0..-9.0))
+        })
+        .unwrap();
+        Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(2000.0)).unwrap(); users],
+            vec![ServerProfile::paper_default(); servers],
+            OfdmaConfig::new(Hertz::from_mega(20.0), subs).unwrap(),
+            gains,
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    fn random_move(scenario: &Scenario, x: &Assignment, rng: &mut StdRng) -> MoveDesc {
+        let u = UserId::new(rng.gen_range(0..scenario.num_users()));
+        match rng.gen_range(0..3) {
+            0 => MoveDesc::relocate(x, u, None),
+            1 => {
+                let s = ServerId::new(rng.gen_range(0..scenario.num_servers()));
+                let j = SubchannelId::new(rng.gen_range(0..scenario.num_subchannels()));
+                MoveDesc::relocate_evicting(x, u, s, j)
+            }
+            _ => {
+                let v = UserId::new(rng.gen_range(0..scenario.num_users()));
+                MoveDesc::swap(x, u, v)
+            }
+        }
+    }
+
+    /// The frozen PR-1 evaluator and the live SoA path replay the same
+    /// move stream bit-for-bit: identical `current()` after every apply,
+    /// undo and commit. This pins the layout refactor to the frozen
+    /// arithmetic — any reordering of a float fold breaks this test.
+    #[test]
+    fn pr1_baseline_and_live_path_agree_bit_for_bit() {
+        for seed in [11u64, 23, 47] {
+            let sc = random_scenario(seed, 24, 5, 3);
+            let x = Assignment::all_local(&sc);
+            let mut old = Pr1IncrementalObjective::new(&sc, x.clone()).unwrap();
+            let mut new = IncrementalObjective::new(&sc, x).unwrap();
+            assert_eq!(old.current().to_bits(), new.current().to_bits());
+
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xba5e);
+            for step in 0..2_000 {
+                let mv = random_move(&sc, new.assignment(), &mut rng);
+                let d_old = old.apply(&mv);
+                let d_new = new.apply(&mv);
+                assert_eq!(
+                    d_old.to_bits(),
+                    d_new.to_bits(),
+                    "delta diverged at step {step} (seed {seed})"
+                );
+                if rng.gen_bool(0.5) {
+                    old.undo();
+                    new.undo();
+                } else {
+                    old.commit();
+                    new.commit();
+                }
+                assert_eq!(
+                    old.current().to_bits(),
+                    new.current().to_bits(),
+                    "objective diverged at step {step} (seed {seed})"
+                );
+            }
+            old.resync();
+            new.resync();
+            assert_eq!(old.current().to_bits(), new.current().to_bits());
+        }
+    }
+}

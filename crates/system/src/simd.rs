@@ -1,0 +1,88 @@
+//! Explicit-width chunked kernels for the SoA hot path.
+//!
+//! The incremental evaluator and the reference evaluator keep their
+//! per-`(server, subchannel)` arrays padded to a multiple of [`LANES`]
+//! servers so every sweep runs as `chunks_exact(LANES)` over four
+//! independent accumulator lanes — the `f64x4` shape LLVM auto-vectorizes
+//! reliably, with no SIMD crates and no `unsafe`.
+//!
+//! Bit-exactness: every kernel performs *per-slot independent* arithmetic
+//! (`dst[i] op= src[i]`), so chunking only reorders work across slots,
+//! never the operation sequence within one slot. The results are
+//! bit-identical to the scalar loops they replace; the order-sensitive
+//! reductions of the objective (the Γ fold over a subchannel's occupants,
+//! the Λ sum over servers) deliberately stay scalar and sequential in
+//! `incremental.rs` so accepted-move trajectories keep their seeds.
+
+/// Chunk width of the manual vector kernels (one AVX2 `f64x4` register).
+pub const LANES: usize = 4;
+
+/// The padded length of a per-server row: `n` rounded up to a multiple of
+/// [`LANES`], so `chunks_exact(LANES)` covers it with no remainder loop.
+#[inline]
+pub fn padded_len(n: usize) -> usize {
+    n.next_multiple_of(LANES)
+}
+
+/// `dst[i] += src[i]` over two equal-length, lane-padded rows.
+#[inline]
+pub fn add_assign_rows(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len(), "row lengths match");
+    debug_assert_eq!(dst.len() % LANES, 0, "rows are lane-padded");
+    for (d, s) in dst.chunks_exact_mut(LANES).zip(src.chunks_exact(LANES)) {
+        d[0] += s[0];
+        d[1] += s[1];
+        d[2] += s[2];
+        d[3] += s[3];
+    }
+}
+
+/// `dst[i] -= src[i]` over two equal-length, lane-padded rows.
+#[inline]
+pub fn sub_assign_rows(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len(), "row lengths match");
+    debug_assert_eq!(dst.len() % LANES, 0, "rows are lane-padded");
+    for (d, s) in dst.chunks_exact_mut(LANES).zip(src.chunks_exact(LANES)) {
+        d[0] -= s[0];
+        d[1] -= s[1];
+        d[2] -= s[2];
+        d[3] -= s[3];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_rounds_up_to_lane_multiples() {
+        assert_eq!(padded_len(0), 0);
+        assert_eq!(padded_len(1), 4);
+        assert_eq!(padded_len(4), 4);
+        assert_eq!(padded_len(9), 12);
+        assert_eq!(padded_len(12), 12);
+    }
+
+    #[test]
+    fn chunked_sweeps_are_bit_identical_to_scalar() {
+        let src: Vec<f64> = (0..16).map(|i| (i as f64) * 0.3 + 1e-12).collect();
+        let mut chunked = vec![1.0e-9; 16];
+        let mut scalar = chunked.clone();
+        add_assign_rows(&mut chunked, &src);
+        for (d, s) in scalar.iter_mut().zip(&src) {
+            *d += s;
+        }
+        assert_eq!(
+            chunked.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        sub_assign_rows(&mut chunked, &src);
+        for (d, s) in scalar.iter_mut().zip(&src) {
+            *d -= s;
+        }
+        assert_eq!(
+            chunked.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
