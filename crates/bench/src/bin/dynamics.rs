@@ -3,15 +3,11 @@
 //! Pass `--full` for more epochs.
 
 use mec_mobility::study::{run, StudyConfig};
-use mec_workloads::Preset;
 
 fn main() {
     let preset = mec_bench::preset_from_args();
     let mut config = StudyConfig::default_study();
-    config.epochs = match preset {
-        Preset::Quick => 10,
-        Preset::Full => 40,
-    };
+    config.epochs = if preset.is_full() { 40 } else { 10 };
     let tables = run(&config).expect("study failed");
     mec_bench::emit(&tables, "dynamics").expect("failed to write results");
 }

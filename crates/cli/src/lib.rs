@@ -19,9 +19,10 @@
 use mec_baselines::{
     AllLocalSolver, ExhaustiveSolver, GreedySolver, HJtoraSolver, LocalSearchSolver, RandomSolver,
 };
-use mec_conformance::{run_conformance, ConformanceConfig};
+use mec_conformance::{run_conformance, write_violation_artifacts, ConformanceConfig};
 use mec_mobility::{DynamicSimulation, MobilityConfig};
 use mec_online::{AdmissionPolicy, AdmitAll, CapacityGate, OnlineConfig, OnlineEngine, TraceChurn};
+use mec_scenario_spec::SpecError;
 use mec_system::{Assignment, Scenario, ScenarioSpec, Solver, SystemEvaluation};
 use mec_types::{Bits, BitsPerSecond, Cycles, Seconds};
 use mec_viz::SvgScene;
@@ -42,8 +43,12 @@ pub enum CliError {
     Io(std::io::Error),
     /// JSON (de)serialization failure.
     Json(serde_json::Error),
+    /// Declarative scenario-spec failure (decode, validate, materialize).
+    Spec(SpecError),
     /// A conformance sweep found invariant violations.
     Conformance(u64),
+    /// A corpus run had failing or unloadable specs.
+    Corpus(usize),
 }
 
 impl fmt::Display for CliError {
@@ -53,12 +58,14 @@ impl fmt::Display for CliError {
             CliError::Model(e) => write!(f, "model error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Spec(e) => write!(f, "scenario spec error: {e}"),
             CliError::Conformance(n) => {
                 write!(
                     f,
                     "conformance failed: {n} invariant violation(s), see report"
                 )
             }
+            CliError::Corpus(n) => write!(f, "corpus failed: {n} failing spec(s)"),
         }
     }
 }
@@ -78,6 +85,11 @@ impl From<std::io::Error> for CliError {
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> Self {
         CliError::Json(e)
+    }
+}
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::Spec(e)
     }
 }
 
@@ -114,16 +126,22 @@ USAGE:
   tsajs-sim simulate [--users N] [--epochs E]
                      [--mobility pedestrian|vehicular]
                      [--solver NAME] [--seed SEED] [--threads N]
-  tsajs-sim online   [--users N] [--epochs E] [--servers S]
+  tsajs-sim online   [--scenario FILE.toml | --users N [--servers S]
                      [--arrival-rate HZ] [--mean-sojourn SECS]
                      [--epoch-secs SECS] [--budget P] [--cold]
-                     [--capacity N] [--admission reject|force-local]
-                     [--seed SEED]
+                     [--capacity N] [--admission reject|force-local]]
+                     [--epochs E] [--seed SEED]
   tsajs-sim conformance [--seeds N] [--seed BASE] [--deep]
-                     [--out FILE]
+                     [--out FILE] [--artifacts DIR]
+  tsajs-sim corpus   [--dir DIR] [--verbose]
 
 SOLVERS: tsajs (default), tempering, hjtora, greedy, localsearch,
          random, exhaustive, alllocal
+
+SCENARIO FILES: `--scenario` accepts either a legacy JSON snapshot
+(written by `generate`) or a declarative spec — `.toml`, or `.json`
+with a `schema_version` field. Declarative specs materialize from
+`--seed`, so the same file plus the same seed is the same run.
 
 `--threads N` caps the worker pool of the parallel solvers (tempering,
 multi-start, exhaustive); the TSAJS_THREADS environment variable does
@@ -140,9 +158,19 @@ The `online` command runs the event-driven engine (Poisson arrivals,
 exponential sojourns, per-epoch warm-started re-solves) and writes one
 JSON epoch report per line to stdout.
 
+The `online` command either takes engine flags directly or a declarative
+`--scenario` spec, whose `[online]` section, churn, admission and
+`[[timeline]]` events (outages, flash crowds, load ramps, hotspot
+drift) drive the run.
+
 The `conformance` command sweeps seeded fuzzed instances through the
 invariant oracle, the solver differential panel and online seed-replay,
-prints a JSON verdict report and exits non-zero on any violation.";
+prints a JSON verdict report and exits non-zero on any violation.
+With `--artifacts DIR`, every violation is written as a replayable
+explicit `.toml` spec under DIR.
+
+The `corpus` command runs every `*.toml` spec in a directory (default
+`scenarios/`) and checks each spec's `[expect]` assertions.";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,15 +225,20 @@ pub enum Command {
     },
     /// Summarize a scenario file (dimensions, radio health, local costs).
     Inspect {
-        /// Scenario JSON path.
+        /// Scenario file path (snapshot JSON or declarative spec).
         scenario: PathBuf,
+        /// Materialization seed for declarative specs.
+        seed: u64,
     },
     /// Event-driven online run with churn; one JSON epoch report per line.
     Online {
+        /// Declarative spec driving the run (conflicts with the engine
+        /// flags below; `--epochs`/`--seed` stay available).
+        scenario: Option<PathBuf>,
         /// Initial population (arrives at t = 0).
         users: usize,
-        /// Scheduling epochs to run.
-        epochs: usize,
+        /// Scheduling epochs to run (`None` = 20, or the spec's count).
+        epochs: Option<usize>,
         /// Number of cells / MEC servers.
         servers: usize,
         /// Poisson arrival rate in users per second.
@@ -235,6 +268,15 @@ pub enum Command {
         deep: bool,
         /// Optional JSON report path (also printed to stdout).
         out: Option<PathBuf>,
+        /// Directory for replayable violation artifacts (`.toml` specs).
+        artifacts: Option<PathBuf>,
+    },
+    /// Run a directory of scenario specs and check their expectations.
+    Corpus {
+        /// Directory holding `*.toml` specs.
+        dir: PathBuf,
+        /// Print per-spec assertion counts even when green.
+        verbose: bool,
     },
     /// Dynamic mobility simulation with per-epoch re-scheduling.
     Simulate {
@@ -419,15 +461,17 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
         }
         "inspect" => {
             let mut scenario: Option<PathBuf> = None;
+            let mut seed = 0u64;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
             }
             let scenario =
                 scenario.ok_or_else(|| CliError::Usage("inspect requires --scenario".into()))?;
-            Ok(Command::Inspect { scenario })
+            Ok(Command::Inspect { scenario, seed })
         }
         "simulate" => {
             let mut users = 20usize;
@@ -457,8 +501,9 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
             })
         }
         "online" => {
+            let mut scenario: Option<PathBuf> = None;
             let mut users = 30usize;
-            let mut epochs = 20usize;
+            let mut epochs: Option<usize> = None;
             let mut servers = ExperimentParams::paper_default().num_servers;
             let mut arrival_rate = 0.3f64;
             let mut mean_sojourn = 100.0f64;
@@ -468,10 +513,14 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
             let mut capacity: Option<usize> = None;
             let mut admission = "reject".to_string();
             let mut seed = 0u64;
+            // Engine flags a declarative spec supersedes; mixing them with
+            // --scenario is ambiguous and rejected below.
+            let mut engine_flags: Vec<&str> = Vec::new();
             while let Some(flag) = iter.next() {
                 match flag {
+                    "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     "--users" => users = parse_num(flag, take_value(flag, &mut iter)?)?,
-                    "--epochs" => epochs = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--epochs" => epochs = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
                     "--servers" => servers = parse_num(flag, take_value(flag, &mut iter)?)?,
                     "--arrival-rate" => {
                         arrival_rate = parse_num(flag, take_value(flag, &mut iter)?)?
@@ -487,6 +536,16 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
+                if !matches!(flag, "--scenario" | "--epochs" | "--seed") {
+                    engine_flags.push(flag);
+                }
+            }
+            if scenario.is_some() && !engine_flags.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "--scenario conflicts with {}: the spec defines the run \
+                     (only --epochs and --seed combine with it)",
+                    engine_flags.join(", ")
+                )));
             }
             if !matches!(admission.as_str(), "reject" | "force-local") {
                 return Err(CliError::Usage(format!(
@@ -494,6 +553,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 )));
             }
             Ok(Command::Online {
+                scenario,
                 users,
                 epochs,
                 servers,
@@ -512,12 +572,14 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
             let mut base_seed = 0u64;
             let mut deep = false;
             let mut out: Option<PathBuf> = None;
+            let mut artifacts: Option<PathBuf> = None;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--seeds" => seeds = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
                     "--seed" => base_seed = parse_num(flag, take_value(flag, &mut iter)?)?,
                     "--deep" => deep = true,
                     "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    "--artifacts" => artifacts = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
             }
@@ -537,7 +599,20 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 base_seed,
                 deep,
                 out,
+                artifacts,
             })
+        }
+        "corpus" => {
+            let mut dir = PathBuf::from("scenarios");
+            let mut verbose = false;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--dir" => dir = PathBuf::from(take_value(flag, &mut iter)?),
+                    "--verbose" => verbose = true,
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Corpus { dir, verbose })
         }
         "--help" | "-h" | "help" => Err(CliError::Usage("help requested".into())),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -603,13 +678,42 @@ pub fn build_solver(
     })
 }
 
-/// Loads a scenario spec from a JSON file and validates it.
+/// Whether a scenario file holds a *declarative* spec (the versioned
+/// TOML/JSON `ScenarioSpec`) rather than a legacy JSON snapshot: `.toml`
+/// always does, `.json` does iff it carries a `schema_version` field.
+fn is_declarative(path: &Path, text: &str) -> bool {
+    if path.extension().and_then(|e| e.to_str()) == Some("toml") {
+        return true;
+    }
+    match serde_json::from_str::<serde_json::Value>(text) {
+        Ok(serde_json::Value::Object(entries)) => {
+            entries.iter().any(|(k, _)| k == "schema_version")
+        }
+        _ => false,
+    }
+}
+
+/// Loads a declarative spec from a TOML or JSON file.
 ///
 /// # Errors
 ///
-/// I/O, JSON and model-validation errors.
-pub fn load_scenario(path: &Path) -> Result<Scenario, CliError> {
+/// I/O and spec decode/validation errors.
+pub fn load_declarative_spec(path: &Path) -> Result<mec_scenario_spec::ScenarioSpec, CliError> {
+    Ok(mec_scenario_spec::load_spec(path)?)
+}
+
+/// Loads a scenario file: a declarative spec (materialized at `seed`) or
+/// a legacy JSON snapshot (seed-independent).
+///
+/// # Errors
+///
+/// I/O, JSON, spec and model-validation errors.
+pub fn load_scenario(path: &Path, seed: u64) -> Result<Scenario, CliError> {
     let text = std::fs::read_to_string(path)?;
+    if is_declarative(path, &text) {
+        let spec = load_declarative_spec(path)?;
+        return Ok(spec.materialize(seed)?);
+    }
     let spec: ScenarioSpec = serde_json::from_str(&text)?;
     Ok(spec.into_scenario()?)
 }
@@ -649,7 +753,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             batch,
             report,
         } => {
-            let scenario = load_scenario(&scenario)?;
+            let scenario = load_scenario(&scenario, seed)?;
             let mut solver = build_solver(&solver, seed, threads, batch)?;
             let solution = solver.solve(&scenario)?;
             let evaluation = solution.evaluate(&scenario)?;
@@ -730,8 +834,8 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             )?;
             Ok(())
         }
-        Command::Inspect { scenario } => {
-            let scenario = load_scenario(&scenario)?;
+        Command::Inspect { scenario, seed } => {
+            let scenario = load_scenario(&scenario, seed)?;
             writeln!(out, "users        : {}", scenario.num_users())?;
             writeln!(out, "servers      : {}", scenario.num_servers())?;
             writeln!(out, "subchannels  : {}", scenario.num_subchannels())?;
@@ -815,6 +919,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             Ok(())
         }
         Command::Online {
+            scenario,
             users,
             epochs,
             servers,
@@ -827,6 +932,19 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             admission,
             seed,
         } => {
+            if let Some(path) = scenario {
+                // A declarative spec carries the whole run: population,
+                // churn, admission, SLA and the event timeline.
+                let spec = load_declarative_spec(&path)?;
+                let mut plan = spec.online_plan(seed)?;
+                let epochs = epochs.unwrap_or(plan.epochs);
+                for _ in 0..epochs {
+                    let report = plan.engine.step()?;
+                    writeln!(out, "{}", serde_json::to_string(&report)?)?;
+                }
+                return Ok(());
+            }
+            let epochs = epochs.unwrap_or(20);
             let policy: Box<dyn AdmissionPolicy> = match (capacity, admission.as_str()) {
                 (None, _) => Box::new(AdmitAll),
                 (Some(cap), "reject") => Box::new(CapacityGate::rejecting(cap)),
@@ -867,6 +985,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             base_seed,
             deep,
             out: report_path,
+            artifacts,
         } => {
             let base = if deep {
                 ConformanceConfig::deep()
@@ -880,10 +999,55 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             if let Some(path) = report_path {
                 std::fs::write(&path, &json)?;
             }
+            if let Some(dir) = artifacts {
+                let written = write_violation_artifacts(&report, &config, &dir)?;
+                for path in &written {
+                    writeln!(out, "artifact: {}", path.display())?;
+                }
+            }
             if report.passed {
                 Ok(())
             } else {
                 Err(CliError::Conformance(report.total_violations))
+            }
+        }
+        Command::Corpus { dir, verbose } => {
+            let report = mec_scenario_spec::run_corpus(&dir)?;
+            if report.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "no *.toml specs found under {}",
+                    dir.display()
+                )));
+            }
+            let mut failing = 0usize;
+            for outcome in &report.outcomes {
+                match &outcome.report {
+                    Ok(r) if r.passed() => {
+                        if verbose {
+                            writeln!(out, "PASS {} ({} checks)", outcome.file, r.checks)?;
+                        } else {
+                            writeln!(out, "PASS {}", outcome.file)?;
+                        }
+                    }
+                    _ => {
+                        failing += 1;
+                        writeln!(out, "FAIL {}", outcome.file)?;
+                        for line in outcome.failure_lines() {
+                            writeln!(out, "     {line}")?;
+                        }
+                    }
+                }
+            }
+            writeln!(
+                out,
+                "{}/{} specs passed",
+                report.len() - failing,
+                report.len()
+            )?;
+            if failing == 0 {
+                Ok(())
+            } else {
+                Err(CliError::Corpus(failing))
             }
         }
         Command::Compare {
@@ -892,7 +1056,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             threads,
             batch,
         } => {
-            let scenario = load_scenario(&scenario)?;
+            let scenario = load_scenario(&scenario, seed)?;
             writeln!(
                 out,
                 "{:<12} {:>12} {:>10} {:>12} {:>12} {:>12}",
@@ -1351,6 +1515,7 @@ mod tests {
         .unwrap();
         match cmd {
             Command::Online {
+                scenario,
                 users,
                 epochs,
                 servers,
@@ -1363,8 +1528,9 @@ mod tests {
                 admission,
                 seed,
             } => {
+                assert_eq!(scenario, None);
                 assert_eq!(users, 12);
-                assert_eq!(epochs, 5);
+                assert_eq!(epochs, Some(5));
                 assert_eq!(servers, 4);
                 assert_eq!(arrival_rate, 0.5);
                 assert_eq!(mean_sojourn, 80.0);
@@ -1380,11 +1546,13 @@ mod tests {
         // Defaults and the --cold switch.
         match parse_args(&["online", "--cold"]).unwrap() {
             Command::Online {
+                epochs,
                 cold,
                 capacity,
                 admission,
                 ..
             } => {
+                assert_eq!(epochs, None);
                 assert!(cold);
                 assert_eq!(capacity, None);
                 assert_eq!(admission, "reject");
@@ -1394,6 +1562,46 @@ mod tests {
         // Bad admission names fail at parse time.
         assert!(matches!(
             parse_args(&["online", "--admission", "teleport"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn online_scenario_flag_conflicts_with_engine_flags() {
+        // --scenario plus --epochs/--seed is fine.
+        match parse_args(&[
+            "online",
+            "--scenario",
+            "x.toml",
+            "--epochs",
+            "3",
+            "--seed",
+            "7",
+        ])
+        .unwrap()
+        {
+            Command::Online {
+                scenario,
+                epochs,
+                seed,
+                ..
+            } => {
+                assert_eq!(scenario, Some(PathBuf::from("x.toml")));
+                assert_eq!(epochs, Some(3));
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --scenario plus an engine flag is rejected with a clear message.
+        let err = parse_args(&["online", "--scenario", "x.toml", "--users", "9"]).unwrap_err();
+        match err {
+            CliError::Usage(msg) => {
+                assert!(msg.contains("--scenario conflicts with --users"), "{msg}");
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        assert!(matches!(
+            parse_args(&["online", "--cold", "--scenario", "x.toml"]),
             Err(CliError::Usage(_))
         ));
     }
@@ -1469,6 +1677,8 @@ mod tests {
             "num_offloaded",
             "reassignments",
             "proposals",
+            "events_applied",
+            "servers_up",
         ];
         let floats = ["time_s", "utility", "deadline_hit_rate"];
         for line in text.lines() {
@@ -1495,6 +1705,169 @@ mod tests {
         }
     }
 
+    fn write_spec(path: &Path, spec: &mec_scenario_spec::ScenarioSpec) {
+        std::fs::write(path, spec.to_toml_string().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn solve_and_inspect_accept_declarative_toml_specs() {
+        use mec_scenario_spec::ScenarioBuilder;
+        let dir = tmp_dir();
+        let path = dir.join("declarative.toml");
+        let spec = ScenarioBuilder::new("cli-solve")
+            .servers(4)
+            .users(6)
+            .build();
+        write_spec(&path, &spec);
+
+        let mut buf = Vec::new();
+        run(
+            parse_args(&[
+                "solve",
+                "--scenario",
+                path.to_str().unwrap(),
+                "--solver",
+                "greedy",
+                "--seed",
+                "11",
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Greedy"), "{text}");
+        assert!(text.contains("offloaded   : "), "{text}");
+
+        let mut buf = Vec::new();
+        run(
+            parse_args(&["inspect", "--scenario", path.to_str().unwrap()]).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("users        : 6"), "{text}");
+        assert!(text.contains("servers      : 4"), "{text}");
+
+        // A broken spec surfaces as a spec error with a field path.
+        let bad = dir.join("bad.toml");
+        std::fs::write(
+            &bad,
+            "schema_version = 1\nname = \"x\"\n[radio]\nbandwith_hz = 1.0\n",
+        )
+        .unwrap();
+        let err = run(
+            parse_args(&["solve", "--scenario", bad.to_str().unwrap()]).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        match err {
+            CliError::Spec(e) => assert!(e.path.contains("bandwith_hz"), "{e}"),
+            other => panic!("wrong error {other:?}"),
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn online_scenario_spec_drives_the_timeline_end_to_end() {
+        use mec_scenario_spec::ScenarioBuilder;
+        let dir = tmp_dir();
+        let path = dir.join("outage.toml");
+        let spec = ScenarioBuilder::new("cli-outage")
+            .servers(4)
+            .users(6)
+            .poisson_churn(0.05, 120.0)
+            .online(|o| {
+                o.epochs = 4;
+                o.warm_budget = Some(150);
+                o.min_temperature = Some(1e-2);
+            })
+            .server_outage(15.0, 1)
+            .server_recovery(25.0, 1)
+            .try_build()
+            .unwrap();
+        write_spec(&path, &spec);
+
+        let mut buf = Vec::new();
+        run(
+            parse_args(&[
+                "online",
+                "--scenario",
+                path.to_str().unwrap(),
+                "--seed",
+                "5",
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "spec epochs drive the run:\n{text}");
+        let servers_up: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                let v: serde_json::Value = serde_json::from_str(l).unwrap();
+                v["servers_up"].as_u64().unwrap()
+            })
+            .collect();
+        // The outage fires at t=15s (epoch 2's resolve at t=20) and the
+        // recovery at t=25s (epoch 3's resolve at t=30).
+        assert_eq!(servers_up, vec![4, 4, 3, 4], "in:\n{text}");
+        let events: u64 = lines
+            .iter()
+            .map(|l| {
+                let v: serde_json::Value = serde_json::from_str(l).unwrap();
+                v["events_applied"].as_u64().unwrap()
+            })
+            .sum();
+        assert_eq!(events, 2, "in:\n{text}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corpus_command_runs_a_directory_of_specs() {
+        use mec_scenario_spec::ScenarioBuilder;
+        let dir = tmp_dir().join("corpus");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = ScenarioBuilder::new("good")
+            .servers(4)
+            .users(5)
+            .expect(|e| e.users = Some(5))
+            .build();
+        let bad = ScenarioBuilder::new("bad")
+            .servers(4)
+            .users(5)
+            .expect(|e| e.users = Some(99))
+            .build();
+        write_spec(&dir.join("good.toml"), &good);
+        write_spec(&dir.join("bad.toml"), &bad);
+
+        let mut buf = Vec::new();
+        let err = run(
+            parse_args(&["corpus", "--dir", dir.to_str().unwrap()]).unwrap(),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Corpus(1)), "{err:?}");
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("PASS good.toml"), "{text}");
+        assert!(text.contains("FAIL bad.toml"), "{text}");
+        assert!(text.contains("1/2 specs passed"), "{text}");
+
+        // An empty directory is a usage error, not a silent pass.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(matches!(
+            run(
+                parse_args(&["corpus", "--dir", empty.to_str().unwrap()]).unwrap(),
+                &mut Vec::new()
+            ),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+
     #[test]
     fn parses_conformance() {
         match parse_args(&["conformance", "--seeds", "9", "--seed", "3"]).unwrap() {
@@ -1503,11 +1876,19 @@ mod tests {
                 base_seed,
                 deep,
                 out,
+                artifacts,
             } => {
                 assert_eq!(seeds, 9);
                 assert_eq!(base_seed, 3);
                 assert!(!deep);
                 assert_eq!(out, None);
+                assert_eq!(artifacts, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&["conformance", "--artifacts", "failures"]).unwrap() {
+            Command::Conformance { artifacts, .. } => {
+                assert_eq!(artifacts, Some(PathBuf::from("failures")));
             }
             other => panic!("wrong command {other:?}"),
         }

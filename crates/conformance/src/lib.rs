@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod differential;
+pub mod emit;
 pub mod fuzz;
 pub mod oracle;
 pub mod replay;
 pub mod report;
 
+pub use emit::{explicit_spec, scenario_fingerprint, write_violation_artifacts};
 pub use fuzz::FuzzConfig;
 pub use oracle::Oracle;
 pub use replay::ReplayConfig;

@@ -114,6 +114,18 @@ impl RandomWaypoint {
         self.speeds_mps.remove(index);
     }
 
+    /// Teleports the user at `index` to `position` and aims it there (it
+    /// re-plans a fresh destination on its next step). Supports injected
+    /// population shifts such as hotspot-drift events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn relocate_user(&mut self, index: usize, position: Point2) {
+        self.positions[index] = position;
+        self.destinations[index] = position;
+    }
+
     /// Per-user speeds in m/s.
     pub fn speeds(&self) -> &[f64] {
         &self.speeds_mps
@@ -269,6 +281,21 @@ mod tests {
         // A churned population still steps fine.
         model.step(&l, Seconds::new(5.0), &mut rng);
         assert!(l.contains(model.positions()[0]));
+    }
+
+    #[test]
+    fn relocated_users_stay_put_until_they_replan() {
+        let l = layout();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = RandomWaypoint::new(&l, 2, (1.0, 1.0), &mut rng);
+        let target = l.stations()[0];
+        model.relocate_user(1, target);
+        assert_eq!(model.positions()[1], target);
+        // Destination equals position, so the next step lands (distance 0
+        // <= travel) and draws a fresh destination — no jump away first.
+        model.step(&l, Seconds::new(1.0), &mut rng);
+        assert_eq!(model.positions()[1], target);
+        assert_ne!(model.destinations[1], target);
     }
 
     #[test]

@@ -21,16 +21,21 @@
 
 use crate::admission::{AdmissionContext, AdmissionDecision, AdmissionPolicy};
 use crate::churn::ChurnProcess;
+use crate::events::{EngineEvent, EventSchedule, TimedEvent};
 use crate::sla::{CompletedUser, SlaLog};
 use mec_mobility::RandomWaypoint;
 use mec_system::{Assignment, Evaluator, Scenario};
-use mec_topology::NetworkLayout;
-use mec_types::{effective_parallelism, DeviceProfile, Error, Seconds, Task, UserId};
+use mec_topology::{NetworkLayout, Point2};
+use mec_types::{effective_parallelism, DeviceProfile, Error, Seconds, ServerId, Task, UserId};
 use mec_workloads::{ChurnEvent, ChurnEventKind, ExperimentParams, ScenarioGenerator};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tsajs::{anneal, anneal_from, temper_from, NeighborhoodKernel, ResolveMode, TtsaConfig};
+
+/// User ids injected by flash-crowd events live in a high range so they
+/// can never collide with churn-process ids.
+const INJECTED_ID_BASE: u64 = 1 << 40;
 
 /// Engine-level knobs of an online run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -157,6 +162,10 @@ pub struct OnlineEpochReport {
     pub warm_started: bool,
     /// Fraction of active users whose task met the deadline this epoch.
     pub deadline_hit_rate: f64,
+    /// Timeline events applied at this epoch boundary.
+    pub events_applied: usize,
+    /// Servers in service this epoch (after outages/recoveries).
+    pub servers_up: usize,
 }
 
 impl OnlineEpochReport {
@@ -164,7 +173,7 @@ impl OnlineEpochReport {
     /// the schema contract that JSONL consumers of the `online`
     /// subcommand rely on. Keep in lockstep with the struct definition;
     /// the golden-schema tests diff serialized output against this list.
-    pub const FIELD_NAMES: [&'static str; 14] = [
+    pub const FIELD_NAMES: [&'static str; 16] = [
         "epoch",
         "time_s",
         "active_users",
@@ -179,6 +188,8 @@ impl OnlineEpochReport {
         "proposals",
         "warm_started",
         "deadline_hit_rate",
+        "events_applied",
+        "servers_up",
     ];
 }
 
@@ -197,6 +208,9 @@ struct ActiveUser {
 #[derive(Debug, Clone)]
 struct PrevEpoch {
     sched_ids: Vec<u64>,
+    /// Full-layout server indices behind the assignment's (possibly
+    /// outage-compacted) server axis.
+    server_ids: Vec<usize>,
     assignment: Assignment,
 }
 
@@ -222,6 +236,18 @@ pub struct OnlineEngine {
     local_time_s: f64,
     rejected_total: u64,
     event_buf: Vec<ChurnEvent>,
+    /// Scripted timeline events, drained at epoch boundaries.
+    events: EventSchedule,
+    /// Which full-layout servers are in service.
+    server_up: Vec<bool>,
+    /// Dedicated stream for event randomness (flash-crowd sojourns,
+    /// drift selection) so schedules never perturb motion or solving.
+    event_rng: StdRng,
+    /// Flash-crowd arrivals/departures waiting to be merged with churn.
+    injected: Vec<ChurnEvent>,
+    injected_next_id: u64,
+    events_applied_total: usize,
+    timed_buf: Vec<TimedEvent>,
 }
 
 impl OnlineEngine {
@@ -274,7 +300,113 @@ impl OnlineEngine {
             local_time_s,
             rejected_total: 0,
             event_buf: Vec::new(),
+            events: EventSchedule::empty(),
+            server_up: vec![true; params.num_servers],
+            event_rng: StdRng::seed_from_u64(seed ^ 0x94D0_49BB_1331_11EB),
+            injected: Vec::new(),
+            injected_next_id: INJECTED_ID_BASE,
+            events_applied_total: 0,
+            timed_buf: Vec::new(),
         })
+    }
+
+    /// Attaches a scripted event timeline; events fire at the first epoch
+    /// boundary at or after their timestamp, before churn is drained.
+    #[must_use]
+    pub fn with_events(mut self, schedule: EventSchedule) -> Self {
+        self.events = schedule;
+        self
+    }
+
+    /// Applies every timeline event due at the current clock. Returns how
+    /// many fired.
+    fn apply_events(&mut self) -> usize {
+        let mut due = std::mem::take(&mut self.timed_buf);
+        due.clear();
+        self.events
+            .drain_until(Seconds::new(self.clock_s), &mut due);
+        let fired = due.len();
+        for timed in &due {
+            match timed.event {
+                EngineEvent::ServerOutage { server } => {
+                    if server < self.server_up.len() {
+                        self.server_up[server] = false;
+                    }
+                }
+                EngineEvent::ServerRecovery { server } => {
+                    if server < self.server_up.len() {
+                        self.server_up[server] = true;
+                    }
+                }
+                EngineEvent::FlashCrowd {
+                    arrivals,
+                    mean_sojourn,
+                } => {
+                    let now = Seconds::new(self.clock_s);
+                    for _ in 0..arrivals {
+                        let id = self.injected_next_id;
+                        self.injected_next_id += 1;
+                        let sojourn =
+                            sample_exponential(mean_sojourn.as_secs(), &mut self.event_rng);
+                        self.injected.push(ChurnEvent {
+                            at: now,
+                            user: id,
+                            kind: ChurnEventKind::Arrival,
+                        });
+                        self.injected.push(ChurnEvent {
+                            at: Seconds::new(self.clock_s + sojourn),
+                            user: id,
+                            kind: ChurnEventKind::Departure,
+                        });
+                    }
+                    // Keep the pending queue time-sorted (arrivals are at
+                    // `now`, departures later; a stable sort preserves the
+                    // arrival-before-departure order per user).
+                    self.injected.sort_by(|a, b| {
+                        a.at.as_secs()
+                            .partial_cmp(&b.at.as_secs())
+                            .expect("event times are finite")
+                    });
+                }
+                EngineEvent::LoadRamp { rate_factor } => {
+                    self.churn.scale_rate(rate_factor);
+                }
+                EngineEvent::HotspotDrift { cell, fraction } => {
+                    let stations = self.layout.stations();
+                    if cell >= stations.len() || self.users.is_empty() {
+                        continue;
+                    }
+                    let target = stations[cell];
+                    let count = ((self.users.len() as f64 * fraction).ceil() as usize)
+                        .clamp(1, self.users.len());
+                    // Choose a distinct random subset (partial
+                    // Fisher-Yates over population indices).
+                    let mut order: Vec<usize> = (0..self.users.len()).collect();
+                    for k in 0..count {
+                        let pick = self.event_rng.gen_range(k..order.len());
+                        order.swap(k, pick);
+                    }
+                    for &i in &order[..count] {
+                        // Jitter inside the cell so the crowd does not
+                        // collapse onto a single point; fall back to the
+                        // station itself if the jitter exits coverage.
+                        let dx = self.event_rng.gen_range(-100.0..=100.0);
+                        let dy = self.event_rng.gen_range(-100.0..=100.0);
+                        let jittered = Point2::new(target.x + dx, target.y + dy);
+                        let dest = if self.layout.contains(jittered) {
+                            jittered
+                        } else {
+                            target
+                        };
+                        self.motion.relocate_user(i, dest);
+                    }
+                }
+            }
+        }
+        due.clear();
+        self.timed_buf = due;
+        self.events_applied_total += fired;
+        fired
     }
 
     fn population_counts(&self) -> (usize, usize) {
@@ -287,6 +419,21 @@ impl OnlineEngine {
         events.clear();
         self.churn
             .drain_until(Seconds::new(self.clock_s), &mut events);
+        // Merge flash-crowd injections due now (both queues are already
+        // time-sorted; injected events break ties after churn events).
+        let due = self
+            .injected
+            .partition_point(|e| e.at.as_secs() <= self.clock_s);
+        if due > 0 {
+            events.extend(self.injected.drain(..due));
+            events.sort_by(|a, b| {
+                a.at.as_secs()
+                    .partial_cmp(&b.at.as_secs())
+                    .expect("event times are finite")
+            });
+        }
+        let offload_slots =
+            self.server_up.iter().filter(|&&up| up).count() * self.params.num_subchannels;
         let (mut arrivals, mut departures, mut rejected) = (0, 0, 0);
         for e in &events {
             match e.kind {
@@ -296,7 +443,7 @@ impl OnlineEngine {
                         active_users: self.users.len(),
                         scheduled_users: scheduled,
                         forced_local_users: forced,
-                        offload_slots: self.params.num_servers * self.params.num_subchannels,
+                        offload_slots,
                     };
                     let decision = self.admission.decide(&ctx);
                     if decision == AdmissionDecision::Reject {
@@ -348,7 +495,18 @@ impl OnlineEngine {
     ///
     /// Propagates scenario-generation, patching and evaluation errors.
     pub fn step(&mut self) -> Result<OnlineEpochReport, Error> {
+        let events_applied = self.apply_events();
         let (arrivals, departures, rejected) = self.apply_churn();
+
+        // Full-layout indices of the servers in service this epoch; the
+        // epoch scenario's compact server axis maps through this list.
+        let cur_server_ids: Vec<usize> = self
+            .server_up
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &up)| up.then_some(i))
+            .collect();
+        let up_count = cur_server_ids.len();
 
         // The schedulable subset, in population order. `sched_pos[v]` is
         // the population index behind scenario user `v`.
@@ -375,7 +533,9 @@ impl OnlineEngine {
         let mut epoch_hits = 0usize;
         let (utility, num_offloaded, proposals, reassignments, warm_started);
         let prev_assignment;
-        if sched_ids.is_empty() {
+        if sched_ids.is_empty() || up_count == 0 {
+            // Nothing to schedule: an empty population, or a total outage
+            // (offload-eligible users get no service until a recovery).
             (
                 utility,
                 num_offloaded,
@@ -383,12 +543,11 @@ impl OnlineEngine {
                 reassignments,
                 warm_started,
             ) = (0.0, 0, 0, 0, false);
-            prev_assignment =
-                Assignment::with_dims(0, self.params.num_servers, self.params.num_subchannels);
+            prev_assignment = Assignment::with_dims(0, up_count, self.params.num_subchannels);
             self.last = None;
         } else {
             let generator = ScenarioGenerator::new(self.params.with_users(sched_ids.len()));
-            let scenario = generator.generate_at(&positions, epoch_seed)?;
+            let scenario = generator.generate_at_subset(&positions, epoch_seed, &self.server_up)?;
             // Patch the previous decision onto the new population:
             // survivors keep their `(s, j)` slots, arrivals start local,
             // departures free capacity.
@@ -404,7 +563,30 @@ impl OnlineEngine {
                     .collect()
             });
             let patched = match (&self.prev, &old_of_new) {
-                (Some(prev), Some(map)) => Some(prev.assignment.patched(map)?),
+                (Some(prev), Some(map)) if prev.server_ids == cur_server_ids => {
+                    Some(prev.assignment.patched(map)?)
+                }
+                (Some(prev), Some(map)) => {
+                    // The server axis changed (outage or recovery):
+                    // re-home surviving slots by full-layout server id,
+                    // dropping users whose server left service.
+                    let mut remapped = Assignment::with_dims(
+                        sched_ids.len(),
+                        up_count,
+                        self.params.num_subchannels,
+                    );
+                    for (v, old) in map.iter().enumerate() {
+                        let Some(old) = old else { continue };
+                        let Some((s_old, j)) = prev.assignment.slot(*old) else {
+                            continue;
+                        };
+                        let full = prev.server_ids[s_old.index()];
+                        if let Some(s_new) = cur_server_ids.iter().position(|&f| f == full) {
+                            remapped.assign(UserId::new(v), ServerId::new(s_new), j)?;
+                        }
+                    }
+                    Some(remapped)
+                }
                 _ => None,
             };
             let warm_eligible = matches!(
@@ -498,10 +680,13 @@ impl OnlineEngine {
             } else {
                 epoch_hits as f64 / active as f64
             },
+            events_applied,
+            servers_up: up_count,
         };
 
         self.prev = Some(PrevEpoch {
             sched_ids,
+            server_ids: cur_server_ids,
             assignment: prev_assignment,
         });
         self.rejected_total += rejected as u64;
@@ -544,6 +729,16 @@ impl OnlineEngine {
         self.rejected_total
     }
 
+    /// Total timeline events applied so far.
+    pub fn events_applied(&self) -> usize {
+        self.events_applied_total
+    }
+
+    /// Per-server in-service flags (full layout indices).
+    pub fn servers_up(&self) -> &[bool] {
+        &self.server_up
+    }
+
     /// The SLA log of departed users.
     pub fn sla(&self) -> &SlaLog {
         &self.sla
@@ -560,6 +755,12 @@ impl OnlineEngine {
     pub fn last_schedule(&self) -> Option<(&Scenario, &Assignment)> {
         self.last.as_ref().map(|(s, a)| (s, a))
     }
+}
+
+/// Inverse-CDF exponential draw; `1.0 - gen::<f64>()` keeps the argument
+/// of `ln` strictly positive.
+fn sample_exponential<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
+    -mean * (1.0 - rng.gen::<f64>()).ln()
 }
 
 #[cfg(test)]
@@ -759,5 +960,124 @@ mod tests {
             .with_mode(ResolveMode::warm(0))
             .validate()
             .is_err());
+    }
+
+    fn timed(at: f64, event: EngineEvent) -> TimedEvent {
+        TimedEvent {
+            at: Seconds::new(at),
+            event,
+        }
+    }
+
+    #[test]
+    fn an_empty_schedule_changes_nothing() {
+        let baseline: Vec<_> = engine(11, 5, 0.05).run(4).unwrap();
+        let mut e = engine(11, 5, 0.05).with_events(EventSchedule::empty());
+        let with_events = e.run(4).unwrap();
+        assert_eq!(baseline, with_events, "no events must be a no-op");
+        assert!(baseline.iter().all(|r| r.servers_up == 4));
+        assert!(baseline.iter().all(|r| r.events_applied == 0));
+    }
+
+    #[test]
+    fn outage_masks_the_server_and_recovery_restores_it() {
+        let mut e = engine(12, 8, 0.02).with_events(EventSchedule::new(vec![
+            timed(15.0, EngineEvent::ServerOutage { server: 1 }),
+            timed(35.0, EngineEvent::ServerRecovery { server: 1 }),
+        ]));
+        let reports = e.run(6).unwrap();
+        // Events fire at the first epoch boundary at/after their time:
+        // epochs start at t = 0, 10, 20, ... so 15 s fires at epoch 2.
+        assert_eq!(reports[0].servers_up, 4);
+        assert_eq!(reports[1].servers_up, 4);
+        assert_eq!(reports[2].servers_up, 3);
+        assert_eq!(reports[2].events_applied, 1);
+        assert_eq!(reports[3].servers_up, 3);
+        assert_eq!(
+            reports[4].servers_up, 4,
+            "recovery at 35 s fires at epoch 4"
+        );
+        assert_eq!(e.events_applied(), 2);
+        assert_eq!(e.servers_up(), &[true, true, true, true]);
+        for r in &reports {
+            assert!(r.utility.is_finite());
+        }
+    }
+
+    #[test]
+    fn flash_crowd_spikes_arrivals_and_then_drains() {
+        let params = ExperimentParams::paper_default().with_servers(4);
+        let churn = PoissonChurn::new(3, 0.0, Seconds::new(1.0e9)).unwrap();
+        let mut e = OnlineEngine::new(
+            params,
+            quick_config(),
+            Box::new(TraceChurn::poisson(&churn, Seconds::new(500.0), 9)),
+            Box::new(AdmitAll),
+            9,
+        )
+        .unwrap()
+        .with_events(EventSchedule::new(vec![timed(
+            20.0,
+            EngineEvent::FlashCrowd {
+                arrivals: 6,
+                mean_sojourn: Seconds::new(15.0),
+            },
+        )]));
+        let reports = e.run(12).unwrap();
+        assert_eq!(reports[0].active_users, 3);
+        assert_eq!(reports[2].arrivals, 6, "burst lands at epoch 2");
+        assert_eq!(reports[2].active_users, 9);
+        // Burst users depart on their exponential sojourns; the base
+        // population (near-infinite sojourn) stays.
+        let tail = reports.last().unwrap();
+        assert!(tail.active_users < 9, "burst should drain");
+        assert!(tail.active_users >= 3);
+        assert!(
+            !e.sla().is_empty(),
+            "departed burst users reach the SLA log"
+        );
+    }
+
+    #[test]
+    fn hotspot_drift_moves_users_without_breaking_the_run() {
+        let mut e = engine(13, 10, 0.0).with_events(EventSchedule::new(vec![timed(
+            10.0,
+            EngineEvent::HotspotDrift {
+                cell: 0,
+                fraction: 0.5,
+            },
+        )]));
+        let reports = e.run(3).unwrap();
+        assert_eq!(reports[1].events_applied, 1);
+        for r in &reports {
+            assert!(r.utility.is_finite());
+        }
+        let (scenario, assignment) = e.last_schedule().expect("population is non-empty");
+        assignment.verify_feasible(scenario).unwrap();
+    }
+
+    #[test]
+    fn event_runs_are_deterministic_under_equal_seeds() {
+        let schedule = || {
+            EventSchedule::new(vec![
+                timed(10.0, EngineEvent::ServerOutage { server: 2 }),
+                timed(
+                    20.0,
+                    EngineEvent::FlashCrowd {
+                        arrivals: 4,
+                        mean_sojourn: Seconds::new(25.0),
+                    },
+                ),
+                timed(40.0, EngineEvent::ServerRecovery { server: 2 }),
+            ])
+        };
+        let run = |seed: u64| {
+            engine(seed, 6, 0.05)
+                .with_events(schedule())
+                .run(6)
+                .unwrap()
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
     }
 }

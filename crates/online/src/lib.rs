@@ -57,11 +57,13 @@
 pub mod admission;
 pub mod churn;
 pub mod engine;
+pub mod events;
 pub mod sla;
 
 pub use admission::{
     AdmissionContext, AdmissionDecision, AdmissionPolicy, AdmitAll, CapacityGate, OverflowAction,
 };
-pub use churn::{ChurnProcess, TraceChurn};
+pub use churn::{AdaptivePoissonChurn, ChurnProcess, TraceChurn};
 pub use engine::{OnlineConfig, OnlineEngine, OnlineEpochReport};
+pub use events::{EngineEvent, EventSchedule, TimedEvent};
 pub use sla::{CompletedUser, SlaLog};

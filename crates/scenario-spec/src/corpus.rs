@@ -1,0 +1,190 @@
+//! Running a directory of scenario specs as a regression corpus.
+//!
+//! The repository ships a `scenarios/` directory of named stress cases;
+//! [`run_corpus`] loads every `*.toml` spec in a directory, executes each
+//! spec's `[expect]` block via [`crate::expect::check_expectations`], and
+//! aggregates the results into a [`CorpusReport`] suitable for CI.
+
+use crate::error::SpecError;
+use crate::expect::{check_expectations, ExpectReport};
+use crate::schema::ScenarioSpec;
+use std::fs;
+use std::path::Path;
+
+/// Loads a spec from a file, dispatching on extension: `.toml` parses as
+/// TOML, `.json` as JSON.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unreadable files, unknown extensions, or
+/// specs that fail to decode.
+pub fn load_spec(path: &Path) -> Result<ScenarioSpec, SpecError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| SpecError::new(path.display().to_string(), format!("unreadable: {e}")))?;
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    match ext {
+        "toml" => ScenarioSpec::from_toml_str(&text),
+        "json" => ScenarioSpec::from_json_str(&text),
+        other => Err(SpecError::new(
+            path.display().to_string(),
+            format!("unsupported spec extension `{other}` (expected .toml or .json)"),
+        )),
+    }
+}
+
+/// One corpus entry's result.
+#[derive(Debug, Clone)]
+pub struct CorpusOutcome {
+    /// File name relative to the corpus directory.
+    pub file: String,
+    /// The expectation run, or the error that prevented it.
+    pub report: Result<ExpectReport, SpecError>,
+}
+
+impl CorpusOutcome {
+    /// Whether the spec loaded, ran, and met every assertion.
+    pub fn passed(&self) -> bool {
+        self.report
+            .as_ref()
+            .map(ExpectReport::passed)
+            .unwrap_or(false)
+    }
+
+    /// Human-readable failure lines for this entry (empty when green).
+    pub fn failure_lines(&self) -> Vec<String> {
+        match &self.report {
+            Ok(r) => r
+                .failures
+                .iter()
+                .map(|f| format!("{}: {f}", self.file))
+                .collect(),
+            Err(e) => vec![format!("{}: {e}", self.file)],
+        }
+    }
+}
+
+/// Aggregate result of a corpus run.
+#[derive(Debug, Clone)]
+pub struct CorpusReport {
+    /// Per-spec outcomes, sorted by file name.
+    pub outcomes: Vec<CorpusOutcome>,
+}
+
+impl CorpusReport {
+    /// Whether every spec in the corpus passed.
+    pub fn passed(&self) -> bool {
+        !self.outcomes.is_empty() && self.outcomes.iter().all(CorpusOutcome::passed)
+    }
+
+    /// Number of specs executed.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the corpus directory held no specs.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Every failure line across the corpus.
+    pub fn failures(&self) -> Vec<String> {
+        self.outcomes
+            .iter()
+            .flat_map(CorpusOutcome::failure_lines)
+            .collect()
+    }
+}
+
+/// Runs every `*.toml` spec under `dir` and aggregates the results.
+/// Individual spec failures do not abort the run — they land in the
+/// report so CI prints the complete picture.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] only when the directory itself is unreadable.
+pub fn run_corpus(dir: &Path) -> Result<CorpusReport, SpecError> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| SpecError::new(dir.display().to_string(), format!("unreadable: {e}")))?;
+    let mut files: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("toml"))
+        .collect();
+    files.sort();
+    let outcomes = files
+        .into_iter()
+        .map(|path| {
+            let file = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("<non-utf8>")
+                .to_string();
+            let report = load_spec(&path).and_then(|spec| check_expectations(&spec));
+            CorpusOutcome { file, report }
+        })
+        .collect();
+    Ok(CorpusReport { outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScenarioBuilder;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mec-scenario-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn a_corpus_directory_runs_every_spec_and_sorts_by_name() {
+        let dir = scratch_dir("basic");
+        let good = ScenarioBuilder::new("good")
+            .servers(4)
+            .users(5)
+            .expect(|e| e.users = Some(5))
+            .build();
+        let bad = ScenarioBuilder::new("bad")
+            .servers(4)
+            .users(5)
+            .expect(|e| e.users = Some(99))
+            .build();
+        fs::write(dir.join("b_good.toml"), good.to_toml_string().unwrap()).unwrap();
+        fs::write(dir.join("a_bad.toml"), bad.to_toml_string().unwrap()).unwrap();
+        fs::write(dir.join("ignored.txt"), "not a spec").unwrap();
+
+        let report = run_corpus(&dir).unwrap();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.outcomes[0].file, "a_bad.toml");
+        assert_eq!(report.outcomes[1].file, "b_good.toml");
+        assert!(!report.passed());
+        assert!(report.outcomes[1].passed());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("a_bad.toml:"), "{failures:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn undecodable_specs_surface_as_outcome_errors_not_panics() {
+        let dir = scratch_dir("broken");
+        fs::write(dir.join("z_broken.toml"), "schema_version = 1\n[oops\n").unwrap();
+        let report = run_corpus(&dir).unwrap();
+        assert_eq!(report.len(), 1);
+        assert!(!report.passed());
+        assert!(report.outcomes[0].report.is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_empty_corpus_does_not_pass() {
+        let dir = scratch_dir("empty");
+        let report = run_corpus(&dir).unwrap();
+        assert!(report.is_empty());
+        assert!(!report.passed());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

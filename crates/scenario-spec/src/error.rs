@@ -1,0 +1,57 @@
+//! Structured spec errors that name the offending field.
+
+use std::fmt;
+
+/// A validation or decoding failure, pinned to a field path.
+///
+/// The path uses dotted/indexed notation (`topology.servers`,
+/// `timeline[2].at_s`, `population.template[0].task_mcycles`), so a CI
+/// log or CLI error points straight at the line of the spec to fix.
+/// Parse-level failures (malformed TOML/JSON) use a `line N` pseudo-path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted field path (or `line N` for syntax errors).
+    pub path: String,
+    /// What is wrong with the field.
+    pub message: String,
+}
+
+impl SpecError {
+    /// Creates an error at the given field path.
+    pub fn new(path: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Wraps a model-level error, keeping the spec path that triggered it.
+    pub fn model(path: impl Into<String>, error: &mec_types::Error) -> Self {
+        Self::new(path, format!("model rejected the spec: {error}"))
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{}: {}", self.path, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_the_path() {
+        let e = SpecError::new("topology.servers", "must be at least 1");
+        assert_eq!(e.to_string(), "topology.servers: must be at least 1");
+        let e = SpecError::new("", "empty document");
+        assert_eq!(e.to_string(), "empty document");
+    }
+}

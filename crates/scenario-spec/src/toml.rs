@@ -1,0 +1,690 @@
+//! A minimal TOML subset reader/writer over [`serde::Content`] trees.
+//!
+//! The build environment is hermetic (no external TOML crate), so this
+//! module implements exactly the subset the scenario schema needs:
+//!
+//! - `key = value` pairs with bare or dotted keys,
+//! - `[table]` and nested `[table.sub]` headers,
+//! - `[[array.of.tables]]` headers,
+//! - basic strings with `\\ \" \n \t \r` escapes,
+//! - integers (with `_` separators), floats (`.`/`e` notation), booleans,
+//! - (possibly nested, possibly multi-line) arrays and inline tables,
+//! - `#` comments and blank lines.
+//!
+//! Parsing produces an insertion-ordered [`Content::Map`]; writing takes
+//! any map whose leaves are finite numbers, strings, booleans, sequences
+//! and maps. `parse(write(c)) == c` for every tree the schema encoders
+//! emit, and floats round-trip bit-exactly (shortest-representation
+//! `Display` form).
+
+use crate::error::SpecError;
+use serde::Content;
+
+/// Parses a TOML document into an insertion-ordered content tree.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] with a `line N` pseudo-path for syntax errors,
+/// duplicate keys and malformed values.
+pub fn parse(input: &str) -> Result<Content, SpecError> {
+    Parser {
+        b: input.as_bytes(),
+        i: 0,
+        line: 1,
+    }
+    .document()
+}
+
+/// Serializes a content tree (which must be a map) as a TOML document.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if the root is not a map or a leaf is not
+/// representable (non-finite float, null inside a sequence).
+pub fn write(root: &Content) -> Result<String, SpecError> {
+    let Content::Map(entries) = root else {
+        return Err(SpecError::new("", "a TOML document must be a table"));
+    };
+    let mut out = String::new();
+    write_table(&mut out, "", entries)?;
+    // Normalize leading blank line from the first section header.
+    Ok(out.trim_start_matches('\n').to_string())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> SpecError {
+        SpecError::new(format!("line {}", self.line), message)
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.b.len()
+    }
+
+    fn peek(&self) -> u8 {
+        self.b[self.i]
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.b[self.i];
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    /// Skips spaces and tabs on the current line.
+    fn skip_ws(&mut self) {
+        while !self.eof() && matches!(self.peek(), b' ' | b'\t') {
+            self.i += 1;
+        }
+    }
+
+    /// Skips whitespace, newlines and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.eof() {
+                return;
+            }
+            match self.peek() {
+                b'\n' | b'\r' => {
+                    self.bump();
+                }
+                b'#' => {
+                    while !self.eof() && self.peek() != b'\n' {
+                        self.i += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Requires nothing but trivia to the end of the current line.
+    fn expect_line_end(&mut self) -> Result<(), SpecError> {
+        self.skip_ws();
+        if self.eof() {
+            return Ok(());
+        }
+        match self.peek() {
+            b'\n' | b'\r' => Ok(()),
+            b'#' => {
+                while !self.eof() && self.peek() != b'\n' {
+                    self.i += 1;
+                }
+                Ok(())
+            }
+            c => Err(self.err(format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn bare_key(&mut self) -> Result<String, SpecError> {
+        let start = self.i;
+        while !self.eof()
+            && (self.peek().is_ascii_alphanumeric() || matches!(self.peek(), b'_' | b'-'))
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected a key"));
+        }
+        Ok(std::str::from_utf8(&self.b[start..self.i])
+            .expect("keys are ASCII")
+            .to_string())
+    }
+
+    /// A dotted key path: `a`, `a.b`, `a.b.c`.
+    fn dotted_key(&mut self) -> Result<Vec<String>, SpecError> {
+        let mut keys = vec![self.bare_key()?];
+        loop {
+            self.skip_ws();
+            if !self.eof() && self.peek() == b'.' {
+                self.bump();
+                self.skip_ws();
+                keys.push(self.bare_key()?);
+            } else {
+                return Ok(keys);
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<Content, SpecError> {
+        debug_assert_eq!(self.peek(), b'"');
+        self.bump();
+        let mut s = String::new();
+        loop {
+            if self.eof() {
+                return Err(self.err("unterminated string"));
+            }
+            match self.bump() {
+                b'"' => return Ok(Content::Str(s)),
+                b'\n' => return Err(self.err("newline inside a basic string")),
+                b'\\' => {
+                    if self.eof() {
+                        return Err(self.err("unterminated escape"));
+                    }
+                    match self.bump() {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        c => return Err(self.err(format!("unsupported escape `\\{}`", c as char))),
+                    }
+                }
+                c => {
+                    // Re-assemble UTF-8 sequences byte-by-byte.
+                    if c < 0x80 {
+                        s.push(c as char);
+                    } else {
+                        let start = self.i - 1;
+                        let mut end = self.i;
+                        while end < self.b.len() && (self.b[end] & 0xC0) == 0x80 {
+                            end += 1;
+                        }
+                        let chunk = std::str::from_utf8(&self.b[start..end])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                        s.push_str(chunk);
+                        self.i = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Content, SpecError> {
+        let start = self.i;
+        while !self.eof()
+            && (self.peek().is_ascii_alphanumeric()
+                || matches!(self.peek(), b'+' | b'-' | b'.' | b'_'))
+        {
+            self.i += 1;
+        }
+        let raw = std::str::from_utf8(&self.b[start..self.i]).expect("number bytes are ASCII");
+        let token: String = raw.chars().filter(|c| *c != '_').collect();
+        if token.is_empty() {
+            return Err(self.err("expected a value"));
+        }
+        let is_float = token.contains(['.', 'e', 'E']) && !token.starts_with("0x");
+        if is_float {
+            let v: f64 = token
+                .parse()
+                .map_err(|_| self.err(format!("invalid float `{raw}`")))?;
+            return Ok(Content::F64(v));
+        }
+        if let Ok(v) = token.parse::<u64>() {
+            return Ok(Content::U64(v));
+        }
+        if let Ok(v) = token.parse::<i64>() {
+            return Ok(Content::I64(v));
+        }
+        Err(self.err(format!("invalid number `{raw}`")))
+    }
+
+    fn array(&mut self) -> Result<Content, SpecError> {
+        debug_assert_eq!(self.peek(), b'[');
+        self.bump();
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.eof() {
+                return Err(self.err("unterminated array"));
+            }
+            if self.peek() == b']' {
+                self.bump();
+                return Ok(Content::Seq(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            if self.eof() {
+                return Err(self.err("unterminated array"));
+            }
+            match self.peek() {
+                b',' => {
+                    self.bump();
+                }
+                b']' => {}
+                c => return Err(self.err(format!("expected `,` or `]`, found `{}`", c as char))),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Content, SpecError> {
+        debug_assert_eq!(self.peek(), b'{');
+        self.bump();
+        let mut entries: Vec<(String, Content)> = Vec::new();
+        self.skip_ws();
+        if !self.eof() && self.peek() == b'}' {
+            self.bump();
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.bare_key()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            if self.eof() || self.peek() != b'=' {
+                return Err(self.err("expected `=` in inline table"));
+            }
+            self.bump();
+            let v = self.value()?;
+            entries.push((key, v));
+            self.skip_ws();
+            if self.eof() {
+                return Err(self.err("unterminated inline table"));
+            }
+            match self.bump() {
+                b',' => continue,
+                b'}' => return Ok(Content::Map(entries)),
+                c => return Err(self.err(format!("expected `,` or `}}`, found `{}`", c as char))),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, SpecError> {
+        self.skip_ws();
+        if self.eof() {
+            return Err(self.err("expected a value"));
+        }
+        match self.peek() {
+            b'"' => self.string(),
+            b'[' => self.array(),
+            b'{' => self.inline_table(),
+            b't' if self.b[self.i..].starts_with(b"true") => {
+                self.i += 4;
+                Ok(Content::Bool(true))
+            }
+            b'f' if self.b[self.i..].starts_with(b"false") => {
+                self.i += 5;
+                Ok(Content::Bool(false))
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn document(mut self) -> Result<Content, SpecError> {
+        let mut root: Vec<(String, Content)> = Vec::new();
+        // The table the next `key = value` lands in.
+        let mut current: Vec<String> = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.eof() {
+                return Ok(Content::Map(root));
+            }
+            if self.peek() == b'[' {
+                self.bump();
+                let is_array = !self.eof() && self.peek() == b'[';
+                if is_array {
+                    self.bump();
+                }
+                self.skip_ws();
+                let path = self.dotted_key()?;
+                self.skip_ws();
+                let closing_ok = if is_array {
+                    self.b[self.i..].starts_with(b"]]")
+                } else {
+                    !self.eof() && self.peek() == b']'
+                };
+                if !closing_ok {
+                    return Err(self.err("malformed table header"));
+                }
+                self.i += if is_array { 2 } else { 1 };
+                self.expect_line_end()?;
+                if is_array {
+                    let line = self.line;
+                    let (last, parents) = path.split_last().expect("dotted_key is non-empty");
+                    let parent = table_mut(&mut root, parents, line)?;
+                    let idx = match parent.iter().position(|(k, _)| k == last) {
+                        Some(idx) => idx,
+                        None => {
+                            parent.push((last.clone(), Content::Seq(Vec::new())));
+                            parent.len() - 1
+                        }
+                    };
+                    match &mut parent[idx].1 {
+                        Content::Seq(s) => s.push(Content::Map(Vec::new())),
+                        _ => {
+                            return Err(SpecError::new(
+                                format!("line {line}"),
+                                format!("key `{last}` is not an array of tables"),
+                            ))
+                        }
+                    }
+                } else {
+                    let line = self.line;
+                    table_mut(&mut root, &path, line)?;
+                }
+                current = path;
+            } else {
+                let keys = self.dotted_key()?;
+                self.skip_ws();
+                if self.eof() || self.peek() != b'=' {
+                    return Err(self.err("expected `=`"));
+                }
+                self.bump();
+                let value = self.value()?;
+                self.expect_line_end()?;
+                let line = self.line;
+                let (last, prefix) = keys.split_last().expect("dotted_key is non-empty");
+                let mut path = current.clone();
+                path.extend_from_slice(prefix);
+                let table = table_mut(&mut root, &path, line)?;
+                if table.iter().any(|(k, _)| k == last) {
+                    return Err(SpecError::new(
+                        format!("line {line}"),
+                        format!("duplicate key `{last}`"),
+                    ));
+                }
+                table.push((last.clone(), value));
+            }
+        }
+    }
+}
+
+/// Walks (creating as needed) to the table at `path`. Descends into the
+/// last element of an array of tables, matching TOML's `[a.b]`-after-
+/// `[[a]]` semantics.
+fn table_mut<'t>(
+    map: &'t mut Vec<(String, Content)>,
+    path: &[String],
+    line: usize,
+) -> Result<&'t mut Vec<(String, Content)>, SpecError> {
+    let Some((head, rest)) = path.split_first() else {
+        return Ok(map);
+    };
+    if !map.iter().any(|(k, _)| k == head) {
+        map.push((head.clone(), Content::Map(Vec::new())));
+    }
+    let idx = map
+        .iter()
+        .position(|(k, _)| k == head)
+        .expect("just inserted");
+    match &mut map[idx].1 {
+        Content::Map(m) => table_mut(m, rest, line),
+        Content::Seq(s) => match s.last_mut() {
+            Some(Content::Map(m)) => table_mut(m, rest, line),
+            _ => Err(SpecError::new(
+                format!("line {line}"),
+                format!("key `{head}` is not a table"),
+            )),
+        },
+        _ => Err(SpecError::new(
+            format!("line {line}"),
+            format!("key `{head}` is not a table"),
+        )),
+    }
+}
+
+/// Whether a sequence renders as `[[key]]` blocks (non-empty, all maps).
+fn is_table_array(c: &Content) -> bool {
+    match c {
+        Content::Seq(items) => {
+            !items.is_empty() && items.iter().all(|i| matches!(i, Content::Map(_)))
+        }
+        _ => false,
+    }
+}
+
+fn fmt_float(v: f64) -> Result<String, SpecError> {
+    if !v.is_finite() {
+        return Err(SpecError::new("", "cannot write a non-finite float"));
+    }
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        Ok(s)
+    } else {
+        Ok(format!("{s}.0"))
+    }
+}
+
+fn fmt_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a scalar, array or inline-table value.
+fn fmt_inline(c: &Content) -> Result<String, SpecError> {
+    Ok(match c {
+        Content::Null => return Err(SpecError::new("", "cannot write a null value")),
+        Content::Bool(v) => v.to_string(),
+        Content::U64(v) => v.to_string(),
+        Content::I64(v) => v.to_string(),
+        Content::F64(v) => fmt_float(*v)?,
+        Content::Str(s) => fmt_string(s),
+        Content::Seq(items) => {
+            let rendered: Result<Vec<String>, SpecError> = items.iter().map(fmt_inline).collect();
+            format!("[{}]", rendered?.join(", "))
+        }
+        Content::Map(entries) => {
+            let rendered: Result<Vec<String>, SpecError> = entries
+                .iter()
+                .map(|(k, v)| Ok(format!("{k} = {}", fmt_inline(v)?)))
+                .collect();
+            format!("{{{}}}", rendered?.join(", "))
+        }
+    })
+}
+
+fn write_table(
+    out: &mut String,
+    prefix: &str,
+    entries: &[(String, Content)],
+) -> Result<(), SpecError> {
+    // Scalar-ish entries first so they bind to this table, not a child.
+    for (k, v) in entries {
+        if matches!(v, Content::Null) {
+            continue; // Omitted optional field.
+        }
+        if matches!(v, Content::Map(_)) || is_table_array(v) {
+            continue;
+        }
+        out.push_str(&format!("{k} = {}\n", fmt_inline(v)?));
+    }
+    for (k, v) in entries {
+        let child = if prefix.is_empty() {
+            k.clone()
+        } else {
+            format!("{prefix}.{k}")
+        };
+        match v {
+            Content::Map(m) => {
+                out.push_str(&format!("\n[{child}]\n"));
+                write_table(out, &child, m)?;
+            }
+            Content::Seq(items) if is_table_array(v) => {
+                for item in items {
+                    let Content::Map(m) = item else {
+                        unreachable!()
+                    };
+                    out.push_str(&format!("\n[[{child}]]\n"));
+                    write_table(out, &child, m)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'c>(c: &'c Content, key: &str) -> &'c Content {
+        let Content::Map(m) = c else {
+            panic!("not a map")
+        };
+        &m.iter().find(|(k, _)| k == key).expect(key).1
+    }
+
+    #[test]
+    fn parses_scalars_tables_and_arrays() {
+        let doc = r#"
+# top comment
+schema_version = 1
+name = "demo"
+ratio = -0.5
+big = 20e6
+on = true
+neg = -3
+
+[topology]
+servers = 9
+
+[topology.nested]
+deep = "yes"
+
+[[timeline]]
+at_s = 10.0
+event = "server_outage"
+
+[[timeline]]
+at_s = 20.5 # trailing comment
+event = "server_recovery"
+"#;
+        let c = parse(doc).unwrap();
+        assert_eq!(get(&c, "schema_version"), &Content::U64(1));
+        assert_eq!(get(&c, "name"), &Content::Str("demo".into()));
+        assert_eq!(get(&c, "ratio"), &Content::F64(-0.5));
+        assert_eq!(get(&c, "big"), &Content::F64(20e6));
+        assert_eq!(get(&c, "on"), &Content::Bool(true));
+        assert_eq!(get(&c, "neg"), &Content::I64(-3));
+        let topo = get(&c, "topology");
+        assert_eq!(get(topo, "servers"), &Content::U64(9));
+        assert_eq!(
+            get(get(topo, "nested"), "deep"),
+            &Content::Str("yes".into())
+        );
+        let Content::Seq(timeline) = get(&c, "timeline") else {
+            panic!("timeline is a seq")
+        };
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(get(&timeline[1], "at_s"), &Content::F64(20.5));
+    }
+
+    #[test]
+    fn parses_nested_and_multiline_arrays_and_inline_tables() {
+        let doc = "gains = [[1.5e-10, 2.0e-10],\n  [3.0e-10, 4.0e-10],\n]\nrange = { lo = 0.5, hi = 2.0 }\nempty = []\n";
+        let c = parse(doc).unwrap();
+        let Content::Seq(rows) = get(&c, "gains") else {
+            panic!("gains is a seq")
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            Content::Seq(vec![Content::F64(1.5e-10), Content::F64(2.0e-10)])
+        );
+        let range = get(&c, "range");
+        assert_eq!(get(range, "lo"), &Content::F64(0.5));
+        assert_eq!(get(&c, "empty"), &Content::Seq(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_documents_with_line_numbers() {
+        for (doc, needle) in [
+            ("a = ", "expected a value"),
+            ("a = \"unterminated", "unterminated string"),
+            ("a = 1\na = 2", "duplicate key"),
+            ("[a\nb = 1", "malformed table header"),
+            ("a = 1 2", "unexpected character"),
+            ("a = [1, 2", "unterminated array"),
+            ("a = nope", "invalid"),
+            ("= 3", "expected a key"),
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "doc {doc:?} gave {err}, wanted {needle}"
+            );
+            assert!(err.path.starts_with("line "), "path {:?}", err.path);
+        }
+        let err = parse("a = 1\na = 2").unwrap_err();
+        assert_eq!(err.path, "line 2");
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let doc = r#"
+schema_version = 1
+name = "round trip \"quoted\""
+x = 0.30000000000000004
+n = -7
+
+[table]
+flag = false
+floats = [1.0, 2.5, -3e-9]
+
+[[items]]
+weight = 1.5
+
+[[items]]
+weight = 2.0
+tags = ["a", "b"]
+"#;
+        let c = parse(doc).unwrap();
+        let text = write(&c).unwrap();
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c, c2, "round trip changed the tree:\n{text}");
+        // Idempotent: writing again yields the same bytes.
+        assert_eq!(text, write(&c2).unwrap());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            5e-27,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -0.0,
+            123_456_789.125,
+        ] {
+            let c = Content::Map(vec![("v".into(), Content::F64(v))]);
+            let text = write(&c).unwrap();
+            let Content::Map(m) = parse(&text).unwrap() else {
+                panic!()
+            };
+            let Content::F64(back) = m[0].1 else {
+                panic!("not a float: {text}")
+            };
+            assert_eq!(v.to_bits(), back.to_bits(), "for {v}: {text}");
+        }
+    }
+
+    #[test]
+    fn integers_keep_their_sign_class() {
+        let c = parse("a = 5\nb = -5\nc = 18446744073709551615").unwrap();
+        assert_eq!(get(&c, "a"), &Content::U64(5));
+        assert_eq!(get(&c, "b"), &Content::I64(-5));
+        assert_eq!(get(&c, "c"), &Content::U64(u64::MAX));
+    }
+
+    #[test]
+    fn writer_rejects_unrepresentable_values() {
+        let bad = Content::Map(vec![("v".into(), Content::F64(f64::NAN))]);
+        assert!(write(&bad).is_err());
+        assert!(write(&Content::U64(3)).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Runs the repository's `scenarios/` corpus — every named stress case
+//! must parse, validate, materialize, and satisfy its `[expect]` block.
+//! This is the same sweep CI runs via `tsajs-sim corpus`.
+
+use mec_scenario_spec::run_corpus;
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn repository_corpus_passes_every_expect_block() {
+    let report = run_corpus(&scenarios_dir()).expect("scenarios/ must be readable");
+    assert!(
+        report.len() >= 15,
+        "the stress corpus must keep at least 15 named cases (found {})",
+        report.len()
+    );
+    assert!(
+        report.passed(),
+        "failing specs:\n{}",
+        report.failures().join("\n")
+    );
+}
+
+#[test]
+fn corpus_names_match_their_files() {
+    // `name` inside each spec must equal its file stem, so artifacts,
+    // logs and `Preset::scenario_file` pointers never drift apart.
+    let dir = scenarios_dir();
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let spec = mec_scenario_spec::load_spec(&path).unwrap();
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        assert_eq!(
+            spec.name,
+            stem,
+            "{} names itself `{}`",
+            path.display(),
+            spec.name
+        );
+        checked += 1;
+    }
+    assert!(checked >= 15);
+}
+
+#[test]
+fn preset_backing_specs_exist_and_carry_the_preset_budgets() {
+    use mec_workloads::Preset;
+    for preset in [Preset::Quick, Preset::Full] {
+        let file = preset
+            .scenario_file()
+            .expect("named presets are spec-backed");
+        let file_name = PathBuf::from(file);
+        let path = scenarios_dir().join(
+            file_name
+                .file_name()
+                .expect("scenario_file points at a file"),
+        );
+        let spec =
+            mec_scenario_spec::load_spec(&path).unwrap_or_else(|e| panic!("{file} must load: {e}"));
+        let effort = spec
+            .effort
+            .unwrap_or_else(|| panic!("{file} needs an [effort] block"));
+        assert_eq!(effort.trials, preset.trials, "{file}");
+        assert_eq!(
+            effort.ttsa_min_temperature, preset.ttsa_min_temperature,
+            "{file}"
+        );
+    }
+}

@@ -37,8 +37,8 @@ impl AblationConfig {
                 .with_users(45)
                 .with_workload(Cycles::from_mega(2000.0))
                 .with_beta_time_spread(0.4),
-            trials: preset.trials(),
-            min_temperature: preset.ttsa_min_temperature(),
+            trials: preset.trials,
+            min_temperature: preset.ttsa_min_temperature,
             base_seed: 500,
         }
     }

@@ -35,7 +35,7 @@ impl BoundGapConfig {
     pub fn paper(preset: Preset) -> Self {
         Self {
             user_counts: vec![10, 30, 50, 70, 90],
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 11_000,
             params: ExperimentParams::paper_default(),

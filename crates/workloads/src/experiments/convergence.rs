@@ -117,10 +117,7 @@ pub fn run(config: &ConvergenceConfig) -> Result<Vec<Table>, Error> {
 /// See [`run`].
 pub fn paper(preset: Preset) -> Result<Vec<Table>, Error> {
     let mut config = ConvergenceConfig::default_comparison();
-    config.min_temperature = match preset {
-        Preset::Quick => 1e-3,
-        Preset::Full => 1e-6,
-    };
+    config.min_temperature = if preset.is_full() { 1e-6 } else { 1e-3 };
     run(&config)
 }
 

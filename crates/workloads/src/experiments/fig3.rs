@@ -41,7 +41,7 @@ impl Fig3Config {
                 Scheme::LocalSearch,
                 Scheme::Greedy,
             ],
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 3_000,
             params: ExperimentParams::small_network(),

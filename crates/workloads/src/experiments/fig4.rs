@@ -38,7 +38,7 @@ impl Fig4Config {
             user_counts: vec![10, 30, 50, 70, 90],
             workloads_mcycles: vec![1000.0, 2000.0, 3000.0],
             inner_iterations: vec![10, 30],
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 4_000,
             params: ExperimentParams::paper_default(),

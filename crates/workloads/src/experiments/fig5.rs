@@ -33,7 +33,7 @@ impl Fig5Config {
         Self {
             data_sizes_kb: vec![105.0, 210.0, 420.0, 840.0, 1680.0],
             schemes: Scheme::lineup(30),
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 5_000,
             params: ExperimentParams::paper_default().with_users(30),

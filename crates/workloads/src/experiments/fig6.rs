@@ -36,7 +36,7 @@ impl Fig6Config {
             workloads_mcycles: vec![1000.0, 2000.0, 3000.0, 4000.0],
             user_counts: vec![50, 90],
             schemes: Scheme::lineup(30),
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 6_000,
             params: ExperimentParams::paper_default(),

@@ -37,7 +37,7 @@ impl Fig7Config {
         Self {
             subchannel_counts: vec![1, 2, 3, 5, 10, 20, 30, 40, 50],
             inner_iterations: vec![30, 50],
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 7_000,
             params: ExperimentParams::paper_default().with_users(90),

@@ -35,7 +35,7 @@ impl Fig8Config {
         Self {
             subchannel_counts: vec![1, 2, 3, 5, 10, 20, 30, 40, 50],
             inner_iterations: vec![10, 50],
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 8_000,
             params: ExperimentParams::paper_default().with_users(90),

@@ -35,7 +35,7 @@ impl Fig9Config {
         Self {
             beta_times: (0..10).map(|i| 0.05 + 0.1 * i as f64).collect(),
             user_counts: vec![30, 60, 90],
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 9_000,
             params: ExperimentParams::paper_default(),

@@ -41,7 +41,7 @@ impl HotspotConfig {
                 ("1 hotspot, 100 m".into(), base.with_hotspots(1, 100.0)),
             ],
             schemes: Scheme::lineup(30),
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 12_000,
         }

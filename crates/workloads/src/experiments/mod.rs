@@ -80,7 +80,7 @@ impl Scheme {
             Scheme::Tsajs { inner_iterations } => Box::new(TsajsSolver::new(
                 TtsaConfig::paper_default()
                     .with_inner_iterations(inner_iterations)
-                    .with_min_temperature(preset.ttsa_min_temperature())
+                    .with_min_temperature(preset.ttsa_min_temperature)
                     .with_seed(seed),
             )),
             Scheme::Exhaustive => Box::new(ExhaustiveSolver::new()),

@@ -46,7 +46,7 @@ impl PriorityConfig {
             lambda_standard: 0.4,
             num_priority: 8,
             num_users: 40,
-            trials: preset.trials(),
+            trials: preset.trials,
             preset,
             base_seed: 13_000,
             params: ExperimentParams::paper_default()

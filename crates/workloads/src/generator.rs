@@ -145,6 +145,72 @@ impl ScenarioGenerator {
             None => Ok(scenario),
         }
     }
+
+    /// As [`generate_at`](Self::generate_at), but restricted to the
+    /// servers whose `servers_up` flag is true (e.g. during an injected
+    /// outage). The *full* channel tensor is always drawn first and then
+    /// masked, so the surviving servers' gains are bit-identical to the
+    /// unmasked realization of the same seed — an outage changes which
+    /// servers exist, never the physics of the ones that remain. With
+    /// every flag true this returns the unmasked scenario unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`generate_at`](Self::generate_at); additionally
+    /// [`Error::DimensionMismatch`] if `servers_up` does not match the
+    /// configured server count and [`Error::InvalidParameter`] if every
+    /// server is down.
+    pub fn generate_at_subset(
+        &self,
+        positions: &[mec_topology::Point2],
+        seed: u64,
+        servers_up: &[bool],
+    ) -> Result<Scenario, Error> {
+        if servers_up.len() != self.params.num_servers {
+            return Err(Error::DimensionMismatch {
+                what: "servers_up vs servers",
+                expected: self.params.num_servers,
+                actual: servers_up.len(),
+            });
+        }
+        let full = self.generate_at(positions, seed)?;
+        if servers_up.iter().all(|&up| up) {
+            return Ok(full);
+        }
+        let up: Vec<usize> = servers_up
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        if up.is_empty() {
+            return Err(Error::invalid("servers_up", "need at least one server up"));
+        }
+        use mec_types::{ServerId, SubchannelId};
+        let servers: Vec<ServerProfile> = up.iter().map(|&s| full.servers()[s]).collect();
+        let gains = mec_radio::ChannelGains::from_fn(
+            full.num_users(),
+            up.len(),
+            full.num_subchannels(),
+            |u, s, j| {
+                full.gains().gain(
+                    u,
+                    ServerId::new(up[s.index()]),
+                    SubchannelId::new(j.index()),
+                )
+            },
+        )?;
+        let scenario = Scenario::new(
+            full.users().to_vec(),
+            servers,
+            *full.ofdma(),
+            gains,
+            full.noise(),
+        )?;
+        match full.downlink() {
+            Some(rate) => scenario.with_downlink(rate),
+            None => Ok(scenario),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +317,53 @@ mod tests {
         assert!(sc.users().iter().all(|u| u.task.output().as_bits() > 0.0));
         // Coefficients carry a positive download cost.
         assert!(sc.coefficients(mec_types::UserId::new(0)).download_cost > 0.0);
+    }
+
+    #[test]
+    fn subset_generation_masks_servers_and_keeps_survivor_gains() {
+        use mec_types::{ServerId, SubchannelId, UserId};
+        let generator = ScenarioGenerator::new(ExperimentParams::small_network());
+        let (full, positions) = generator.generate_with_positions(11).unwrap();
+        let shadow_seed = 11 ^ 0xD1B5_4A32_D192_ED03;
+
+        // All-true mask: bit-identical to the unmasked path.
+        let same = generator
+            .generate_at_subset(&positions, shadow_seed, &[true; 4])
+            .unwrap();
+        assert_eq!(same.gains(), full.gains());
+
+        // Drop server 1: survivors keep their exact gain rows.
+        let masked = generator
+            .generate_at_subset(&positions, shadow_seed, &[true, false, true, true])
+            .unwrap();
+        assert_eq!(masked.num_servers(), 3);
+        assert_eq!(masked.num_users(), full.num_users());
+        let survivors = [0usize, 2, 3];
+        for u in 0..full.num_users() {
+            for (s_new, &s_full) in survivors.iter().enumerate() {
+                for j in 0..full.num_subchannels() {
+                    let a = masked.gains().gain(
+                        UserId::new(u),
+                        ServerId::new(s_new),
+                        SubchannelId::new(j),
+                    );
+                    let b = full.gains().gain(
+                        UserId::new(u),
+                        ServerId::new(s_full),
+                        SubchannelId::new(j),
+                    );
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+
+        // Degenerate masks are rejected.
+        assert!(generator
+            .generate_at_subset(&positions, shadow_seed, &[false; 4])
+            .is_err());
+        assert!(generator
+            .generate_at_subset(&positions, shadow_seed, &[true; 3])
+            .is_err());
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod stats;
 
 pub use churn::{ChurnEvent, ChurnEventKind, ChurnTrace, PoissonChurn};
 pub use generator::ScenarioGenerator;
-pub use params::{ExperimentParams, Preset};
+pub use params::{ExperimentParams, PlacementModel, Preset};
 pub use report::Table;
 pub use runner::{run_trials, TrialOutcome};
 pub use stats::{paired_difference, SampleStats};

@@ -5,31 +5,114 @@ use serde::{Deserialize, Serialize};
 
 /// How much compute an experiment run should spend.
 ///
-/// `Quick` keeps CI-friendly runtimes (fewer trials, truncated annealing);
-/// `Full` reproduces the paper's setup faithfully.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Preset {
-    /// Few trials, truncated annealing schedule — for smoke tests.
-    Quick,
-    /// Paper-faithful trial counts and schedules.
-    Full,
+/// Historically a closed `Quick`/`Full` enum; now an open effort record so
+/// scenario specs and CLI flags can define their own levels. The old
+/// variant syntax keeps compiling through the [`Preset::Quick`] /
+/// [`Preset::Full`] associated constants, and the old accessor methods
+/// remain as deprecated shims over the now-public fields. Named presets
+/// also point at their corpus spec under `scenarios/`, so
+/// `--preset quick` and `--scenario scenarios/preset_quick.toml` describe
+/// the same run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Preset {
+    /// Stable lookup name (`"quick"`, `"full"`, or `"custom"`).
+    pub name: &'static str,
+    /// Number of Monte-Carlo trials per configuration.
+    pub trials: usize,
+    /// TTSA termination temperature (`T_min`). The paper's `10⁻⁹` needs
+    /// ≈ 700 epochs; quick-scale runs stop orders of magnitude earlier.
+    pub ttsa_min_temperature: f64,
 }
 
 impl Preset {
-    /// Number of Monte-Carlo trials per configuration.
-    pub fn trials(self) -> usize {
-        match self {
-            Preset::Quick => 3,
-            Preset::Full => 15,
+    /// Few trials, truncated annealing schedule — for smoke tests.
+    #[allow(non_upper_case_globals)]
+    pub const Quick: Preset = Preset {
+        name: "quick",
+        trials: 3,
+        ttsa_min_temperature: 1e-3,
+    };
+
+    /// Paper-faithful trial counts and schedules.
+    #[allow(non_upper_case_globals)]
+    pub const Full: Preset = Preset {
+        name: "full",
+        trials: 15,
+        ttsa_min_temperature: 1e-9,
+    };
+
+    /// Looks up a named preset, case-insensitively.
+    pub fn resolve(name: &str) -> Option<Preset> {
+        if name.eq_ignore_ascii_case("quick") {
+            Some(Preset::Quick)
+        } else if name.eq_ignore_ascii_case("full") {
+            Some(Preset::Full)
+        } else {
+            None
         }
     }
 
-    /// TTSA termination temperature (`T_min`). The paper's `10⁻⁹` needs
-    /// ≈ 700 epochs; `Quick` stops two orders of magnitude earlier.
+    /// Builds an ad-hoc effort level (shows up as `"custom"` in reports).
+    pub fn from_effort(trials: usize, ttsa_min_temperature: f64) -> Preset {
+        Preset {
+            name: "custom",
+            trials,
+            ttsa_min_temperature,
+        }
+    }
+
+    /// Whether this is the paper-faithful effort level (or deeper).
+    pub fn is_full(&self) -> bool {
+        self.trials >= Preset::Full.trials
+            && self.ttsa_min_temperature <= Preset::Full.ttsa_min_temperature
+    }
+
+    /// The equivalent corpus spec under `scenarios/`, for named presets.
+    pub fn scenario_file(&self) -> Option<&'static str> {
+        match self.name {
+            "quick" => Some("scenarios/preset_quick.toml"),
+            "full" => Some("scenarios/preset_full.toml"),
+            _ => None,
+        }
+    }
+
+    /// Number of Monte-Carlo trials per configuration.
+    #[deprecated(note = "read the `trials` field directly")]
+    pub fn trials(self) -> usize {
+        self.trials
+    }
+
+    /// TTSA termination temperature (`T_min`).
+    #[deprecated(note = "read the `ttsa_min_temperature` field directly")]
     pub fn ttsa_min_temperature(self) -> f64 {
-        match self {
-            Preset::Quick => 1e-3,
-            Preset::Full => 1e-9,
+        self.ttsa_min_temperature
+    }
+}
+
+// The legacy enum serialized its unit variants as `"Quick"` / `"Full"`
+// strings; keep that wire format (named presets capitalize, custom levels
+// serialize their name verbatim and round-trip through `resolve`).
+impl Serialize for Preset {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let label = match self.name {
+            "quick" => "Quick".to_string(),
+            "full" => "Full".to_string(),
+            other => other.to_string(),
+        };
+        serializer.serialize_content(serde::Content::Str(label))
+    }
+}
+
+impl<'de> Deserialize<'de> for Preset {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        match deserializer.deserialize_content()? {
+            serde::Content::Str(s) => {
+                Preset::resolve(&s).ok_or_else(|| D::Error::custom(format!("unknown preset `{s}`")))
+            }
+            other => Err(D::Error::custom(format!(
+                "expected a preset name string, found {other:?}"
+            ))),
         }
     }
 }
@@ -286,7 +369,54 @@ mod tests {
 
     #[test]
     fn presets_scale_effort() {
-        assert!(Preset::Full.trials() > Preset::Quick.trials());
-        assert!(Preset::Full.ttsa_min_temperature() < Preset::Quick.ttsa_min_temperature());
+        let quick = Preset::resolve("quick").unwrap();
+        let full = Preset::resolve("full").unwrap();
+        assert!(full.trials > quick.trials);
+        assert!(full.ttsa_min_temperature < quick.ttsa_min_temperature);
+    }
+
+    #[test]
+    fn presets_resolve_by_name_case_insensitively() {
+        assert_eq!(Preset::resolve("quick"), Some(Preset::Quick));
+        assert_eq!(Preset::resolve("Full"), Some(Preset::Full));
+        assert_eq!(Preset::resolve("FULL"), Some(Preset::Full));
+        assert_eq!(Preset::resolve("warp-speed"), None);
+        assert!(Preset::Full.is_full());
+        assert!(!Preset::Quick.is_full());
+        assert_eq!(
+            Preset::Quick.scenario_file(),
+            Some("scenarios/preset_quick.toml")
+        );
+        assert_eq!(Preset::from_effort(7, 1e-4).scenario_file(), None);
+    }
+
+    #[test]
+    fn presets_keep_the_legacy_wire_format() {
+        use serde::{Deserializer, Serializer};
+
+        struct Cap;
+        impl Serializer for Cap {
+            type Ok = serde::Content;
+            type Error = serde::ContentError;
+            fn serialize_content(
+                self,
+                content: serde::Content,
+            ) -> Result<serde::Content, serde::ContentError> {
+                Ok(content)
+            }
+        }
+        struct Feed(serde::Content);
+        impl<'de> Deserializer<'de> for Feed {
+            type Error = serde::ContentError;
+            fn deserialize_content(self) -> Result<serde::Content, serde::ContentError> {
+                Ok(self.0)
+            }
+        }
+
+        let wire = Preset::Full.serialize(Cap).unwrap();
+        assert!(matches!(&wire, serde::Content::Str(s) if s == "Full"));
+        let back = Preset::deserialize(Feed(wire)).unwrap();
+        assert_eq!(back, Preset::Full);
+        assert!(Preset::deserialize(Feed(serde::Content::U64(3))).is_err());
     }
 }
