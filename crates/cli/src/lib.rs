@@ -130,7 +130,13 @@ USAGE:
                      [--arrival-rate HZ] [--mean-sojourn SECS]
                      [--epoch-secs SECS] [--budget P] [--cold]
                      [--capacity N] [--admission reject|force-local]]
-                     [--epochs E] [--seed SEED]
+                     [--epochs E] [--seed SEED] [--threads N]
+  tsajs-sim loadtest [--scenario FILE.toml] [--users N] [--slo-ms MS]
+                     [--rate-lo HZ] [--rate-hi HZ] [--probe-secs S]
+                     [--refine K] [--batch-size N] [--batch-age-ms MS]
+                     [--queue-capacity N] [--threads N] [--seed SEED]
+                     [--quick] [--out FILE] [--jsonl FILE]
+                     [--metrics FILE]
   tsajs-sim conformance [--seeds N] [--seed BASE] [--deep]
                      [--out FILE] [--artifacts DIR]
   tsajs-sim corpus   [--dir DIR] [--verbose]
@@ -162,6 +168,16 @@ The `online` command either takes engine flags directly or a declarative
 `--scenario` spec, whose `[online]` section, churn, admission and
 `[[timeline]]` events (outages, flash crowds, load ramps, hotspot
 drift) drive the run.
+
+The `loadtest` command runs the closed-loop service harness: it
+binary-searches the maximum sustainable arrival rate at a p99
+decision-latency SLO against the micro-batching scheduler service
+(lock-free snapshot reads, degradation tiers) and writes the verdict
+to `--out` (default `BENCH_service.json`). `--scenario` supplies the
+scenario template from a declarative spec; `--quick` (or the
+`TSAJS_BENCH_QUICK` environment variable) selects the CI-scale preset.
+`--jsonl` streams the chosen probe's per-batch reports; `--metrics`
+dumps the Prometheus text exposition.
 
 The `conformance` command sweeps seeded fuzzed instances through the
 invariant oracle, the solver differential panel and online seed-replay,
@@ -257,6 +273,45 @@ pub enum Command {
         admission: String,
         /// Seed.
         seed: u64,
+        /// Worker-pool cap for tempered warm re-solves (`None` = auto).
+        threads: Option<usize>,
+    },
+    /// Closed-loop service loadtest: binary-search the maximum
+    /// sustainable arrival rate at a p99 decision-latency SLO.
+    Loadtest {
+        /// Declarative spec supplying the scenario template (`None` =
+        /// paper defaults).
+        scenario: Option<PathBuf>,
+        /// Standing population prefilled before the clock starts.
+        users: Option<usize>,
+        /// p99 decision-latency SLO in milliseconds.
+        slo_ms: Option<f64>,
+        /// Rate-search floor in Hz.
+        rate_lo: Option<f64>,
+        /// Rate-search ceiling in Hz.
+        rate_hi: Option<f64>,
+        /// Wall-clock seconds per probe.
+        probe_secs: Option<f64>,
+        /// Binary-search refinement probes.
+        refine: Option<usize>,
+        /// Micro-batch size bound.
+        batch_size: Option<usize>,
+        /// Micro-batch age bound in milliseconds.
+        batch_age_ms: Option<f64>,
+        /// Ingestion-queue bound (the backpressure surface).
+        queue_capacity: Option<usize>,
+        /// Worker-pool cap for the service solve loop (`None` = auto).
+        threads: Option<usize>,
+        /// Seed for the offered-load processes and the service.
+        seed: u64,
+        /// Force the CI-scale preset (also via `TSAJS_BENCH_QUICK`).
+        quick: bool,
+        /// Verdict path (default `BENCH_service.json`).
+        out: PathBuf,
+        /// Stream the chosen probe's per-batch JSONL reports here.
+        jsonl: Option<PathBuf>,
+        /// Dump the Prometheus text exposition here.
+        metrics: Option<PathBuf>,
     },
     /// Seeded conformance sweep; emits a JSON verdict report.
     Conformance {
@@ -513,8 +568,10 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
             let mut capacity: Option<usize> = None;
             let mut admission = "reject".to_string();
             let mut seed = 0u64;
+            let mut threads: Option<usize> = None;
             // Engine flags a declarative spec supersedes; mixing them with
-            // --scenario is ambiguous and rejected below.
+            // --scenario is ambiguous and rejected below. Execution knobs
+            // (--epochs, --seed, --threads) combine freely with a spec.
             let mut engine_flags: Vec<&str> = Vec::new();
             while let Some(flag) = iter.next() {
                 match flag {
@@ -534,16 +591,17 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                     "--capacity" => capacity = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
                     "--admission" => admission = take_value(flag, &mut iter)?.to_string(),
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--threads" => threads = Some(parse_threads(take_value(flag, &mut iter)?)?),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
-                if !matches!(flag, "--scenario" | "--epochs" | "--seed") {
+                if !matches!(flag, "--scenario" | "--epochs" | "--seed" | "--threads") {
                     engine_flags.push(flag);
                 }
             }
             if scenario.is_some() && !engine_flags.is_empty() {
                 return Err(CliError::Usage(format!(
                     "--scenario conflicts with {}: the spec defines the run \
-                     (only --epochs and --seed combine with it)",
+                     (only --epochs, --seed and --threads combine with it)",
                     engine_flags.join(", ")
                 )));
             }
@@ -565,6 +623,72 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                 capacity,
                 admission,
                 seed,
+                threads,
+            })
+        }
+        "loadtest" => {
+            let mut scenario: Option<PathBuf> = None;
+            let mut users: Option<usize> = None;
+            let mut slo_ms: Option<f64> = None;
+            let mut rate_lo: Option<f64> = None;
+            let mut rate_hi: Option<f64> = None;
+            let mut probe_secs: Option<f64> = None;
+            let mut refine: Option<usize> = None;
+            let mut batch_size: Option<usize> = None;
+            let mut batch_age_ms: Option<f64> = None;
+            let mut queue_capacity: Option<usize> = None;
+            let mut threads: Option<usize> = None;
+            let mut seed = 0u64;
+            let mut quick = false;
+            let mut out = PathBuf::from("BENCH_service.json");
+            let mut jsonl: Option<PathBuf> = None;
+            let mut metrics: Option<PathBuf> = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--scenario" => scenario = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    "--users" => users = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+                    "--slo-ms" => slo_ms = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+                    "--rate-lo" => rate_lo = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+                    "--rate-hi" => rate_hi = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+                    "--probe-secs" => {
+                        probe_secs = Some(parse_num(flag, take_value(flag, &mut iter)?)?)
+                    }
+                    "--refine" => refine = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+                    "--batch-size" => {
+                        batch_size = Some(parse_num(flag, take_value(flag, &mut iter)?)?)
+                    }
+                    "--batch-age-ms" => {
+                        batch_age_ms = Some(parse_num(flag, take_value(flag, &mut iter)?)?)
+                    }
+                    "--queue-capacity" => {
+                        queue_capacity = Some(parse_num(flag, take_value(flag, &mut iter)?)?)
+                    }
+                    "--threads" => threads = Some(parse_threads(take_value(flag, &mut iter)?)?),
+                    "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+                    "--quick" => quick = true,
+                    "--out" => out = PathBuf::from(take_value(flag, &mut iter)?),
+                    "--jsonl" => jsonl = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    "--metrics" => metrics = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Loadtest {
+                scenario,
+                users,
+                slo_ms,
+                rate_lo,
+                rate_hi,
+                probe_secs,
+                refine,
+                batch_size,
+                batch_age_ms,
+                queue_capacity,
+                threads,
+                seed,
+                quick,
+                out,
+                jsonl,
+                metrics,
             })
         }
         "conformance" => {
@@ -931,12 +1055,16 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             capacity,
             admission,
             seed,
+            threads,
         } => {
             if let Some(path) = scenario {
                 // A declarative spec carries the whole run: population,
                 // churn, admission, SLA and the event timeline.
                 let spec = load_declarative_spec(&path)?;
                 let mut plan = spec.online_plan(seed)?;
+                if threads.is_some() {
+                    plan.engine.set_threads(threads);
+                }
                 let epochs = epochs.unwrap_or(plan.epochs);
                 for _ in 0..epochs {
                     let report = plan.engine.step()?;
@@ -964,7 +1092,8 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             };
             let config = OnlineConfig::pedestrian()
                 .with_epoch_duration(Seconds::new(epoch_secs))
-                .with_mode(mode);
+                .with_mode(mode)
+                .with_threads(threads);
             let churn = PoissonChurn::new(users, arrival_rate, Seconds::new(mean_sojourn))?;
             let horizon = Seconds::new(epoch_secs * epochs as f64);
             let mut engine = OnlineEngine::new(
@@ -977,6 +1106,123 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             for _ in 0..epochs {
                 let report = engine.step()?;
                 writeln!(out, "{}", serde_json::to_string(&report)?)?;
+            }
+            Ok(())
+        }
+        Command::Loadtest {
+            scenario,
+            users,
+            slo_ms,
+            rate_lo,
+            rate_hi,
+            probe_secs,
+            refine,
+            batch_size,
+            batch_age_ms,
+            queue_capacity,
+            threads,
+            seed,
+            quick,
+            out: report_path,
+            jsonl,
+            metrics,
+        } => {
+            use mec_service::{run_loadtest, BatchPolicy, LoadtestConfig, ServiceConfig};
+            // The quick preset (CI scale) engages via --quick or the
+            // bench harness's TSAJS_BENCH_QUICK convention.
+            let quick = quick || std::env::var("TSAJS_BENCH_QUICK").is_ok();
+            let mut cfg = if quick {
+                LoadtestConfig::quick(seed)
+            } else {
+                let mut cfg = LoadtestConfig::quick(seed);
+                cfg.service = ServiceConfig::new(ExperimentParams::paper_default(), seed);
+                cfg.initial_users = 20;
+                cfg.probe_secs = 5.0;
+                cfg.refine_steps = 5;
+                cfg
+            };
+            if let Some(path) = &scenario {
+                // A declarative spec supplies the scenario template
+                // (topology, radio, task, preferences); the service
+                // re-solves it at the live population per batch.
+                let spec = load_declarative_spec(path)?;
+                cfg.service.params = spec.to_experiment_params()?;
+            }
+            cfg.service.threads = threads;
+            cfg.service.seed = seed;
+            if let Some(n) = batch_size {
+                cfg.service.batch.max_size = n;
+            }
+            if let Some(ms) = batch_age_ms {
+                cfg.service.batch = BatchPolicy {
+                    max_size: cfg.service.batch.max_size,
+                    max_age: Seconds::new(ms / 1e3),
+                };
+            }
+            if let Some(n) = users {
+                cfg.initial_users = n;
+            }
+            if let Some(ms) = slo_ms {
+                cfg.slo_p99 = Seconds::new(ms / 1e3);
+            }
+            if let Some(hz) = rate_lo {
+                cfg.rate_lo_hz = hz;
+            }
+            if let Some(hz) = rate_hi {
+                cfg.rate_hi_hz = hz;
+            }
+            if let Some(s) = probe_secs {
+                cfg.probe_secs = s;
+            }
+            if let Some(k) = refine {
+                cfg.refine_steps = k;
+            }
+            if let Some(n) = queue_capacity {
+                cfg.queue_capacity = n;
+            }
+            let mut lines: Vec<String> = Vec::new();
+            let outcome = run_loadtest(&cfg, |probe| {
+                lines.push(format!(
+                    "probe {:>8.1} Hz : p99 {:>8.2} ms, {} decided, {} rejected, \
+                     tiers {:.0}/{:.0}/{:.0}% -> {}",
+                    probe.rate_hz,
+                    probe.p99_ms,
+                    probe.decided,
+                    probe.rejected,
+                    probe.tier_occupancy[0] * 100.0,
+                    probe.tier_occupancy[1] * 100.0,
+                    probe.tier_occupancy[2] * 100.0,
+                    if probe.sustained {
+                        "sustained"
+                    } else {
+                        "failed"
+                    }
+                ));
+            })?;
+            for line in &lines {
+                writeln!(out, "{line}")?;
+            }
+            writeln!(
+                out,
+                "max sustainable rate: {:.1} Hz at p99 <= {:.1} ms ({} probes)",
+                outcome.report.max_sustainable_hz,
+                outcome.report.slo_p99_ms,
+                outcome.report.probes.len()
+            )?;
+            std::fs::write(&report_path, serde_json::to_string_pretty(&outcome.report)?)?;
+            writeln!(out, "verdict     : {}", report_path.display())?;
+            if let Some(path) = jsonl {
+                let mut text = String::new();
+                for report in &outcome.final_reports {
+                    text.push_str(&report.to_jsonl());
+                    text.push('\n');
+                }
+                std::fs::write(&path, text)?;
+                writeln!(out, "jsonl       : {}", path.display())?;
+            }
+            if let Some(path) = metrics {
+                std::fs::write(&path, outcome.final_metrics.prometheus_text())?;
+                writeln!(out, "metrics     : {}", path.display())?;
             }
             Ok(())
         }
@@ -1511,6 +1757,8 @@ mod tests {
             "force-local",
             "--seed",
             "3",
+            "--threads",
+            "2",
         ])
         .unwrap();
         match cmd {
@@ -1527,6 +1775,7 @@ mod tests {
                 capacity,
                 admission,
                 seed,
+                threads,
             } => {
                 assert_eq!(scenario, None);
                 assert_eq!(users, 12);
@@ -1540,6 +1789,7 @@ mod tests {
                 assert_eq!(capacity, Some(10));
                 assert_eq!(admission, "force-local");
                 assert_eq!(seed, 3);
+                assert_eq!(threads, Some(2));
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1568,7 +1818,8 @@ mod tests {
 
     #[test]
     fn online_scenario_flag_conflicts_with_engine_flags() {
-        // --scenario plus --epochs/--seed is fine.
+        // --scenario plus the execution knobs (--epochs/--seed/--threads)
+        // is fine: they change how the run executes, not what it means.
         match parse_args(&[
             "online",
             "--scenario",
@@ -1577,6 +1828,8 @@ mod tests {
             "3",
             "--seed",
             "7",
+            "--threads",
+            "1",
         ])
         .unwrap()
         {
@@ -1584,11 +1837,13 @@ mod tests {
                 scenario,
                 epochs,
                 seed,
+                threads,
                 ..
             } => {
                 assert_eq!(scenario, Some(PathBuf::from("x.toml")));
                 assert_eq!(epochs, Some(3));
                 assert_eq!(seed, 7);
+                assert_eq!(threads, Some(1));
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1865,6 +2120,193 @@ mod tests {
             ),
             Err(CliError::Usage(_))
         ));
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corpus_exit_code_pins_unloadable_and_invalid_specs_as_failures() {
+        // Regression pin (ISSUE 8): a spec that cannot even load —
+        // malformed TOML or one that fails validation — must surface as a
+        // per-case FAIL line and a non-zero exit, exactly like an
+        // `[expect]` miss. A corpus run that silently skipped broken
+        // files would green-light a rotted corpus.
+        use mec_scenario_spec::ScenarioBuilder;
+        let dir = tmp_dir().join("corpus-broken");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = ScenarioBuilder::new("good")
+            .servers(4)
+            .users(5)
+            .expect(|e| e.users = Some(5))
+            .build();
+        write_spec(&dir.join("good.toml"), &good);
+        std::fs::write(dir.join("malformed.toml"), "schema_version = [not toml").unwrap();
+        std::fs::write(
+            dir.join("invalid.toml"),
+            "schema_version = 1\nname = \"invalid\"\n[topology]\nservers = 4\n\
+             [population]\nusers = 0\n",
+        )
+        .unwrap();
+
+        let mut buf = Vec::new();
+        let err = run(
+            parse_args(&["corpus", "--dir", dir.to_str().unwrap()]).unwrap(),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Corpus(2)), "{err:?}");
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("PASS good.toml"), "{text}");
+        assert!(text.contains("FAIL malformed.toml"), "{text}");
+        assert!(text.contains("FAIL invalid.toml"), "{text}");
+        assert!(text.contains("1/3 specs passed"), "{text}");
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn parses_loadtest() {
+        match parse_args(&[
+            "loadtest",
+            "--users",
+            "9",
+            "--slo-ms",
+            "150",
+            "--rate-lo",
+            "5",
+            "--rate-hi",
+            "500",
+            "--probe-secs",
+            "0.5",
+            "--refine",
+            "2",
+            "--batch-size",
+            "8",
+            "--batch-age-ms",
+            "25",
+            "--queue-capacity",
+            "64",
+            "--threads",
+            "2",
+            "--seed",
+            "11",
+            "--quick",
+            "--out",
+            "verdict.json",
+            "--jsonl",
+            "batches.jsonl",
+            "--metrics",
+            "metrics.prom",
+        ])
+        .unwrap()
+        {
+            Command::Loadtest {
+                scenario,
+                users,
+                slo_ms,
+                rate_lo,
+                rate_hi,
+                probe_secs,
+                refine,
+                batch_size,
+                batch_age_ms,
+                queue_capacity,
+                threads,
+                seed,
+                quick,
+                out,
+                jsonl,
+                metrics,
+            } => {
+                assert_eq!(scenario, None);
+                assert_eq!(users, Some(9));
+                assert_eq!(slo_ms, Some(150.0));
+                assert_eq!(rate_lo, Some(5.0));
+                assert_eq!(rate_hi, Some(500.0));
+                assert_eq!(probe_secs, Some(0.5));
+                assert_eq!(refine, Some(2));
+                assert_eq!(batch_size, Some(8));
+                assert_eq!(batch_age_ms, Some(25.0));
+                assert_eq!(queue_capacity, Some(64));
+                assert_eq!(threads, Some(2));
+                assert_eq!(seed, 11);
+                assert!(quick);
+                assert_eq!(out, PathBuf::from("verdict.json"));
+                assert_eq!(jsonl, Some(PathBuf::from("batches.jsonl")));
+                assert_eq!(metrics, Some(PathBuf::from("metrics.prom")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: BENCH_service.json, no side artifacts.
+        match parse_args(&["loadtest"]).unwrap() {
+            Command::Loadtest {
+                out, jsonl, quick, ..
+            } => {
+                assert_eq!(out, PathBuf::from("BENCH_service.json"));
+                assert_eq!(jsonl, None);
+                assert!(!quick);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            parse_args(&["loadtest", "--threads", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&["loadtest", "--frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn loadtest_command_writes_the_verdict_and_side_artifacts() {
+        let dir = tmp_dir().join("loadtest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_service.json");
+        let jsonl = dir.join("batches.jsonl");
+        let metrics = dir.join("metrics.prom");
+        let mut buf = Vec::new();
+        run(
+            parse_args(&[
+                "loadtest",
+                "--quick",
+                "--probe-secs",
+                "0.15",
+                "--rate-lo",
+                "10",
+                "--rate-hi",
+                "40",
+                "--refine",
+                "1",
+                "--seed",
+                "7",
+                "--out",
+                out.to_str().unwrap(),
+                "--jsonl",
+                jsonl.to_str().unwrap(),
+                "--metrics",
+                metrics.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("max sustainable rate"), "{text}");
+
+        let verdict: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(verdict["max_sustainable_hz"].as_f64().is_some());
+        assert!(!verdict["probes"].as_array().unwrap().is_empty());
+        assert_eq!(verdict["seed"].as_u64(), Some(7));
+
+        // Every JSONL line parses and carries the pinned schema.
+        let lines = std::fs::read_to_string(&jsonl).unwrap();
+        for line in lines.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["tier"].as_str().is_some(), "{line}");
+            assert!(v["utility"].as_f64().is_some(), "{line}");
+        }
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("tsajs_service_batches_total"), "{prom}");
         std::fs::remove_dir_all(dir.parent().unwrap()).ok();
     }
 

@@ -480,6 +480,43 @@ mod tests {
     }
 
     #[test]
+    fn filling_the_bounded_queue_is_deterministic_and_fifo() {
+        // Deterministic half of the backpressure contract: submitting
+        // exactly `capacity` requests can never shed — the queue has the
+        // room whether or not the worker has started draining — and the
+        // accepted requests are served strictly in submission order.
+        // (The racy half — a burst larger than the queue observes
+        // `Overloaded` while the worker grinds — is pinned by
+        // `saturating_the_bounded_queue_rejects_with_overloaded`; the
+        // degrade-instead-of-reject ladder built on top of this error is
+        // pinned in mec-service's `tests/service.rs`.)
+        let capacity = 4;
+        let service = SchedulerService::spawn_with_capacity(capacity);
+        for round in 0..2u64 {
+            let mut pending = Vec::new();
+            for i in 0..capacity as u64 {
+                let seed = round * capacity as u64 + i;
+                let (id, rx) = service
+                    .submit(scenario(seed), SchemeChoice::Greedy, seed)
+                    .expect("capacity-many submissions never shed");
+                pending.push((id, rx));
+            }
+            // Ids are allocated in submission order…
+            for pair in pending.windows(2) {
+                assert!(pair[0].0 < pair[1].0);
+            }
+            // …and every accepted request is answered with its own id
+            // (FIFO: draining in submission order never deadlocks).
+            for (id, rx) in pending {
+                let response = rx.recv().unwrap();
+                assert_eq!(response.id, id);
+                assert!(response.solution.utility.is_finite());
+            }
+        }
+        service.shutdown();
+    }
+
+    #[test]
     fn online_run_streams_reports_and_returns_the_engine() {
         use mec_online::{AdmitAll, OnlineConfig, OnlineEngine, TraceChurn};
         use mec_types::Seconds;

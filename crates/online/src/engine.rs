@@ -53,6 +53,11 @@ pub struct OnlineConfig {
     pub mode: ResolveMode,
     /// Per-task completion-time SLA deadline.
     pub deadline: Seconds,
+    /// Explicit cap on solver worker threads for warm-tempered epochs.
+    /// `None` defers to `TSAJS_THREADS` and then the hardware count (see
+    /// [`effective_parallelism`]).
+    #[serde(default)]
+    pub threads: Option<usize>,
 }
 
 impl OnlineConfig {
@@ -69,6 +74,7 @@ impl OnlineConfig {
             base: TtsaConfig::paper_default(),
             mode: ResolveMode::warm(3_000),
             deadline: Seconds::new(1.0),
+            threads: None,
         }
     }
 
@@ -99,6 +105,13 @@ impl OnlineConfig {
     /// Replaces the speed range.
     pub fn with_speed_range(mut self, range_mps: (f64, f64)) -> Self {
         self.speed_range_mps = range_mps;
+        self
+    }
+
+    /// Caps solver worker threads (`None` = `TSAJS_THREADS`, then
+    /// hardware).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -607,7 +620,7 @@ impl OnlineEngine {
                         &refresh,
                         &self.kernel,
                         &mut self.chain_rng,
-                        effective_parallelism(None),
+                        effective_parallelism(self.config.threads),
                         warm,
                     )
                 } else {
@@ -749,6 +762,14 @@ impl OnlineEngine {
         &self.config
     }
 
+    /// Caps solver worker threads mid-flight. A pure wall-clock lever:
+    /// the tempering engine's results are identical at any worker count,
+    /// so this never perturbs a run (which is why it is safe to apply on
+    /// top of a declarative spec).
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.config.threads = threads;
+    }
+
     /// The most recent epoch's scenario and decision (`None` before the
     /// first step and while the scheduled population is empty) — the hook
     /// property tests use to audit feasibility and objective consistency.
@@ -769,6 +790,7 @@ mod tests {
     use crate::admission::{AdmitAll, CapacityGate};
     use crate::churn::TraceChurn;
     use mec_workloads::PoissonChurn;
+    use tsajs::TemperingConfig;
 
     fn quick_config() -> OnlineConfig {
         OnlineConfig::pedestrian()
@@ -789,6 +811,39 @@ mod tests {
             seed,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn thread_cap_is_honored_without_changing_results() {
+        // Tempered refreshes resolve their worker count from
+        // `config.threads`; the tempering engine guarantees the result is
+        // identical at any worker count, so the knob must be a pure
+        // wall-clock lever.
+        let tempered = quick_config().with_mode(ResolveMode::WarmTempered {
+            refresh_budget: 150,
+            refresh_temperature: 0.05,
+            tempering: TemperingConfig::paper_default().with_replicas(2),
+        });
+        let run = |threads: Option<usize>| {
+            let params = ExperimentParams::paper_default()
+                .with_users(5)
+                .with_servers(4);
+            let churn = PoissonChurn::new(5, 0.05, Seconds::new(60.0)).unwrap();
+            let mut e = OnlineEngine::new(
+                params,
+                tempered.with_threads(threads),
+                Box::new(TraceChurn::poisson(&churn, Seconds::new(400.0), 3)),
+                Box::new(AdmitAll),
+                3,
+            )
+            .unwrap();
+            e.run(3).unwrap()
+        };
+        let capped = run(Some(1));
+        let wide = run(Some(4));
+        let default = run(None);
+        assert_eq!(capped, wide);
+        assert_eq!(capped, default);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Micro-batched request ingestion.
+//!
+//! Arrivals and departures accumulate in a [`MicroBatcher`] and are
+//! released as one [`Batch`] when either bound of the [`BatchPolicy`]
+//! trips: the batch reaches `max_size` requests, or its oldest request
+//! has waited `max_age`. Each released batch is applied through a single
+//! warm-started re-solve (see [`crate::core::SchedulerCore`]), which is
+//! what lets the service amortize solver work across a burst instead of
+//! paying one full refresh per request.
+//!
+//! Batching is purely a function of the request stream and the policy —
+//! no clocks, no randomness — so replaying a recorded ingestion log
+//! reproduces the exact same batch boundaries (the conformance invariant
+//! in `tests/service.rs`).
+
+use mec_types::{Error, Seconds};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What a client asks the service to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// A new user enters the system and wants a scheduling decision.
+    Arrival {
+        /// External (stable) user id.
+        user: u64,
+    },
+    /// An existing user leaves, freeing its slot.
+    Departure {
+        /// External (stable) user id.
+        user: u64,
+    },
+}
+
+impl RequestKind {
+    /// The external user id the request concerns.
+    pub fn user(&self) -> u64 {
+        match self {
+            RequestKind::Arrival { user } | RequestKind::Departure { user } => *user,
+        }
+    }
+}
+
+/// One timestamped ingestion request.
+///
+/// `submitted_s` is in whatever time domain the driver uses — simulated
+/// seconds when the core is driven synchronously, wall-clock seconds
+/// since service start under [`crate::runtime::ServiceRuntime`]. The
+/// core only ever compares timestamps with each other.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceRequest {
+    /// What to do.
+    pub kind: RequestKind,
+    /// When the request entered the service.
+    pub submitted_s: f64,
+}
+
+impl ServiceRequest {
+    /// An arrival at `submitted_s`.
+    pub fn arrival(user: u64, submitted_s: f64) -> Self {
+        Self {
+            kind: RequestKind::Arrival { user },
+            submitted_s,
+        }
+    }
+
+    /// A departure at `submitted_s`.
+    pub fn departure(user: u64, submitted_s: f64) -> Self {
+        Self {
+            kind: RequestKind::Departure { user },
+            submitted_s,
+        }
+    }
+}
+
+/// When to close a micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Close as soon as this many requests are pending.
+    pub max_size: usize,
+    /// Close as soon as the oldest pending request is this old.
+    pub max_age: Seconds,
+}
+
+impl BatchPolicy {
+    /// Default production shape: up to 16 requests or 50 ms, whichever
+    /// trips first.
+    pub fn default_production() -> Self {
+        Self {
+            max_size: 16,
+            max_age: Seconds::new(0.05),
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `max_size` is zero or
+    /// `max_age` is not positive and finite.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.max_size == 0 {
+            return Err(Error::invalid("batch.max_size", "must be at least 1"));
+        }
+        let age = self.max_age.as_secs();
+        if !age.is_finite() || age <= 0.0 {
+            return Err(Error::invalid("batch.max_age", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// A closed micro-batch, ready for one re-solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// The requests, in submission order (at most `max_size`).
+    pub requests: Vec<ServiceRequest>,
+    /// When the batch closed.
+    pub closed_s: f64,
+}
+
+impl Batch {
+    /// Age of the oldest request at close time.
+    pub fn age_s(&self) -> f64 {
+        self.requests
+            .first()
+            .map(|r| (self.closed_s - r.submitted_s).max(0.0))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Accumulates requests until the policy closes a batch.
+#[derive(Debug, Clone)]
+pub struct MicroBatcher {
+    policy: BatchPolicy,
+    pending: VecDeque<ServiceRequest>,
+}
+
+impl MicroBatcher {
+    /// An empty batcher under `policy`.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Queues one request.
+    pub fn push(&mut self, request: ServiceRequest) {
+        self.pending.push_back(request);
+    }
+
+    /// Requests currently pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Age of the oldest pending request at `now_s` (zero when empty).
+    pub fn oldest_age_s(&self, now_s: f64) -> f64 {
+        self.pending
+            .front()
+            .map(|r| (now_s - r.submitted_s).max(0.0))
+            .unwrap_or(0.0)
+    }
+
+    /// Whether the policy says a batch should close at `now_s`.
+    pub fn ready(&self, now_s: f64) -> bool {
+        self.pending.len() >= self.policy.max_size
+            || (!self.pending.is_empty()
+                && self.oldest_age_s(now_s) >= self.policy.max_age.as_secs())
+    }
+
+    /// Closes and returns a batch of up to `max_size` requests (`None`
+    /// when nothing is pending). The caller decides *when* to call this —
+    /// typically when [`ready`](Self::ready) trips or on shutdown flush.
+    pub fn take(&mut self, now_s: f64) -> Option<Batch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let n = self.pending.len().min(self.policy.max_size);
+        let requests: Vec<ServiceRequest> = self.pending.drain(..n).collect();
+        Some(Batch {
+            requests,
+            closed_s: now_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(max_size: usize, max_age: f64) -> BatchPolicy {
+        BatchPolicy {
+            max_size,
+            max_age: Seconds::new(max_age),
+        }
+    }
+
+    #[test]
+    fn size_bound_closes_a_batch() {
+        let mut b = MicroBatcher::new(policy(3, 100.0));
+        for i in 0..2 {
+            b.push(ServiceRequest::arrival(i, i as f64));
+            assert!(!b.ready(i as f64));
+        }
+        b.push(ServiceRequest::arrival(2, 2.0));
+        assert!(b.ready(2.0));
+        let batch = b.take(2.0).unwrap();
+        assert_eq!(batch.requests.len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn age_bound_closes_a_batch() {
+        let mut b = MicroBatcher::new(policy(100, 0.5));
+        b.push(ServiceRequest::arrival(1, 10.0));
+        assert!(!b.ready(10.4));
+        assert!(b.ready(10.5));
+        let batch = b.take(10.6).unwrap();
+        assert_eq!(batch.requests.len(), 1);
+        assert!((batch.age_s() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_caps_at_max_size_and_leaves_a_backlog() {
+        let mut b = MicroBatcher::new(policy(4, 1.0));
+        for i in 0..10 {
+            b.push(ServiceRequest::arrival(i, 0.0));
+        }
+        let batch = b.take(0.0).unwrap();
+        assert_eq!(batch.requests.len(), 4);
+        assert_eq!(b.len(), 6, "remainder becomes the backlog pressure signal");
+        assert_eq!(batch.requests[0].kind, RequestKind::Arrival { user: 0 });
+    }
+
+    #[test]
+    fn empty_take_is_none() {
+        let mut b = MicroBatcher::new(policy(4, 1.0));
+        assert!(b.take(5.0).is_none());
+        assert!(!b.ready(5.0));
+    }
+
+    #[test]
+    fn policy_validation_rejects_degenerate_bounds() {
+        assert!(policy(0, 1.0).validate().is_err());
+        assert!(policy(1, 0.0).validate().is_err());
+        assert!(policy(1, f64::NAN).validate().is_err());
+        assert!(BatchPolicy::default_production().validate().is_ok());
+    }
+}

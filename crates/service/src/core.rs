@@ -1,0 +1,875 @@
+//! The deterministic scheduler core: micro-batch in, warm re-solve,
+//! snapshot out.
+//!
+//! [`SchedulerCore`] is single-threaded and clock-free: callers stamp
+//! every request with a timestamp and decide when batches are cut
+//! ([`close_batch`](SchedulerCore::close_batch) /
+//! [`flush`](SchedulerCore::flush)). The core records every request and
+//! every batch cut in an **ingestion log**; replaying that log through
+//! [`SchedulerCore::replay`] reproduces the final assignment bit-for-bit
+//! — including tier decisions, because the backlog/age pressure signals
+//! are themselves functions of the logged stream. This is the service's
+//! conformance invariant (pinned in `tests/service.rs`).
+//!
+//! Wall-clock never enters a decision. The threaded wrapper
+//! ([`crate::runtime::ServiceRuntime`]) stamps requests with wall offsets
+//! and the loadtest measures wall latency, but the core would make the
+//! same decisions for the same stamped stream on any machine.
+//!
+//! Batch pipeline (mirrors the online engine's epoch pipeline, PR 4/5):
+//!
+//! 1. apply the batch's departures and arrivals to the population
+//!    (arrivals draw a seeded position; the population cap rejects the
+//!    rest — this is the admission-control half of `GreedyAdmit`),
+//! 2. let the [`TierController`] pick a quality tier from backlog depth
+//!    and batch age,
+//! 3. rebuild the [`Scenario`] at the survivors' positions with a
+//!    per-batch shadowing seed and *patch* the previous assignment onto
+//!    the new population ([`Assignment::patched`]),
+//! 4. re-solve at the tier's budget — warm tempered ladder, reduced warm
+//!    anneal, or greedy admission with no solve at all,
+//! 5. evaluate, score the SLA, publish an immutable [`ServiceSnapshot`]
+//!    through the lock-free [`SnapshotCell`], and emit a [`BatchReport`].
+
+use crate::batch::{Batch, BatchPolicy, MicroBatcher, RequestKind, ServiceRequest};
+use crate::metrics::ServiceMetrics;
+use crate::snapshot::SnapshotCell;
+use crate::tier::{Tier, TierController, TierPolicy, TierTransition};
+use mec_system::{Assignment, Evaluator};
+use mec_topology::{place_users_uniform, NetworkLayout, Point2};
+use mec_types::{effective_parallelism, Error, Seconds, UserId};
+use mec_workloads::{ExperimentParams, ScenarioGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tsajs::{
+    anneal, anneal_from, temper_from, InitialTemperature, NeighborhoodKernel, TemperingConfig,
+    TtsaConfig, DEFAULT_REFRESH_TEMPERATURE,
+};
+
+/// Epoch-seed stride shared with the online engine, so per-batch
+/// shadowing redraws decorrelate the same way per-epoch redraws do.
+const BATCH_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Solver-stream decorrelation constant (same as the online engine).
+const CHAIN_STREAM: u64 = 0x5851_F42D_4C95_7F2D;
+/// Position-stream decorrelation constant.
+const POSITION_STREAM: u64 = 0x94D0_49BB_1331_11EB;
+
+/// Everything a service instance needs to know.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Scenario template: topology, radio, task and preference
+    /// parameters. `num_users` is overridden per batch by the live
+    /// population size.
+    pub params: ExperimentParams,
+    /// Full TTSA schedule used for the cold first solve and as the base
+    /// of every warm refresh.
+    pub base: TtsaConfig,
+    /// Replica ladder for [`Tier::Full`] re-solves.
+    pub tempering: TemperingConfig,
+    /// Proposal budget of a [`Tier::Full`] warm refresh.
+    pub full_budget: u64,
+    /// Proposal budget of a [`Tier::Shortened`] warm refresh.
+    pub short_budget: u64,
+    /// Fixed restart temperature of warm refreshes.
+    pub refresh_temperature: f64,
+    /// Micro-batch bounds.
+    pub batch: BatchPolicy,
+    /// Degradation thresholds.
+    pub tiers: TierPolicy,
+    /// Per-task completion-time SLA deadline.
+    pub deadline: Seconds,
+    /// Admission cap: arrivals beyond this population size are rejected.
+    pub max_users: usize,
+    /// Worker cap for the tempered ladder (`None` = `TSAJS_THREADS` or
+    /// hardware parallelism — see `effective_parallelism`).
+    pub threads: Option<usize>,
+    /// Master seed: positions, shadowing and solver chains all derive
+    /// from it through decorrelated streams.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// Production-shaped defaults over `params`.
+    pub fn new(params: ExperimentParams, seed: u64) -> Self {
+        let slots = params.num_servers * params.num_subchannels;
+        Self {
+            params,
+            base: TtsaConfig::paper_default(),
+            tempering: TemperingConfig::paper_default(),
+            full_budget: 4_000,
+            short_budget: 600,
+            refresh_temperature: DEFAULT_REFRESH_TEMPERATURE,
+            batch: BatchPolicy::default_production(),
+            tiers: TierPolicy::default_production(),
+            deadline: Seconds::new(1.0),
+            max_users: 4 * slots.max(1),
+            threads: None,
+            seed,
+        }
+    }
+
+    /// CI-scale config: a small population, a quick cooling schedule and
+    /// tight budgets so a whole loadtest finishes in seconds.
+    pub fn quick(seed: u64) -> Self {
+        let params = ExperimentParams::paper_default().with_users(8);
+        let mut cfg = Self::new(params, seed);
+        cfg.base = TtsaConfig::paper_default().with_min_temperature(1e-2);
+        cfg.full_budget = 1_200;
+        cfg.short_budget = 250;
+        cfg
+    }
+
+    /// Replaces the worker cap.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces the micro-batch bounds.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Replaces the tier thresholds.
+    pub fn with_tiers(mut self, tiers: TierPolicy) -> Self {
+        self.tiers = tiers;
+        self
+    }
+
+    /// Validates every knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for degenerate budgets, caps
+    /// or sub-policies.
+    pub fn validate(&self) -> Result<(), Error> {
+        self.base.validate()?;
+        self.batch.validate()?;
+        self.tiers.validate()?;
+        if self.full_budget == 0 || self.short_budget == 0 {
+            return Err(Error::invalid("budgets", "must be positive"));
+        }
+        if !self.refresh_temperature.is_finite() || self.refresh_temperature <= 0.0 {
+            return Err(Error::invalid("refresh_temperature", "must be positive"));
+        }
+        if !self.deadline.as_secs().is_finite() || self.deadline.as_secs() <= 0.0 {
+            return Err(Error::invalid("deadline", "must be positive"));
+        }
+        if self.max_users == 0 {
+            return Err(Error::invalid("max_users", "must be at least 1"));
+        }
+        Ok(())
+    }
+
+    fn refresh(&self, budget: u64) -> TtsaConfig {
+        self.base
+            .with_proposal_budget(budget)
+            .with_initial_temperature(InitialTemperature::Fixed(self.refresh_temperature))
+    }
+}
+
+/// The immutable state published after every batch — what query traffic
+/// reads through the lock-free [`SnapshotCell`].
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    /// Monotonic publication counter (0 = the empty pre-traffic state).
+    pub version: u64,
+    /// Service time of the publishing batch.
+    pub time_s: f64,
+    /// Tier the publishing batch was served at.
+    pub tier: Tier,
+    /// External user ids, index-aligned with `assignment`'s user axis.
+    pub users: Vec<u64>,
+    /// The live scheduling decision.
+    pub assignment: Assignment,
+    /// System utility `J*(X)` of the decision.
+    pub utility: f64,
+}
+
+impl ServiceSnapshot {
+    /// The slot of external user `user`, if currently offloaded.
+    pub fn slot_of(&self, user: u64) -> Option<(usize, usize)> {
+        let v = self.users.iter().position(|&u| u == user)?;
+        self.assignment
+            .slot(UserId::new(v))
+            .map(|(s, j)| (s.index(), j.index()))
+    }
+}
+
+/// One entry of the ingestion log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LogEntry {
+    /// A request entered the batcher.
+    Request(ServiceRequest),
+    /// A batch was cut at `time_s`.
+    BatchClose {
+        /// Cut time in service time.
+        time_s: f64,
+    },
+}
+
+/// What one micro-batch did — the service's streamable JSONL record.
+///
+/// Field order is pinned by [`BatchReport::FIELD_NAMES`]; the golden
+/// schema test diffs serialized key order against it so accidental
+/// schema drift fails CI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Batch index.
+    pub batch: usize,
+    /// Service time at which the batch was cut.
+    pub time_s: f64,
+    /// Tier the batch was served at (`full` / `shortened` /
+    /// `greedy_admit`).
+    pub tier: String,
+    /// Requests decided by this batch.
+    pub requests: usize,
+    /// Arrivals admitted.
+    pub arrivals: usize,
+    /// Departures processed.
+    pub departures: usize,
+    /// Arrivals rejected at the population cap.
+    pub rejected: usize,
+    /// Requests still waiting after this batch was cut (tier pressure).
+    pub backlog: usize,
+    /// Age of the oldest request in the batch at cut time.
+    pub batch_age_s: f64,
+    /// Population size after the batch.
+    pub active_users: usize,
+    /// System utility of the published decision.
+    pub utility: f64,
+    /// Users offloading in the published decision.
+    pub num_offloaded: usize,
+    /// Surviving users whose slot changed relative to the patched warm
+    /// start.
+    pub reassignments: usize,
+    /// Neighborhood proposals spent re-solving.
+    pub proposals: u64,
+    /// Whether the solve warm-started from a patched decision.
+    pub warm_started: bool,
+    /// Fraction of the population meeting the SLA deadline.
+    pub deadline_hit_rate: f64,
+    /// Version of the snapshot this batch published.
+    pub snapshot_version: u64,
+}
+
+impl BatchReport {
+    /// Serialized field order — the service JSONL schema pin.
+    pub const FIELD_NAMES: [&'static str; 17] = [
+        "batch",
+        "time_s",
+        "tier",
+        "requests",
+        "arrivals",
+        "departures",
+        "rejected",
+        "backlog",
+        "batch_age_s",
+        "active_users",
+        "utility",
+        "num_offloaded",
+        "reassignments",
+        "proposals",
+        "warm_started",
+        "deadline_hit_rate",
+        "snapshot_version",
+    ];
+
+    /// The report as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("BatchReport serializes infallibly")
+    }
+}
+
+struct ServiceUser {
+    id: u64,
+    position: Point2,
+}
+
+/// The deterministic scheduler service core. See the module docs.
+pub struct SchedulerCore {
+    config: ServiceConfig,
+    layout: NetworkLayout,
+    kernel: NeighborhoodKernel,
+    chain_rng: StdRng,
+    position_rng: StdRng,
+    users: Vec<ServiceUser>,
+    prev: Option<(Vec<u64>, Assignment)>,
+    batcher: MicroBatcher,
+    tiers: TierController,
+    cell: Arc<SnapshotCell<ServiceSnapshot>>,
+    metrics: ServiceMetrics,
+    log: Vec<LogEntry>,
+    batch_index: usize,
+    version: u64,
+    first_close_s: Option<f64>,
+}
+
+impl SchedulerCore {
+    /// Builds a core with an empty population and publishes the empty
+    /// snapshot (version 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an invalid config or
+    /// topology.
+    pub fn new(config: ServiceConfig) -> Result<Self, Error> {
+        config.validate()?;
+        let layout = ScenarioGenerator::new(config.params).layout()?;
+        let empty = ServiceSnapshot {
+            version: 0,
+            time_s: 0.0,
+            tier: Tier::Full,
+            users: Vec::new(),
+            assignment: Assignment::with_dims(
+                0,
+                config.params.num_servers,
+                config.params.num_subchannels,
+            ),
+            utility: 0.0,
+        };
+        Ok(Self {
+            chain_rng: StdRng::seed_from_u64(config.seed ^ CHAIN_STREAM),
+            position_rng: StdRng::seed_from_u64(config.seed ^ POSITION_STREAM),
+            batcher: MicroBatcher::new(config.batch),
+            tiers: TierController::new(config.tiers),
+            cell: Arc::new(SnapshotCell::new(Arc::new(empty))),
+            layout,
+            kernel: NeighborhoodKernel::new(),
+            config,
+            users: Vec::new(),
+            prev: None,
+            metrics: ServiceMetrics::default(),
+            log: Vec::new(),
+            batch_index: 0,
+            version: 0,
+            first_close_s: None,
+        })
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// A handle to the snapshot cell for lock-free readers. Clones share
+    /// the cell with the core.
+    pub fn snapshot_cell(&self) -> Arc<SnapshotCell<ServiceSnapshot>> {
+        Arc::clone(&self.cell)
+    }
+
+    /// The currently-published snapshot.
+    pub fn snapshot(&self) -> Arc<ServiceSnapshot> {
+        self.cell.load()
+    }
+
+    /// Aggregate metrics so far.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (the runtime merges queue-rejection counts
+    /// in at shutdown).
+    pub fn metrics_mut(&mut self) -> &mut ServiceMetrics {
+        &mut self.metrics
+    }
+
+    /// The ingestion log: every request and batch cut, in order.
+    pub fn ingestion_log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// The tier-transition log.
+    pub fn tier_log(&self) -> &[TierTransition] {
+        self.tiers.log()
+    }
+
+    /// The tier currently in force.
+    pub fn tier(&self) -> Tier {
+        self.tiers.current()
+    }
+
+    /// Requests accumulated but not yet decided.
+    pub fn pending(&self) -> usize {
+        self.batcher.len()
+    }
+
+    /// Queues one request. Does **not** cut a batch — the driver decides
+    /// when (see [`ready`](Self::ready) and
+    /// [`close_batch`](Self::close_batch)), which is what lets backlog
+    /// build up under overload and drive the degradation tiers.
+    pub fn submit(&mut self, request: ServiceRequest) {
+        self.log.push(LogEntry::Request(request));
+        self.batcher.push(request);
+    }
+
+    /// Whether the batch policy says a batch should be cut at `now_s`.
+    pub fn ready(&self, now_s: f64) -> bool {
+        self.batcher.ready(now_s)
+    }
+
+    /// Cuts and applies one micro-batch at `now_s`. Returns `None` when
+    /// nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-generation and solver errors.
+    pub fn close_batch(&mut self, now_s: f64) -> Result<Option<BatchReport>, Error> {
+        let Some(batch) = self.batcher.take(now_s) else {
+            return Ok(None);
+        };
+        self.log.push(LogEntry::BatchClose { time_s: now_s });
+        self.apply(batch, now_s).map(Some)
+    }
+
+    /// Cuts batches until nothing is pending (shutdown drain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first batch failure.
+    pub fn flush(&mut self, now_s: f64) -> Result<Vec<BatchReport>, Error> {
+        let mut reports = Vec::new();
+        while let Some(report) = self.close_batch(now_s)? {
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Replays a recorded ingestion log against a fresh core. With the
+    /// same config, the result is bit-for-bit identical to the run that
+    /// produced the log — population, assignment, utility, tier log and
+    /// batch reports all match.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new) and [`close_batch`](Self::close_batch).
+    pub fn replay(config: ServiceConfig, log: &[LogEntry]) -> Result<Self, Error> {
+        let mut core = Self::new(config)?;
+        for entry in log {
+            match entry {
+                LogEntry::Request(request) => core.submit(*request),
+                LogEntry::BatchClose { time_s } => {
+                    core.close_batch(*time_s)?;
+                }
+            }
+        }
+        Ok(core)
+    }
+
+    fn apply(&mut self, batch: Batch, now_s: f64) -> Result<BatchReport, Error> {
+        let mut arrivals = 0usize;
+        let mut departures = 0usize;
+        let mut rejected = 0usize;
+        for request in &batch.requests {
+            match request.kind {
+                RequestKind::Arrival { user } => {
+                    if self.users.iter().any(|u| u.id == user) {
+                        continue;
+                    }
+                    if self.users.len() >= self.config.max_users {
+                        rejected += 1;
+                        continue;
+                    }
+                    let position = place_users_uniform(&self.layout, 1, &mut self.position_rng)
+                        .pop()
+                        .expect("one position requested");
+                    self.users.push(ServiceUser { id: user, position });
+                    arrivals += 1;
+                }
+                RequestKind::Departure { user } => {
+                    if let Some(at) = self.users.iter().position(|u| u.id == user) {
+                        self.users.remove(at);
+                        departures += 1;
+                    }
+                }
+            }
+        }
+
+        let backlog = self.batcher.len();
+        let age_ratio = batch.age_s() / self.config.batch.max_age.as_secs();
+        let transitions_before = self.tiers.log().len();
+        let tier = self
+            .tiers
+            .decide(self.batch_index, now_s, backlog, age_ratio);
+
+        let n = self.users.len();
+        let ids: Vec<u64> = self.users.iter().map(|u| u.id).collect();
+        let (assignment, utility, num_offloaded, reassignments, proposals, warm_started, hit_rate);
+        if n == 0 {
+            assignment = Assignment::with_dims(
+                0,
+                self.config.params.num_servers,
+                self.config.params.num_subchannels,
+            );
+            (
+                utility,
+                num_offloaded,
+                reassignments,
+                proposals,
+                warm_started,
+                hit_rate,
+            ) = (0.0, 0, 0, 0u64, false, 1.0);
+            self.prev = None;
+        } else {
+            let positions: Vec<Point2> = self.users.iter().map(|u| u.position).collect();
+            let batch_seed = self
+                .config
+                .seed
+                .wrapping_add(1 + self.batch_index as u64)
+                .wrapping_mul(BATCH_SEED_STRIDE);
+            let generator = ScenarioGenerator::new(self.config.params.with_users(n));
+            let scenario = generator.generate_at(&positions, batch_seed)?;
+
+            let patched = match &self.prev {
+                Some((prev_ids, prev_assignment)) => {
+                    let map: Vec<Option<UserId>> = ids
+                        .iter()
+                        .map(|id| prev_ids.iter().position(|old| old == id).map(UserId::new))
+                        .collect();
+                    Some((prev_assignment.patched(&map)?, map))
+                }
+                None => None,
+            };
+
+            let solved = match (&tier, &patched) {
+                (Tier::GreedyAdmit, _) => {
+                    let mut a = patched.as_ref().map(|(a, _)| a.clone()).unwrap_or_else(|| {
+                        Assignment::with_dims(
+                            n,
+                            self.config.params.num_servers,
+                            self.config.params.num_subchannels,
+                        )
+                    });
+                    // Admission only: arrivals get the nearest station's
+                    // first free subchannel, everyone else keeps their
+                    // slot. No objective evaluation during placement.
+                    for (v, position) in positions.iter().enumerate() {
+                        let u = UserId::new(v);
+                        if a.slot(u).is_none() {
+                            let s = self.layout.nearest_station(*position);
+                            if let Some(j) = a.free_subchannel(s) {
+                                a.assign(u, s, j)?;
+                            }
+                        }
+                    }
+                    (a, 0u64, patched.is_some())
+                }
+                (Tier::Full, Some((warm, _))) => {
+                    let outcome = temper_from(
+                        &scenario,
+                        &self.config.tempering,
+                        &self.config.refresh(self.config.full_budget),
+                        &self.kernel,
+                        &mut self.chain_rng,
+                        effective_parallelism(self.config.threads),
+                        warm.clone(),
+                    );
+                    (outcome.assignment, outcome.proposals, true)
+                }
+                (Tier::Shortened, Some((warm, _))) => {
+                    let outcome = anneal_from(
+                        &scenario,
+                        &self.config.refresh(self.config.short_budget),
+                        &self.kernel,
+                        &mut self.chain_rng,
+                        warm.clone(),
+                    );
+                    (outcome.assignment, outcome.proposals, true)
+                }
+                (_, None) => {
+                    // First decision: one cold solve at the base schedule.
+                    let outcome = anneal(
+                        &scenario,
+                        &self.config.base,
+                        &self.kernel,
+                        &mut self.chain_rng,
+                    );
+                    (outcome.assignment, outcome.proposals, false)
+                }
+            };
+            let (solved_assignment, solved_proposals, solved_warm) = solved;
+            reassignments = match &patched {
+                Some((patched_assignment, map)) => (0..n)
+                    .filter(|&v| {
+                        map[v].is_some()
+                            && patched_assignment.slot(UserId::new(v))
+                                != solved_assignment.slot(UserId::new(v))
+                    })
+                    .count(),
+                None => 0,
+            };
+
+            let evaluation = Evaluator::new(&scenario).evaluate(&solved_assignment)?;
+            let deadline_s = self.config.deadline.as_secs();
+            let hits = evaluation
+                .users
+                .iter()
+                .filter(|m| m.completion_time.as_secs() <= deadline_s)
+                .count();
+            hit_rate = hits as f64 / n as f64;
+            self.metrics.sla_hits += hits as u64;
+            self.metrics.sla_total += n as u64;
+
+            utility = evaluation.system_utility;
+            num_offloaded = solved_assignment.num_offloaded();
+            proposals = solved_proposals;
+            warm_started = solved_warm;
+            self.prev = Some((ids.clone(), solved_assignment.clone()));
+            assignment = solved_assignment;
+        }
+
+        self.version += 1;
+        self.cell.store(Arc::new(ServiceSnapshot {
+            version: self.version,
+            time_s: now_s,
+            tier,
+            users: ids,
+            assignment,
+            utility,
+        }));
+
+        for request in &batch.requests {
+            self.metrics
+                .decision_latency
+                .record(now_s - request.submitted_s);
+        }
+        self.metrics.batches += 1;
+        self.metrics.requests += batch.requests.len() as u64;
+        self.metrics.arrivals += arrivals as u64;
+        self.metrics.departures += departures as u64;
+        self.metrics.admission_rejections += rejected as u64;
+        self.metrics.tier_batches[tier.index()] += 1;
+        self.metrics.tier_transitions += (self.tiers.log().len() - transitions_before) as u64;
+        self.metrics.snapshot_publishes += 1;
+        self.metrics.proposals += proposals;
+        let first = *self.first_close_s.get_or_insert(now_s);
+        self.metrics.span_s = (now_s - first).max(0.0);
+
+        let report = BatchReport {
+            batch: self.batch_index,
+            time_s: now_s,
+            tier: tier.as_str().to_string(),
+            requests: batch.requests.len(),
+            arrivals,
+            departures,
+            rejected,
+            backlog,
+            batch_age_s: batch.age_s(),
+            active_users: n,
+            utility,
+            num_offloaded,
+            reassignments,
+            proposals,
+            warm_started,
+            deadline_hit_rate: hit_rate,
+            snapshot_version: self.version,
+        };
+        self.batch_index += 1;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(seed: u64) -> ServiceConfig {
+        let mut cfg = ServiceConfig::quick(seed);
+        cfg.batch = BatchPolicy {
+            max_size: 4,
+            max_age: Seconds::new(0.05),
+        };
+        cfg.tiers = TierPolicy {
+            shorten_depth: 4,
+            greedy_depth: 12,
+            shorten_age_ratio: 4.0,
+            greedy_age_ratio: 16.0,
+            upgrade_margin: 1,
+            upgrade_hold: 2,
+        };
+        cfg
+    }
+
+    fn drive_arrivals(core: &mut SchedulerCore, ids: std::ops::Range<u64>, t: f64) {
+        for id in ids {
+            core.submit(ServiceRequest::arrival(id, t));
+        }
+    }
+
+    #[test]
+    fn batches_admit_users_and_publish_snapshots() {
+        let mut core = SchedulerCore::new(quick_config(7)).unwrap();
+        assert_eq!(core.snapshot().version, 0);
+        drive_arrivals(&mut core, 0..4, 0.0);
+        let report = core.close_batch(0.05).unwrap().unwrap();
+        assert_eq!(report.arrivals, 4);
+        assert_eq!(report.active_users, 4);
+        assert_eq!(report.tier, "full");
+        assert!(!report.warm_started, "first solve is cold");
+        let snap = core.snapshot();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.users, vec![0, 1, 2, 3]);
+        assert_eq!(snap.assignment.num_users(), 4);
+
+        // Second batch warm-starts and keeps survivors patched in.
+        core.submit(ServiceRequest::departure(1, 0.1));
+        core.submit(ServiceRequest::arrival(9, 0.1));
+        let report = core.close_batch(0.15).unwrap().unwrap();
+        assert!(report.warm_started);
+        assert_eq!(report.departures, 1);
+        assert_eq!(report.arrivals, 1);
+        assert_eq!(core.snapshot().users, vec![0, 2, 3, 9]);
+    }
+
+    #[test]
+    fn identical_drives_are_bit_identical() {
+        let run = |seed| {
+            let mut core = SchedulerCore::new(quick_config(seed)).unwrap();
+            drive_arrivals(&mut core, 0..6, 0.0);
+            let mut reports = core.flush(0.05).unwrap();
+            core.submit(ServiceRequest::departure(2, 0.1));
+            drive_arrivals(&mut core, 10..13, 0.1);
+            reports.extend(core.flush(0.2).unwrap());
+            (reports, core.snapshot())
+        };
+        let (r1, s1) = run(42);
+        let (r2, s2) = run(42);
+        assert_eq!(r1, r2);
+        assert_eq!(s1.users, s2.users);
+        assert_eq!(s1.assignment, s2.assignment);
+        assert_eq!(s1.utility.to_bits(), s2.utility.to_bits());
+        let (r3, _) = run(43);
+        assert_ne!(
+            r1.iter().map(|r| r.utility.to_bits()).collect::<Vec<_>>(),
+            r3.iter().map(|r| r.utility.to_bits()).collect::<Vec<_>>(),
+            "different seeds must not collide"
+        );
+    }
+
+    #[test]
+    fn replaying_the_ingestion_log_reproduces_the_final_state() {
+        let mut core = SchedulerCore::new(quick_config(11)).unwrap();
+        drive_arrivals(&mut core, 0..10, 0.0);
+        core.flush(0.05).unwrap();
+        core.submit(ServiceRequest::departure(3, 0.2));
+        drive_arrivals(&mut core, 20..24, 0.25);
+        core.flush(0.3).unwrap();
+
+        let replayed = SchedulerCore::replay(quick_config(11), core.ingestion_log()).unwrap();
+        let live = core.snapshot();
+        let cold = replayed.snapshot();
+        assert_eq!(live.users, cold.users);
+        assert_eq!(live.assignment, cold.assignment);
+        assert_eq!(live.utility.to_bits(), cold.utility.to_bits());
+        assert_eq!(live.version, cold.version);
+        assert_eq!(core.tier_log(), replayed.tier_log());
+    }
+
+    #[test]
+    fn population_cap_rejects_extra_arrivals() {
+        let mut cfg = quick_config(3);
+        cfg.max_users = 5;
+        let mut core = SchedulerCore::new(cfg).unwrap();
+        drive_arrivals(&mut core, 0..4, 0.0);
+        core.flush(0.01).unwrap();
+        drive_arrivals(&mut core, 4..8, 0.02);
+        let total_rejected: usize = core.flush(0.03).unwrap().iter().map(|r| r.rejected).sum();
+        assert_eq!(total_rejected, 3);
+        assert_eq!(core.snapshot().users.len(), 5);
+        assert_eq!(core.metrics().admission_rejections, 3);
+    }
+
+    #[test]
+    fn duplicate_arrivals_and_unknown_departures_are_noops() {
+        let mut core = SchedulerCore::new(quick_config(5)).unwrap();
+        drive_arrivals(&mut core, 0..3, 0.0);
+        core.flush(0.01).unwrap();
+        core.submit(ServiceRequest::arrival(1, 0.02));
+        core.submit(ServiceRequest::departure(99, 0.02));
+        let report = core.close_batch(0.03).unwrap().unwrap();
+        assert_eq!(report.arrivals, 0);
+        assert_eq!(report.departures, 0);
+        assert_eq!(core.snapshot().users, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn greedy_tier_produces_feasible_assignments() {
+        let mut cfg = quick_config(9);
+        cfg.tiers.shorten_depth = 2;
+        cfg.tiers.greedy_depth = 3;
+        let mut core = SchedulerCore::new(cfg).unwrap();
+        // Big backlog: 4 go into the batch, 8 stay pending → GreedyAdmit.
+        drive_arrivals(&mut core, 0..12, 0.0);
+        let report = core.close_batch(0.01).unwrap().unwrap();
+        assert_eq!(report.tier, "greedy_admit");
+        assert_eq!(report.proposals, 0, "greedy tier never solves");
+        let snap = core.snapshot();
+        assert!(
+            snap.assignment.num_offloaded() > 0,
+            "greedy admission offloads"
+        );
+        // Feasibility of the greedy decision against its own scenario is
+        // implied by `assign` checks; spot-check slot uniqueness.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..snap.users.len() {
+            if let Some((s, j)) = snap.assignment.slot(UserId::new(v)) {
+                assert!(seen.insert((s.index(), j.index())), "slot reuse");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_population_publishes_an_empty_snapshot() {
+        let mut core = SchedulerCore::new(quick_config(2)).unwrap();
+        drive_arrivals(&mut core, 0..2, 0.0);
+        core.flush(0.01).unwrap();
+        core.submit(ServiceRequest::departure(0, 0.02));
+        core.submit(ServiceRequest::departure(1, 0.02));
+        let report = core.close_batch(0.03).unwrap().unwrap();
+        assert_eq!(report.active_users, 0);
+        assert_eq!(report.utility, 0.0);
+        assert!(core.snapshot().users.is_empty());
+    }
+
+    #[test]
+    fn golden_schema_field_names_match_serialization_order() {
+        let report = BatchReport {
+            batch: 0,
+            time_s: 0.5,
+            tier: "full".into(),
+            requests: 3,
+            arrivals: 2,
+            departures: 1,
+            rejected: 0,
+            backlog: 4,
+            batch_age_s: 0.05,
+            active_users: 2,
+            utility: 1.5,
+            num_offloaded: 2,
+            reassignments: 0,
+            proposals: 100,
+            warm_started: true,
+            deadline_hit_rate: 1.0,
+            snapshot_version: 1,
+        };
+        let json = report.to_jsonl();
+        let mut keys = Vec::new();
+        let mut rest = json.as_str();
+        while let Some(start) = rest.find('"') {
+            let tail = &rest[start + 1..];
+            let end = tail.find('"').unwrap();
+            let candidate = &tail[..end];
+            let after = &tail[end + 1..];
+            if after.starts_with(':') {
+                keys.push(candidate.to_string());
+            }
+            rest = after;
+        }
+        assert_eq!(keys, BatchReport::FIELD_NAMES.to_vec());
+        let back: BatchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,354 @@
+//! Operational metrics: decision-latency percentiles, SLA hit rate, tier
+//! occupancy, throughput, and overload rejections.
+//!
+//! Latencies go into a fixed log-scale histogram ([`LatencyHistogram`])
+//! so percentile queries are deterministic given the samples and need no
+//! per-sample storage. The whole surface renders two ways:
+//!
+//! * streaming JSONL — one [`crate::core::BatchReport`] per line, emitted
+//!   by the service as batches complete;
+//! * a Prometheus-style text dump ([`ServiceMetrics::render_prometheus`])
+//!   via plain `fmt::Write` — no HTTP server, the CLI writes it to a file
+//!   or stdout.
+
+use crate::tier::Tier;
+
+/// Histogram bucket layout: `BUCKETS_PER_DECADE` log-uniform buckets per
+/// decade from 1 µs to 1000 s, plus an overflow bucket.
+const DECADES: usize = 9;
+const BUCKETS_PER_DECADE: usize = 8;
+const NUM_BUCKETS: usize = DECADES * BUCKETS_PER_DECADE + 1;
+const FLOOR_S: f64 = 1e-6;
+
+/// A fixed-shape log-scale latency histogram (seconds).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum_s: f64,
+    max_s: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum_s: 0.0,
+            max_s: 0.0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Upper bound of bucket `i` in seconds.
+    fn bucket_bound(i: usize) -> f64 {
+        FLOOR_S * 10f64.powf((i + 1) as f64 / BUCKETS_PER_DECADE as f64)
+    }
+
+    /// Records one latency sample (negative/NaN samples clamp to zero).
+    pub fn record(&mut self, seconds: f64) {
+        let s = if seconds.is_finite() {
+            seconds.max(0.0)
+        } else {
+            0.0
+        };
+        let idx = if s <= FLOOR_S {
+            0
+        } else {
+            let raw = (s / FLOOR_S).log10() * BUCKETS_PER_DECADE as f64;
+            (raw.floor() as usize).min(NUM_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_s += s;
+        self.max_s = self.max_s.max(s);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in seconds (zero when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_s(&self) -> f64 {
+        self.max_s
+    }
+
+    /// Latency at quantile `q` in `[0, 1]` — the upper bound of the
+    /// bucket where the cumulative count crosses `q·count` (zero when
+    /// empty). Deterministic given the samples.
+    pub fn quantile_s(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_bound(i).min(self.max_s.max(FLOOR_S));
+            }
+        }
+        self.max_s
+    }
+}
+
+/// Aggregate operational counters for one service run.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Micro-batches applied.
+    pub batches: u64,
+    /// Requests decided (arrivals + departures that went through a batch).
+    pub requests: u64,
+    /// Arrivals admitted into the population.
+    pub arrivals: u64,
+    /// Departures processed.
+    pub departures: u64,
+    /// Arrivals refused because the population was at `max_users`.
+    pub admission_rejections: u64,
+    /// Submissions refused at the ingestion queue (backpressure). Counted
+    /// by the runtime and merged in at shutdown.
+    pub overload_rejections: u64,
+    /// Batches served per tier, indexed by [`Tier::index`].
+    pub tier_batches: [u64; 3],
+    /// Tier changes over the run.
+    pub tier_transitions: u64,
+    /// Snapshots published.
+    pub snapshot_publishes: u64,
+    /// Decision latency: request submission → snapshot publication.
+    pub decision_latency: LatencyHistogram,
+    /// Users meeting the completion-time SLA, summed over batch
+    /// evaluations.
+    pub sla_hits: u64,
+    /// Users checked against the SLA, summed over batch evaluations.
+    pub sla_total: u64,
+    /// Neighborhood proposals spent across all re-solves.
+    pub proposals: u64,
+    /// Service-time span covered (first to last batch close).
+    pub span_s: f64,
+}
+
+impl ServiceMetrics {
+    /// Fraction of SLA checks that passed (1.0 when nothing was checked).
+    pub fn sla_hit_rate(&self) -> f64 {
+        if self.sla_total == 0 {
+            1.0
+        } else {
+            self.sla_hits as f64 / self.sla_total as f64
+        }
+    }
+
+    /// Decisions per second of covered service time (zero-span guarded).
+    pub fn throughput_hz(&self) -> f64 {
+        if self.span_s > 0.0 {
+            self.requests as f64 / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of batches served at `tier`.
+    pub fn tier_occupancy(&self, tier: Tier) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.tier_batches[tier.index()] as f64 / self.batches as f64
+        }
+    }
+
+    /// Renders the Prometheus text exposition of every counter and gauge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates formatter errors from `out`.
+    pub fn render_prometheus(&self, out: &mut dyn std::fmt::Write) -> std::fmt::Result {
+        let counter = |out: &mut dyn std::fmt::Write, name: &str, help: &str, v: f64| {
+            writeln!(out, "# HELP {name} {help}")?;
+            writeln!(out, "# TYPE {name} counter")?;
+            writeln!(out, "{name} {v}")
+        };
+        counter(
+            out,
+            "tsajs_service_batches_total",
+            "Micro-batches applied",
+            self.batches as f64,
+        )?;
+        counter(
+            out,
+            "tsajs_service_requests_total",
+            "Requests decided",
+            self.requests as f64,
+        )?;
+        counter(
+            out,
+            "tsajs_service_arrivals_total",
+            "Arrivals admitted",
+            self.arrivals as f64,
+        )?;
+        counter(
+            out,
+            "tsajs_service_departures_total",
+            "Departures processed",
+            self.departures as f64,
+        )?;
+        counter(
+            out,
+            "tsajs_service_admission_rejections_total",
+            "Arrivals refused at the population cap",
+            self.admission_rejections as f64,
+        )?;
+        counter(
+            out,
+            "tsajs_service_overload_rejections_total",
+            "Submissions refused at the ingestion queue",
+            self.overload_rejections as f64,
+        )?;
+        counter(
+            out,
+            "tsajs_service_tier_transitions_total",
+            "Degradation-tier changes",
+            self.tier_transitions as f64,
+        )?;
+        counter(
+            out,
+            "tsajs_service_snapshot_publishes_total",
+            "Snapshots published",
+            self.snapshot_publishes as f64,
+        )?;
+        counter(
+            out,
+            "tsajs_service_solver_proposals_total",
+            "Neighborhood proposals spent re-solving",
+            self.proposals as f64,
+        )?;
+
+        writeln!(
+            out,
+            "# HELP tsajs_service_tier_batches_total Batches served per tier"
+        )?;
+        writeln!(out, "# TYPE tsajs_service_tier_batches_total counter")?;
+        for tier in [Tier::Full, Tier::Shortened, Tier::GreedyAdmit] {
+            writeln!(
+                out,
+                "tsajs_service_tier_batches_total{{tier=\"{}\"}} {}",
+                tier.as_str(),
+                self.tier_batches[tier.index()]
+            )?;
+        }
+
+        writeln!(
+            out,
+            "# HELP tsajs_service_decision_latency_seconds Request submission to snapshot publication"
+        )?;
+        writeln!(out, "# TYPE tsajs_service_decision_latency_seconds summary")?;
+        for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+            writeln!(
+                out,
+                "tsajs_service_decision_latency_seconds{{quantile=\"{label}\"}} {}",
+                self.decision_latency.quantile_s(q)
+            )?;
+        }
+        writeln!(
+            out,
+            "tsajs_service_decision_latency_seconds_sum {}",
+            self.decision_latency.mean_s() * self.decision_latency.count() as f64
+        )?;
+        writeln!(
+            out,
+            "tsajs_service_decision_latency_seconds_count {}",
+            self.decision_latency.count()
+        )?;
+
+        writeln!(
+            out,
+            "# HELP tsajs_service_sla_hit_rate Fraction of SLA checks met"
+        )?;
+        writeln!(out, "# TYPE tsajs_service_sla_hit_rate gauge")?;
+        writeln!(out, "tsajs_service_sla_hit_rate {}", self.sla_hit_rate())?;
+        writeln!(
+            out,
+            "# HELP tsajs_service_throughput_hz Decisions per second of service time"
+        )?;
+        writeln!(out, "# TYPE tsajs_service_throughput_hz gauge")?;
+        writeln!(out, "tsajs_service_throughput_hz {}", self.throughput_hz())?;
+        Ok(())
+    }
+
+    /// The Prometheus text dump as a `String`.
+    pub fn prometheus_text(&self) -> String {
+        let mut s = String::new();
+        self.render_prometheus(&mut s)
+            .expect("writing to a String cannot fail");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(0.001);
+        }
+        h.record(1.0);
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_s(0.50);
+        assert!((0.001..0.002).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_s(0.99);
+        assert!(p99 < 0.01, "99 of 100 samples are 1 ms, p99 = {p99}");
+        let p100 = h.quantile_s(1.0);
+        assert!(p100 >= 1.0, "max sample must dominate p100, got {p100}");
+        assert!((h.mean_s() - (99.0 * 0.001 + 1.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_samples() {
+        let mut h = LatencyHistogram::default();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(1e9);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile_s(0.5).is_finite());
+        assert_eq!(LatencyHistogram::default().quantile_s(0.99), 0.0);
+    }
+
+    #[test]
+    fn prometheus_text_contains_every_family() {
+        let mut m = ServiceMetrics {
+            batches: 10,
+            requests: 55,
+            tier_batches: [7, 2, 1],
+            span_s: 5.0,
+            sla_hits: 50,
+            sla_total: 55,
+            ..Default::default()
+        };
+        m.decision_latency.record(0.002);
+        let text = m.prometheus_text();
+        for family in [
+            "tsajs_service_batches_total 10",
+            "tsajs_service_requests_total 55",
+            "tsajs_service_tier_batches_total{tier=\"full\"} 7",
+            "tsajs_service_tier_batches_total{tier=\"greedy_admit\"} 1",
+            "tsajs_service_decision_latency_seconds{quantile=\"0.99\"}",
+            "tsajs_service_sla_hit_rate 0.9090909090909091",
+            "tsajs_service_throughput_hz 11",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+        assert!((m.tier_occupancy(Tier::Full) - 0.7).abs() < 1e-12);
+    }
+}

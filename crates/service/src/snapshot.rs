@@ -1,0 +1,239 @@
+//! Epoch-published immutable snapshots with lock-free reads.
+//!
+//! [`SnapshotCell`] is a hand-rolled `arc-swap`: the solve loop publishes
+//! a fresh `Arc<T>` after every micro-batch, and query traffic loads the
+//! current one without ever taking a lock. Readers therefore never block
+//! the solve loop and the solve loop never blocks readers — the property
+//! the service's read path is built on (see DESIGN.md §6).
+//!
+//! # Reclamation protocol
+//!
+//! The cell owns one strong count of the published snapshot through a raw
+//! pointer in an `AtomicPtr`. The subtle part of any arc-swap is the
+//! load/increment race: a reader that has loaded the raw pointer but not
+//! yet incremented the strong count must not see the writer free the
+//! allocation under it. This implementation closes the window with a
+//! quiescent-state scheme:
+//!
+//! * A reader **first** increments `readers`, **then** loads the pointer,
+//!   increments the strong count, and finally decrements `readers`. All
+//!   operations are `SeqCst`.
+//! * A writer swaps the pointer and pushes the previous value onto a
+//!   writer-side graveyard (a `Mutex` touched only by writers). It may
+//!   reclaim graveyard entries only at a moment when it observes
+//!   `readers == 0` *after* the swap.
+//!
+//! Why this is sound: order the `SeqCst` operations in their single total
+//! order. If the writer reads `readers == 0` after swapping, then every
+//! reader increment either (a) precedes that read — in which case the
+//! matching decrement does too, meaning the reader has already secured
+//! its own strong count — or (b) follows it, in which case the reader's
+//! subsequent pointer load also follows the swap in the total order and
+//! must observe the *new* pointer. Either way no reader can still reach
+//! the retired value, so dropping the cell's count is safe. While readers
+//! are continuously present the writer simply defers; entries accumulate
+//! at most one per publish and are drained at the next quiescent
+//! observation (or when the cell drops, by which time `&mut self`
+//! guarantees no readers exist).
+//!
+//! This is the one module in the workspace that uses `unsafe` (the rest
+//! of the repo is `#![forbid(unsafe_code)]`); the four unsafe operations
+//! are confined to the raw-pointer ↔ `Arc` boundary and each carries its
+//! own safety argument. The unit tests are kept small enough to run under
+//! Miri (see the `miri-smoke` CI job).
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A lock-free publish/subscribe cell holding the latest `Arc<T>`.
+///
+/// `load` is wait-free apart from the bounded rejection-free atomic ops;
+/// `store` is lock-free with respect to readers (it takes a Mutex that
+/// only writers touch). Clone the surrounding `Arc<SnapshotCell<T>>` to
+/// share one cell between the solve loop and any number of query threads.
+pub struct SnapshotCell<T> {
+    /// Raw pointer produced by `Arc::into_raw`; the cell owns one strong
+    /// count of whatever this points at. Never null.
+    current: AtomicPtr<T>,
+    /// Number of readers inside the load critical window.
+    readers: AtomicUsize,
+    /// Retired pointers awaiting a quiescent moment. Writer-only.
+    graveyard: Mutex<Vec<*const T>>,
+}
+
+// SAFETY: the raw pointers in `current` and `graveyard` originate from
+// `Arc<T>` and are only ever converted back to `Arc<T>`; sharing the cell
+// across threads is exactly as safe as sharing `Arc<T>` itself, which
+// requires `T: Send + Sync`.
+unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
+
+impl<T> SnapshotCell<T> {
+    /// Creates a cell publishing `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        Self {
+            current: AtomicPtr::new(Arc::into_raw(initial).cast_mut()),
+            readers: AtomicUsize::new(0),
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns the currently-published snapshot. Never blocks: no lock is
+    /// taken on this path, so a reader can never delay the solve loop
+    /// (nor the other way round).
+    pub fn load(&self) -> Arc<T> {
+        // Enter the read window *before* looking at the pointer — the
+        // writer only reclaims when it sees zero in-window readers after
+        // a swap, so whatever pointer we load below stays alive at least
+        // until our matching `fetch_sub`.
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: `ptr` came from `Arc::into_raw` and the cell still owns
+        // a strong count of it: the reclamation protocol above guarantees
+        // the writer has not dropped that count while `readers > 0`
+        // covers our load. Incrementing mints the count that the
+        // `from_raw` below takes ownership of.
+        let snapshot = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        snapshot
+    }
+
+    /// Publishes a new snapshot, retiring the previous one.
+    ///
+    /// Writer-side only: the solve loop calls this once per micro-batch.
+    /// Multiple writers are safe (the graveyard Mutex serializes
+    /// retirement) but the service has exactly one.
+    pub fn store(&self, next: Arc<T>) {
+        let next = Arc::into_raw(next).cast_mut();
+        let prev = self.current.swap(next, Ordering::SeqCst);
+        let mut graveyard = self.graveyard.lock().expect("writer-only mutex");
+        graveyard.push(prev.cast_const());
+        // Quiescent check *after* the swap: see the module docs for why
+        // `readers == 0` here proves no reader can still produce any
+        // retired pointer.
+        if self.readers.load(Ordering::SeqCst) == 0 {
+            for retired in graveyard.drain(..) {
+                // SAFETY: `retired` came from `Arc::into_raw` and the
+                // cell's strong count for it is still outstanding; the
+                // quiescent check proves no reader holds it raw.
+                unsafe { drop(Arc::from_raw(retired)) };
+            }
+        }
+    }
+
+    /// Number of retired snapshots not yet reclaimed (readers were active
+    /// at every publish since the oldest). Bounded by the publish count
+    /// between two quiescent observations; exposed for tests/metrics.
+    pub fn retired(&self) -> usize {
+        self.graveyard.lock().expect("writer-only mutex").len()
+    }
+}
+
+impl<T> Drop for SnapshotCell<T> {
+    fn drop(&mut self) {
+        // `&mut self` proves no concurrent readers or writers exist, so
+        // every outstanding count the cell owns can be released.
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: the cell owns one strong count of `current` and of each
+        // graveyard entry; with exclusive access nothing else can observe
+        // the raw pointers again.
+        unsafe { drop(Arc::from_raw(ptr.cast_const())) };
+        for retired in self
+            .graveyard
+            .get_mut()
+            .expect("writer-only mutex")
+            .drain(..)
+        {
+            unsafe { drop(Arc::from_raw(retired)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::thread;
+
+    #[test]
+    fn load_returns_latest_store() {
+        let cell = SnapshotCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        cell.store(Arc::new(3));
+        assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn snapshots_outlive_later_publishes() {
+        let cell = SnapshotCell::new(Arc::new(vec![1, 2, 3]));
+        let old = cell.load();
+        cell.store(Arc::new(vec![4]));
+        // The retired snapshot stays valid as long as someone holds it.
+        assert_eq!(*old, vec![1, 2, 3]);
+        assert_eq!(*cell.load(), vec![4]);
+    }
+
+    #[test]
+    fn reads_take_no_lock() {
+        // Hold the writer-side graveyard mutex hostage and prove a read
+        // still completes: the read path can therefore never contend with
+        // the solve loop on any lock.
+        let cell = Arc::new(SnapshotCell::new(Arc::new(7u32)));
+        let _hostage = cell.graveyard.lock().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let reader = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || tx.send(*cell.load()).unwrap())
+        };
+        let got = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("load must not block on the writer mutex");
+        assert_eq!(got, 7);
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotonic_versions() {
+        // Small enough to run under Miri: 2 readers × 50 loads against
+        // 50 publishes.
+        let cell = Arc::new(SnapshotCell::new(Arc::new(0usize)));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let mut last = 0usize;
+                    for _ in 0..50 {
+                        let seen = *cell.load();
+                        assert!(seen >= last, "version went backwards: {seen} < {last}");
+                        last = seen;
+                    }
+                })
+            })
+            .collect();
+        for version in 1..=50 {
+            cell.store(Arc::new(version));
+        }
+        for handle in readers {
+            handle.join().unwrap();
+        }
+        assert_eq!(*cell.load(), 50);
+    }
+
+    #[test]
+    fn quiescent_reclamation_eventually_drains_the_graveyard() {
+        let cell = SnapshotCell::new(Arc::new(0u8));
+        for i in 1..=16 {
+            cell.store(Arc::new(i));
+        }
+        // Single-threaded: every publish observes zero readers, so the
+        // graveyard never accumulates.
+        assert_eq!(cell.retired(), 0);
+    }
+}

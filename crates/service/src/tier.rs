@@ -1,0 +1,332 @@
+//! Graceful degradation tiers.
+//!
+//! Under sustained overload a scheduler that insists on full-quality
+//! re-solves only digs its queue deeper. The service instead degrades
+//! through three tiers, trading decision quality for decision rate:
+//!
+//! * [`Tier::Full`] — warm-started tempered ladder (best quality),
+//! * [`Tier::Shortened`] — reduced-budget warm anneal,
+//! * [`Tier::GreedyAdmit`] — admission only: survivors keep their slots,
+//!   arrivals get the nearest free subchannel, no re-solve at all.
+//!
+//! The [`TierController`] picks a tier per batch from two pressure
+//! signals — backlog depth (requests left waiting after the batch was
+//! cut) and batch age relative to the configured `max_age` — and applies
+//! **hysteresis**: degrading is immediate, recovering requires
+//! `upgrade_hold` consecutive calm batches and proceeds one tier at a
+//! time. That asymmetry prevents tier flapping at the overload boundary.
+//! Every change is recorded in a deterministic [`TierTransition`] log.
+
+use serde::{Deserialize, Serialize};
+
+/// Service quality tier, ordered from best to cheapest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Warm-started parallel-tempering ladder.
+    Full,
+    /// Reduced-budget warm-started single chain.
+    Shortened,
+    /// Admission only — no re-solve.
+    GreedyAdmit,
+}
+
+impl Tier {
+    /// Stable lowercase name (used in JSONL records and metrics labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Shortened => "shortened",
+            Tier::GreedyAdmit => "greedy_admit",
+        }
+    }
+
+    /// Index into per-tier arrays (0 = Full).
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Full => 0,
+            Tier::Shortened => 1,
+            Tier::GreedyAdmit => 2,
+        }
+    }
+
+    /// One step back toward full quality.
+    fn upgraded(self) -> Tier {
+        match self {
+            Tier::GreedyAdmit => Tier::Shortened,
+            _ => Tier::Full,
+        }
+    }
+}
+
+/// Thresholds driving tier selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierPolicy {
+    /// Backlog depth at which the service drops to [`Tier::Shortened`].
+    pub shorten_depth: usize,
+    /// Backlog depth at which the service drops to [`Tier::GreedyAdmit`].
+    pub greedy_depth: usize,
+    /// Batch age (as a multiple of the batch policy's `max_age`) at which
+    /// the service drops to [`Tier::Shortened`].
+    pub shorten_age_ratio: f64,
+    /// Batch age ratio at which the service drops to [`Tier::GreedyAdmit`].
+    pub greedy_age_ratio: f64,
+    /// Extra headroom required before an upgrade is considered: pressure
+    /// must clear the lower tier's threshold by this margin.
+    pub upgrade_margin: usize,
+    /// Consecutive calm batches required before stepping up one tier.
+    pub upgrade_hold: u32,
+}
+
+impl TierPolicy {
+    /// Defaults tuned for the default batch policy: shorten at a backlog
+    /// of one extra batch, go greedy at three, recover after four calm
+    /// batches with a two-request margin.
+    pub fn default_production() -> Self {
+        Self {
+            shorten_depth: 16,
+            greedy_depth: 48,
+            shorten_age_ratio: 4.0,
+            greedy_age_ratio: 16.0,
+            upgrade_margin: 2,
+            upgrade_hold: 4,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mec_types::Error::InvalidParameter`] if the greedy
+    /// thresholds do not dominate the shorten thresholds, or margins are
+    /// degenerate.
+    pub fn validate(&self) -> Result<(), mec_types::Error> {
+        if self.shorten_depth == 0 || self.greedy_depth <= self.shorten_depth {
+            return Err(mec_types::Error::invalid(
+                "tiers.greedy_depth",
+                "thresholds must satisfy 0 < shorten_depth < greedy_depth",
+            ));
+        }
+        if !self.shorten_age_ratio.is_finite()
+            || !self.greedy_age_ratio.is_finite()
+            || self.shorten_age_ratio <= 1.0
+            || self.greedy_age_ratio <= self.shorten_age_ratio
+        {
+            return Err(mec_types::Error::invalid(
+                "tiers.age_ratio",
+                "must satisfy 1 < shorten_age_ratio < greedy_age_ratio",
+            ));
+        }
+        if self.upgrade_margin >= self.shorten_depth {
+            return Err(mec_types::Error::invalid(
+                "tiers.upgrade_margin",
+                "must be smaller than shorten_depth",
+            ));
+        }
+        if self.upgrade_hold == 0 {
+            return Err(mec_types::Error::invalid(
+                "tiers.upgrade_hold",
+                "must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The tier the raw pressure signals call for, ignoring hysteresis.
+    fn target(&self, backlog: usize, age_ratio: f64) -> Tier {
+        if backlog >= self.greedy_depth || age_ratio >= self.greedy_age_ratio {
+            Tier::GreedyAdmit
+        } else if backlog >= self.shorten_depth || age_ratio >= self.shorten_age_ratio {
+            Tier::Shortened
+        } else {
+            Tier::Full
+        }
+    }
+
+    /// Whether pressure is calm enough to consider leaving `current`:
+    /// backlog clears the tier's own threshold by `upgrade_margin` and the
+    /// age signal clears its threshold too.
+    fn calm_below(&self, current: Tier, backlog: usize, age_ratio: f64) -> bool {
+        let (depth, ratio) = match current {
+            Tier::GreedyAdmit => (self.greedy_depth, self.greedy_age_ratio),
+            Tier::Shortened => (self.shorten_depth, self.shorten_age_ratio),
+            Tier::Full => return false,
+        };
+        backlog + self.upgrade_margin < depth && age_ratio < ratio
+    }
+}
+
+/// One recorded tier change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierTransition {
+    /// Batch index at which the change took effect.
+    pub batch: usize,
+    /// Service time of the batch.
+    pub time_s: f64,
+    /// Tier before.
+    pub from: String,
+    /// Tier after.
+    pub to: String,
+    /// Backlog depth that drove the decision.
+    pub backlog: usize,
+    /// Batch age ratio that drove the decision.
+    pub age_ratio: f64,
+}
+
+/// Per-batch tier selection with hysteresis and a transition log.
+#[derive(Debug, Clone)]
+pub struct TierController {
+    policy: TierPolicy,
+    current: Tier,
+    calm_streak: u32,
+    log: Vec<TierTransition>,
+}
+
+impl TierController {
+    /// Starts at [`Tier::Full`].
+    pub fn new(policy: TierPolicy) -> Self {
+        Self {
+            policy,
+            current: Tier::Full,
+            calm_streak: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// The tier currently in force.
+    pub fn current(&self) -> Tier {
+        self.current
+    }
+
+    /// The transition log so far.
+    pub fn log(&self) -> &[TierTransition] {
+        &self.log
+    }
+
+    /// Picks the tier for the batch at `batch`/`time_s` given the
+    /// pressure signals, updating hysteresis state and the log.
+    ///
+    /// Degrading (toward [`Tier::GreedyAdmit`]) is immediate; upgrading
+    /// requires `upgrade_hold` consecutive calm batches and moves one
+    /// tier per decision.
+    pub fn decide(&mut self, batch: usize, time_s: f64, backlog: usize, age_ratio: f64) -> Tier {
+        let target = self.policy.target(backlog, age_ratio);
+        let next = if target > self.current {
+            // Overload: degrade straight to what the pressure demands.
+            self.calm_streak = 0;
+            target
+        } else if self.policy.calm_below(self.current, backlog, age_ratio) {
+            self.calm_streak += 1;
+            if self.calm_streak >= self.policy.upgrade_hold {
+                self.calm_streak = 0;
+                self.current.upgraded()
+            } else {
+                self.current
+            }
+        } else {
+            // Inside the hysteresis band: hold the tier, reset the streak.
+            self.calm_streak = 0;
+            self.current
+        };
+        if next != self.current {
+            self.log.push(TierTransition {
+                batch,
+                time_s,
+                from: self.current.as_str().to_string(),
+                to: next.as_str().to_string(),
+                backlog,
+                age_ratio,
+            });
+            self.current = next;
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> TierPolicy {
+        TierPolicy {
+            shorten_depth: 8,
+            greedy_depth: 24,
+            shorten_age_ratio: 4.0,
+            greedy_age_ratio: 16.0,
+            upgrade_margin: 2,
+            upgrade_hold: 3,
+        }
+    }
+
+    #[test]
+    fn degradation_is_immediate_and_can_skip_a_tier() {
+        let mut c = TierController::new(policy());
+        assert_eq!(c.decide(0, 0.0, 0, 1.0), Tier::Full);
+        assert_eq!(
+            c.decide(1, 1.0, 30, 1.0),
+            Tier::GreedyAdmit,
+            "skips Shortened"
+        );
+        assert_eq!(c.log().len(), 1);
+        assert_eq!(c.log()[0].from, "full");
+        assert_eq!(c.log()[0].to, "greedy_admit");
+    }
+
+    #[test]
+    fn age_pressure_degrades_too() {
+        let mut c = TierController::new(policy());
+        assert_eq!(c.decide(0, 0.0, 0, 5.0), Tier::Shortened);
+        assert_eq!(c.decide(1, 1.0, 0, 20.0), Tier::GreedyAdmit);
+    }
+
+    #[test]
+    fn upgrades_need_a_calm_streak_and_move_one_tier_at_a_time() {
+        let mut c = TierController::new(policy());
+        c.decide(0, 0.0, 30, 1.0);
+        assert_eq!(c.current(), Tier::GreedyAdmit);
+        // Calm batches: backlog + margin < greedy_depth.
+        assert_eq!(c.decide(1, 1.0, 0, 1.0), Tier::GreedyAdmit);
+        assert_eq!(c.decide(2, 2.0, 0, 1.0), Tier::GreedyAdmit);
+        assert_eq!(c.decide(3, 3.0, 0, 1.0), Tier::Shortened, "one step only");
+        assert_eq!(c.decide(4, 4.0, 0, 1.0), Tier::Shortened);
+        assert_eq!(c.decide(5, 5.0, 0, 1.0), Tier::Shortened);
+        assert_eq!(c.decide(6, 6.0, 0, 1.0), Tier::Full);
+        assert_eq!(c.log().len(), 3);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_the_tier_and_resets_the_streak() {
+        let mut c = TierController::new(policy());
+        c.decide(0, 0.0, 10, 1.0);
+        assert_eq!(c.current(), Tier::Shortened);
+        // backlog 7: below shorten_depth but 7 + margin(2) >= 8 → hold.
+        for i in 1..10 {
+            assert_eq!(c.decide(i, i as f64, 7, 1.0), Tier::Shortened);
+        }
+        // Two calm batches, then a pressure blip resets the streak.
+        c.decide(10, 10.0, 0, 1.0);
+        c.decide(11, 11.0, 0, 1.0);
+        c.decide(12, 12.0, 7, 1.0);
+        assert_eq!(c.current(), Tier::Shortened);
+        c.decide(13, 13.0, 0, 1.0);
+        c.decide(14, 14.0, 0, 1.0);
+        assert_eq!(c.decide(15, 15.0, 0, 1.0), Tier::Full, "streak rebuilt");
+    }
+
+    #[test]
+    fn policy_validation_rejects_degenerate_thresholds() {
+        let mut p = policy();
+        p.greedy_depth = p.shorten_depth;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.shorten_age_ratio = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.upgrade_margin = p.shorten_depth;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.upgrade_hold = 0;
+        assert!(p.validate().is_err());
+        assert!(policy().validate().is_ok());
+        assert!(TierPolicy::default_production().validate().is_ok());
+    }
+}

@@ -1,0 +1,195 @@
+//! Service-level acceptance tests from ISSUE 8:
+//!
+//! * the degradation ladder demonstrably engages under overload, in a
+//!   seeded, reproducible (wall-clock-free) drive;
+//! * the service degrades tiers instead of rejecting while a cheaper
+//!   tier is available;
+//! * cold-replaying an ingestion log reproduces the final assignment
+//!   bit-for-bit *at every tier* — the conformance invariant;
+//! * the JSONL schema stays pinned to `BatchReport::FIELD_NAMES`.
+
+use mec_service::{
+    BatchPolicy, BatchReport, LogEntry, SchedulerCore, ServiceConfig, ServiceRequest, Tier,
+    TierPolicy,
+};
+use mec_types::Seconds;
+
+/// A small deterministic service: batches of 4, tier thresholds low
+/// enough to traverse the whole ladder with double-digit request counts.
+fn ladder_config(seed: u64) -> ServiceConfig {
+    ServiceConfig::quick(seed)
+        .with_batch(BatchPolicy {
+            max_size: 4,
+            max_age: Seconds::new(0.05),
+        })
+        .with_tiers(TierPolicy {
+            shorten_depth: 6,
+            greedy_depth: 14,
+            shorten_age_ratio: 8.0,
+            greedy_age_ratio: 32.0,
+            upgrade_margin: 2,
+            upgrade_hold: 2,
+        })
+}
+
+/// Drives one seeded overload wave: calm traffic, a burst that backs the
+/// batcher up past both thresholds, then calm recovery. Purely
+/// virtual-time, so the run is a pure function of the seed.
+fn drive_overload_wave(core: &mut SchedulerCore) -> Vec<BatchReport> {
+    let mut reports = Vec::new();
+    let mut next_id = 0u64;
+    let mut clock = 0.0f64;
+    let arrive = |core: &mut SchedulerCore, n: usize, t: f64, next_id: &mut u64| {
+        for _ in 0..n {
+            core.submit(ServiceRequest::arrival(*next_id, t));
+            *next_id += 1;
+        }
+    };
+
+    // Calm: single under-sized batches, no backlog.
+    for _ in 0..3 {
+        arrive(core, 3, clock, &mut next_id);
+        clock += 0.05;
+        reports.extend(core.flush(clock).unwrap());
+    }
+    // Burst: 24 requests stack up, then batches are cut one at a time —
+    // the backlog left behind each cut is the overload signal.
+    arrive(core, 24, clock, &mut next_id);
+    clock += 0.05;
+    while core.pending() > 0 {
+        reports.push(core.close_batch(clock).unwrap().unwrap());
+        clock += 0.05;
+    }
+    // Recovery: calm single batches again.
+    for _ in 0..8 {
+        arrive(core, 2, clock, &mut next_id);
+        clock += 0.05;
+        reports.extend(core.flush(clock).unwrap());
+    }
+    reports
+}
+
+#[test]
+fn the_degradation_ladder_engages_under_overload_and_recovers_with_hysteresis() {
+    let mut core = SchedulerCore::new(ladder_config(41)).unwrap();
+    let reports = drive_overload_wave(&mut core);
+
+    let tiers: Vec<&str> = reports.iter().map(|r| r.tier.as_str()).collect();
+    assert!(tiers.contains(&"full"));
+    assert!(tiers.contains(&"shortened"), "tiers: {tiers:?}");
+    assert!(tiers.contains(&"greedy_admit"), "tiers: {tiers:?}");
+    // The wave ends calm: the service recovered to Full.
+    assert_eq!(core.tier(), Tier::Full, "tiers: {tiers:?}");
+
+    // Degradation engaged *instead of* rejecting: the population never
+    // hit the admission cap and nothing was refused.
+    assert_eq!(
+        reports.iter().map(|r| r.rejected).sum::<usize>(),
+        0,
+        "a cheaper tier was always available — no request may be rejected"
+    );
+
+    // Hysteresis: recovery from greedy_admit must pass through
+    // shortened (one tier per upgrade) and take at least `upgrade_hold`
+    // calm batches per step.
+    let log = core.tier_log();
+    assert!(!log.is_empty());
+    let upgrades: Vec<(&str, &str)> = log
+        .iter()
+        .filter(|t| {
+            let sev = |n: &str| match n {
+                "full" => 0,
+                "shortened" => 1,
+                _ => 2,
+            };
+            sev(&t.to) < sev(&t.from)
+        })
+        .map(|t| (t.from.as_str(), t.to.as_str()))
+        .collect();
+    assert!(
+        upgrades.contains(&("greedy_admit", "shortened")),
+        "upgrades: {upgrades:?}"
+    );
+    assert!(
+        upgrades.contains(&("shortened", "full")),
+        "upgrades: {upgrades:?}"
+    );
+    assert!(
+        !upgrades.contains(&("greedy_admit", "full")),
+        "upgrades must move one tier at a time: {upgrades:?}"
+    );
+
+    // Seeded reproducibility of the whole wave.
+    let mut again = SchedulerCore::new(ladder_config(41)).unwrap();
+    let reports_again = drive_overload_wave(&mut again);
+    assert_eq!(reports, reports_again);
+    assert_eq!(core.tier_log(), again.tier_log());
+}
+
+#[test]
+fn replaying_the_ingestion_log_reproduces_the_run_at_every_tier() {
+    let mut core = SchedulerCore::new(ladder_config(97)).unwrap();
+    let live_reports = drive_overload_wave(&mut core);
+
+    // The wave exercised all three tiers (precondition of the claim).
+    let mut seen: Vec<&str> = live_reports.iter().map(|r| r.tier.as_str()).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen, ["full", "greedy_admit", "shortened"]);
+
+    let replayed = SchedulerCore::replay(ladder_config(97), core.ingestion_log()).unwrap();
+
+    // Bit-for-bit: population, slots, utility bits, version, tier log.
+    let live = core.snapshot();
+    let cold = replayed.snapshot();
+    assert_eq!(live.users, cold.users);
+    assert_eq!(live.assignment, cold.assignment);
+    assert_eq!(live.utility.to_bits(), cold.utility.to_bits());
+    assert_eq!(live.version, cold.version);
+    assert_eq!(live.tier, cold.tier);
+    assert_eq!(core.tier_log(), replayed.tier_log());
+    // The replayed core logged the same stream it consumed, so a replay
+    // of the replay is the same run again.
+    assert_eq!(core.ingestion_log(), replayed.ingestion_log());
+    // Metrics derived from decisions agree too.
+    assert_eq!(core.metrics().requests, replayed.metrics().requests);
+    assert_eq!(core.metrics().tier_batches, replayed.metrics().tier_batches);
+    assert_eq!(core.metrics().sla_hits, replayed.metrics().sla_hits);
+}
+
+#[test]
+fn ingestion_log_round_trips_through_json() {
+    let mut core = SchedulerCore::new(ladder_config(5)).unwrap();
+    for id in 0..6 {
+        core.submit(ServiceRequest::arrival(id, 0.01 * id as f64));
+    }
+    core.flush(0.1).unwrap();
+    let log = core.ingestion_log().to_vec();
+    let json = serde_json::to_string(&log).unwrap();
+    let back: Vec<LogEntry> = serde_json::from_str(&json).unwrap();
+    assert_eq!(log, back);
+    // A log restored from JSON replays identically.
+    let replayed = SchedulerCore::replay(ladder_config(5), &back).unwrap();
+    assert_eq!(core.snapshot().assignment, replayed.snapshot().assignment);
+}
+
+#[test]
+fn jsonl_schema_is_pinned() {
+    // Integration-level pin: every serialized report carries exactly the
+    // FIELD_NAMES keys, in order (the unit test checks one report; this
+    // checks reports produced by a real run, greedy tier included).
+    let mut core = SchedulerCore::new(ladder_config(13)).unwrap();
+    let reports = drive_overload_wave(&mut core);
+    assert!(!reports.is_empty());
+    for report in &reports {
+        let line = report.to_jsonl();
+        let mut at = 0usize;
+        for field in BatchReport::FIELD_NAMES {
+            let needle = format!("\"{field}\":");
+            let found = line[at..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("field `{field}` missing or out of order in {line}"));
+            at += found;
+        }
+    }
+}

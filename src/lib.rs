@@ -22,6 +22,9 @@
 //!   ([`mec_conformance`])
 //! * [`controller`] — an embeddable C-RAN-style scheduling service
 //!   ([`mec_controller`])
+//! * [`service`] — production scheduler service: micro-batched ingestion,
+//!   lock-free snapshots, degradation tiers, loadtest harness
+//!   ([`mec_service`])
 //! * [`viz`] — dependency-free SVG rendering of networks and schedules
 //!   ([`mec_viz`])
 //!
@@ -52,6 +55,7 @@ pub use mec_controller as controller;
 pub use mec_mobility as mobility;
 pub use mec_online as online;
 pub use mec_radio as radio;
+pub use mec_service as service;
 pub use mec_system as system;
 pub use mec_topology as topology;
 pub use mec_types as types;
