@@ -1,0 +1,210 @@
+//! Cluster-count scaling of the sharded engine at a fixed city-scale
+//! population and a fixed *total* proposal budget.
+//!
+//! Not a criterion bench: the acceptance criterion is a wall-clock
+//! speedup over the 1-cluster (monolithic-equivalent) configuration at
+//! equal-or-better objective, so this is a plain harness that solves the
+//! same scenario at a sweep of cluster counts, prints a scaling table
+//! and writes the machine-readable verdict to `BENCH_shard.json`
+//! (override the path with `TSAJS_BENCH_OUT`).
+//!
+//! The comparison holds the total per-cluster proposal budget constant
+//! (`TOTAL_BUDGET / clusters` each), so every row spends the same search
+//! effort; what changes is whether that effort is spent in one
+//! city-wide neighborhood or in per-cluster subproblems reconciled by
+//! halo sweeps. Because decomposition also *raises* the objective at
+//! equal effort, the headline number is **time-to-quality**: the
+//! monolithic configuration re-runs with doubling budgets until it
+//! matches the best sharded objective (or hits a 64× cap), and each
+//! sharded row's speedup is that baseline's wall clock over its own. On
+//! a multi-core host the cluster solves additionally run in parallel
+//! (`TSAJS_THREADS` caps the pool), compounding the win.
+//!
+//! Modes:
+//! - `cargo bench --bench shard` — full run, U = 20 000 over 32 cells.
+//! - `TSAJS_BENCH_QUICK=1 cargo bench --bench shard` — CI smoke run,
+//!   U = 2 000 over 16 cells with fewer repetitions.
+//! - `cargo test` passes `--test`, which exits immediately so the
+//!   tier-1 suite never pays for a benchmark.
+
+use mec_types::effective_parallelism;
+use mec_workloads::{ExperimentParams, ScenarioGenerator};
+use std::time::Instant;
+use tsajs::{solve_sharded, ShardConfig, TtsaConfig};
+
+const SEED: u64 = 11;
+
+#[derive(Clone)]
+struct Run {
+    clusters: usize,
+    cluster_size: usize,
+    utility: f64,
+    seconds: f64,
+    sweeps: usize,
+    converged: bool,
+    halo_residual: f64,
+    proposals: u64,
+}
+
+fn run_shard(
+    scenario: &mec_system::Scenario,
+    cluster_size: usize,
+    budget: u64,
+    reps: u32,
+    workers: usize,
+) -> Run {
+    let config = ShardConfig::paper_default()
+        .with_seed(SEED)
+        .with_cluster_size(cluster_size)
+        .with_ttsa(
+            TtsaConfig::paper_default()
+                .with_min_temperature(1e-2)
+                .with_proposal_budget(budget),
+        );
+    let mut best_seconds = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let outcome = solve_sharded(scenario, &config, workers).expect("sharded solve");
+        best_seconds = best_seconds.min(start.elapsed().as_secs_f64());
+        last = Some(outcome);
+    }
+    let outcome = last.expect("at least one repetition");
+    Run {
+        clusters: outcome.clusters,
+        cluster_size,
+        utility: outcome.objective,
+        seconds: best_seconds,
+        sweeps: outcome.sweeps,
+        converged: outcome.converged,
+        halo_residual: outcome.halo_residual,
+        proposals: outcome.proposals,
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let quick = std::env::var("TSAJS_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (users, servers, reps, total_budget) = if quick {
+        (2_000usize, 16usize, 2u32, 8_000u64)
+    } else {
+        (20_000, 32, 3, 32_000)
+    };
+    let workers = effective_parallelism(None);
+    let generator = ScenarioGenerator::new(
+        ExperimentParams::paper_default()
+            .with_users(users)
+            .with_servers(servers),
+    );
+    let scenario = generator.generate(SEED).expect("scenario");
+    println!(
+        "shard bench: U={users}, S={servers}, seed {SEED}, workers {workers}, \
+         total budget {total_budget}, quick={quick}"
+    );
+    println!(
+        "{:>8} {:>6} {:>8} {:>14} {:>10} {:>7} {:>10} {:>14} {:>9}",
+        "clusters",
+        "size",
+        "budget",
+        "utility",
+        "time(s)",
+        "sweeps",
+        "converged",
+        "halo_resid",
+        "speedup"
+    );
+
+    // Cluster sizes chosen to hit cluster counts 1, 2, 4, 8 exactly; the
+    // per-cluster budget shrinks with the count so total effort is fixed.
+    let mut runs: Vec<Run> = Vec::new();
+    for divisor in [1usize, 2, 4, 8] {
+        let cluster_size = servers / divisor;
+        let budget = total_budget / divisor as u64;
+        let run = run_shard(&scenario, cluster_size, budget, reps, workers);
+        let baseline = runs.first().map(|r: &Run| r.seconds).unwrap_or(run.seconds);
+        println!(
+            "{:>8} {:>6} {:>8} {:>14.6} {:>10.3} {:>7} {:>10} {:>14.2e} {:>8.2}x",
+            run.clusters,
+            run.cluster_size,
+            budget,
+            run.utility,
+            run.seconds,
+            run.sweeps,
+            run.converged,
+            run.halo_residual,
+            baseline / run.seconds,
+        );
+        runs.push(run);
+    }
+
+    // Time-to-quality baseline: how long the 1-cluster (monolithic)
+    // configuration needs to match the best sharded objective.
+    let target = runs
+        .iter()
+        .map(|r| r.utility)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut matched_budget = total_budget;
+    let mut matched = runs[0].clone();
+    while matched.utility < target && matched_budget < total_budget * 64 {
+        matched_budget *= 2;
+        matched = run_shard(&scenario, servers, matched_budget, 1, workers);
+    }
+    let reached = matched.utility >= target;
+    println!(
+        "time-to-quality: monolith at budget {matched_budget} reaches J = {:.6} \
+         (target {target:.6}, matched: {reached}) in {:.3}s",
+        matched.utility, matched.seconds
+    );
+
+    let baseline_seconds = runs[0].seconds;
+    let baseline_utility = runs[0].utility;
+    let best_speedup = runs
+        .iter()
+        .filter(|r| r.clusters > 1)
+        .map(|r| matched.seconds / r.seconds)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "monolithic-equivalent (1 cluster, equal budget): {baseline_utility:.6} in \
+         {baseline_seconds:.3}s; best time-to-quality speedup {best_speedup:.2}x"
+    );
+
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"clusters\":{},\"cluster_size\":{},\"utility\":{},\"seconds\":{},\
+                 \"sweeps\":{},\"converged\":{},\"halo_residual\":{},\"proposals\":{},\
+                 \"speedup_vs_one_cluster\":{},\"time_to_quality_speedup\":{}}}",
+                r.clusters,
+                r.cluster_size,
+                r.utility,
+                r.seconds,
+                r.sweeps,
+                r.converged,
+                r.halo_residual,
+                r.proposals,
+                baseline_seconds / r.seconds,
+                matched.seconds / r.seconds,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"users\": {users},\n  \"servers\": {servers},\n  \"seed\": {SEED},\n  \
+         \"workers\": {workers},\n  \"quick\": {quick},\n  \
+         \"total_budget\": {total_budget},\n  \"runs\": [{}],\n  \
+         \"baseline_seconds\": {baseline_seconds},\n  \
+         \"baseline_utility\": {baseline_utility},\n  \
+         \"quality_matched\": {{\"budget\": {matched_budget}, \
+         \"seconds\": {}, \"utility\": {}, \"target\": {target}, \
+         \"matched\": {reached}}},\n  \
+         \"best_speedup\": {best_speedup}\n}}\n",
+        entries.join(","),
+        matched.seconds,
+        matched.utility,
+    );
+    let out = std::env::var("TSAJS_BENCH_OUT").unwrap_or_else(|_| "BENCH_shard.json".to_string());
+    std::fs::write(&out, json).expect("write bench report");
+    println!("wrote {out}");
+}

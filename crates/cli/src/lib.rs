@@ -30,7 +30,7 @@ use mec_workloads::{ExperimentParams, PoissonChurn, ScenarioGenerator};
 use serde::Serialize;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use tsajs::{ResolveMode, TemperingConfig, TsajsSolver, TtsaConfig};
+use tsajs::{ResolveMode, ShardConfig, ShardSolver, TemperingConfig, TsajsSolver, TtsaConfig};
 
 /// Errors the CLI reports to the user.
 #[derive(Debug)]
@@ -141,8 +141,13 @@ USAGE:
                      [--out FILE] [--artifacts DIR]
   tsajs-sim corpus   [--dir DIR] [--verbose]
 
-SOLVERS: tsajs (default), tempering, hjtora, greedy, localsearch,
-         random, exhaustive, alllocal
+SOLVERS: tsajs (default), tempering, shard, hjtora, greedy,
+         localsearch, random, exhaustive, alllocal
+
+The `shard` solver is the city-scale engine: it partitions the cell
+topology into clusters, solves each cluster on the worker pool, and
+reconciles cross-cluster interference with Gauss–Seidel halo sweeps.
+Use it for populations the monolithic annealer cannot hold (U >= 100k).
 
 SCENARIO FILES: `--scenario` accepts either a legacy JSON snapshot
 (written by `generate`) or a declarative spec — `.toml`, or `.json`
@@ -781,6 +786,20 @@ pub fn build_solver(
             }
             let mut solver =
                 TsajsSolver::new(config).with_tempering(TemperingConfig::paper_default());
+            if let Some(n) = threads {
+                solver = solver.with_threads(n);
+            }
+            Box::new(solver)
+        }
+        "shard" | "tsajs-shard" => {
+            // The shard engine has no batched-proposal mode; its inner
+            // cluster solves run the tempering engine at K=1.
+            if batch.is_some() {
+                return Err(CliError::Usage(
+                    "--batch is not supported by the shard solver".into(),
+                ));
+            }
+            let mut solver = ShardSolver::new(ShardConfig::paper_default().with_seed(seed));
             if let Some(n) = threads {
                 solver = solver.with_threads(n);
             }
@@ -2380,7 +2399,7 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(value["passed"], serde_json::Value::Bool(true));
         assert_eq!(value["seeds"].as_u64(), Some(2));
-        assert_eq!(value["invariants"].as_array().unwrap().len(), 10);
+        assert_eq!(value["invariants"].as_array().unwrap().len(), 11);
         // The --out file carries the same report.
         let file = std::fs::read_to_string(&report_path).unwrap();
         assert_eq!(text.trim_end(), file);
@@ -2430,6 +2449,60 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(run_once(), run_once());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn shard_solver_runs_from_the_registry_and_rejects_batching() {
+        let dir = tmp_dir();
+        let scenario_path = dir.join("shard.json");
+        run(
+            parse_args(&[
+                "generate",
+                "--users",
+                "12",
+                "--servers",
+                "4",
+                "--seed",
+                "9",
+                "--out",
+                scenario_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let run_once = || {
+            let mut buf = Vec::new();
+            run(
+                parse_args(&[
+                    "solve",
+                    "--scenario",
+                    scenario_path.to_str().unwrap(),
+                    "--solver",
+                    "shard",
+                    "--seed",
+                    "11",
+                ])
+                .unwrap(),
+                &mut buf,
+            )
+            .unwrap();
+            String::from_utf8(buf)
+                .unwrap()
+                .lines()
+                .filter(|l| !l.starts_with("evals/time"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let text = run_once();
+        assert!(text.contains("TSAJS-SHARD"), "{text}");
+        // Same seed, same run — the shard engine is fully deterministic.
+        assert_eq!(text, run_once());
+        assert!(matches!(
+            build_solver("shard", 0, None, Some(4)),
+            Err(CliError::Usage(_))
+        ));
         std::fs::remove_dir_all(dir).ok();
     }
 }

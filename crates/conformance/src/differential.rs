@@ -17,11 +17,14 @@ use mec_baselines::{
     max_weight_assignment, upper_bound, AllLocalSolver, ExhaustiveSolver, GreedySolver,
     HJtoraSolver, LocalSearchSolver, RandomSolver,
 };
-use mec_system::{Assignment, Evaluator, Scenario, Solution, Solver};
+use mec_system::{Assignment, Evaluator, IncrementalObjective, Scenario, Solution, Solver};
 use mec_types::{ServerId, SubchannelId, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tsajs::{temper, NeighborhoodKernel, TemperingConfig, TsajsSolver, TtsaConfig};
+use tsajs::{
+    solve_sharded, temper, NeighborhoodKernel, ShardConfig, TemperingConfig, TsajsSolver,
+    TtsaConfig,
+};
 
 /// An interference-free matching heuristic: assigns users to pairwise
 /// distinct slots by maximum-weight bipartite matching over the same
@@ -313,6 +316,90 @@ pub fn check_batched_proposal_determinism(
     Ok(0.0)
 }
 
+/// Conformance check for the sharded city-scale engine on small fuzzed
+/// instances: the converged sharded objective must equal a monolithic
+/// [`IncrementalObjective`] resync of the final assignment bit for bit,
+/// the per-cluster objective sum must agree with that monolith within
+/// tolerance (the `halo_residual`), the decomposition must be
+/// bit-identical at 1 and 4 workers, and the final assignment must pass
+/// the feasibility and KKT oracles.
+///
+/// Clusters are forced to single servers so every instance exercises the
+/// maximum amount of cross-cluster halo exchange the topology allows.
+///
+/// Returns the worst relative residual observed across the halo
+/// accounting and the oracle checks.
+///
+/// # Errors
+///
+/// Returns a description of the first equivalence or oracle violation,
+/// or of a solver error.
+pub fn check_shard_equivalence(
+    scenario: &Scenario,
+    seed: u64,
+    tolerance: f64,
+) -> Result<f64, String> {
+    let config = ShardConfig::paper_default()
+        .with_seed(seed)
+        .with_cluster_size(1)
+        .with_max_sweeps(4)
+        .with_ttsa(
+            TtsaConfig::paper_default()
+                .with_min_temperature(1e-1)
+                .with_proposal_budget(400),
+        )
+        .with_tempering(
+            TemperingConfig::paper_default()
+                .with_replicas(2)
+                .with_rounds(2),
+        );
+    let outcome =
+        solve_sharded(scenario, &config, 1).map_err(|e| format!("sharded solve failed: {e}"))?;
+    let mut worst = outcome.halo_residual;
+    if outcome.halo_residual > tolerance {
+        return Err(format!(
+            "per-cluster objective sum disagrees with the monolithic \
+             resync: residual {:.3e}",
+            outcome.halo_residual
+        ));
+    }
+    let mono = IncrementalObjective::new(scenario, outcome.assignment.clone())
+        .map_err(|e| format!("monolithic resync failed: {e}"))?
+        .current();
+    if outcome.objective.to_bits() != mono.to_bits() {
+        return Err(format!(
+            "sharded objective {} is not the monolithic resync {mono} \
+             bit for bit",
+            outcome.objective
+        ));
+    }
+    // The worker pool must stay a wall-clock knob for the shard engine
+    // too: same seed, more workers, bit-identical outcome.
+    let wide =
+        solve_sharded(scenario, &config, 4).map_err(|e| format!("sharded solve failed: {e}"))?;
+    if wide.objective.to_bits() != outcome.objective.to_bits()
+        || wide.assignment != outcome.assignment
+        || wide.proposals != outcome.proposals
+    {
+        return Err(format!(
+            "sharded outcome diverges between 1 and 4 workers: {} vs {}",
+            outcome.objective, wide.objective
+        ));
+    }
+    let oracle = crate::oracle::Oracle::with_tolerance(tolerance);
+    worst = worst.max(
+        oracle
+            .check_feasibility(scenario, &outcome.assignment)
+            .map_err(|e| format!("sharded assignment fails feasibility: {e}"))?,
+    );
+    worst = worst.max(
+        oracle
+            .check_kkt(scenario, &outcome.assignment)
+            .map_err(|e| format!("sharded assignment fails the KKT oracle: {e}"))?,
+    );
+    Ok(worst)
+}
+
 /// Metamorphic check: relabeling users must leave the optimal objective
 /// unchanged, and the permuted optimum mapped back to the original ids
 /// must achieve the original optimum.
@@ -443,6 +530,16 @@ mod tests {
             x.verify_feasible(&sc).unwrap();
             let opt = ExhaustiveSolver::new().solve(&sc).unwrap();
             assert!(utility <= opt.utility + 1e-9 * opt.utility.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sharded_solving_matches_the_monolith_on_fuzzed_instances() {
+        for seed in 0..12 {
+            let sc = fuzz::scenario(&FuzzConfig::smoke(), seed);
+            let worst = check_shard_equivalence(&sc, seed, 1e-9)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(worst <= 1e-9, "seed {seed}: residual {worst}");
         }
     }
 

@@ -143,6 +143,7 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
     let mut order = InvariantVerdict::new("solver_partial_order");
     let mut threads = InvariantVerdict::new("tempering_thread_independence");
     let mut batched = InvariantVerdict::new("batched_proposal_determinism");
+    let mut shard = InvariantVerdict::new("shard_equivalence");
     let mut permutation = InvariantVerdict::new("metamorphic_user_permutation");
     let mut rescale = InvariantVerdict::new("metamorphic_lambda_rescale");
     let mut online = InvariantVerdict::new("online_seed_replay");
@@ -184,6 +185,10 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
                     config.ttsa_budget,
                 ),
             );
+            shard.record(
+                seed,
+                differential::check_shard_equivalence(&scenario, seed, config.tolerance),
+            );
         }
         if i % config.metamorphic_stride.max(1) == 0 {
             permutation.record(
@@ -223,6 +228,7 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
             order,
             threads,
             batched,
+            shard,
             permutation,
             rescale,
             online,
@@ -270,6 +276,6 @@ mod tests {
         let report = run_conformance(&ConformanceConfig::smoke().with_seeds(2).with_base_seed(7));
         assert_eq!(report.seeds, 2);
         assert_eq!(report.base_seed, 7);
-        assert_eq!(report.invariants.len(), 10);
+        assert_eq!(report.invariants.len(), 11);
     }
 }

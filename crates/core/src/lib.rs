@@ -52,6 +52,7 @@ pub mod annealing;
 pub mod config;
 pub mod moves;
 pub mod power;
+pub mod shard;
 pub mod solver;
 pub mod tempering;
 pub mod trace;
@@ -63,6 +64,10 @@ pub use config::{
 };
 pub use moves::{MoveKind, MoveMix, NeighborhoodKernel};
 pub use power::{solve_with_power_control, PowerControlConfig, PowerControlOutcome};
+pub use shard::{
+    cluster_external, halo_totals, solve_sharded, Partition, ShardConfig, ShardOutcome, ShardRun,
+    ShardSolver, ShardStats,
+};
 pub use solver::TsajsSolver;
 pub use tempering::{temper, temper_from};
 pub use trace::{EpochRecord, SearchTrace};

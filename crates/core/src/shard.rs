@@ -1,0 +1,1050 @@
+//! City-scale sharded solving: cluster decomposition + halo reconciliation.
+//!
+//! The paper's interference structure (Eq. 3) only couples users served by
+//! *different* servers on the *same* subchannel, and that coupling is
+//! low-rank: everything a cluster needs to know about the rest of the city
+//! is the per-`(subchannel, server)` received-power totals its own users
+//! did not generate — the **halo**. That makes the metro-scale problem
+//! decomposable:
+//!
+//! 1. **Partition** ([`Partition::build`]) — servers are split into
+//!    deterministic, seeded clusters of at most `cluster_size`; every user
+//!    joins the cluster of its strongest server (the hex-cell attachment
+//!    rule), so each cluster is a self-contained TSAJS subproblem.
+//! 2. **Cold shard solve** — each non-empty cluster runs the tempered TTSA
+//!    engine on its own [`Scenario::subset`], in parallel on the PR-5 style
+//!    scoped worker pool. Per-cluster seeds are derived from the shard seed
+//!    in cluster order *before* any work is dispatched, and each cluster's
+//!    search depends only on its own stream, so the result is bit-identical
+//!    at any worker count.
+//! 3. **Halo reconciliation** ([`ShardRun::sweep`]) — iterated Gauss–Seidel
+//!    sweeps: clusters are revisited sequentially in index order; each gets
+//!    the current cross-cluster halo installed as
+//!    [`Scenario::set_external_rx`] and then runs a deterministic, RNG-free
+//!    first-improvement descent (single-user relocations with eviction,
+//!    then pairwise slot swaps) over its own users. The sweep is Gauss–
+//!    Seidel rather than Jacobi: cluster `c+1` sees cluster `c`'s updated
+//!    schedule within the same sweep, which is what makes the fixed point
+//!    converge in a handful of sweeps even with hot boundary users.
+//! 4. **Convergence** — the run is converged when a full sweep changes no
+//!    cluster's schedule (every cluster is at a local optimum *given* the
+//!    others, i.e. a Nash fixed point of the decomposition), or when
+//!    [`ShardConfig::max_sweeps`] caps the iteration.
+//!
+//! The reported objective is **not** the sum of per-cluster objectives: at
+//! the end the merged city-wide assignment is re-scored through one
+//! monolithic [`IncrementalObjective`] resync, and the per-cluster
+//! halo-accounting sum is cross-checked against it
+//! ([`ShardOutcome::halo_residual`], expected at the `1e-9` relative
+//! tolerance shared by the conformance suite). Equality holds because the
+//! objective is separable given the totals: each user's SINR depends only
+//! on its own server's per-subchannel total, and the halo supplies exactly
+//! the cross-cluster share of that total.
+//!
+//! ## Determinism
+//!
+//! Every stage is deterministic under [`ShardConfig::seed`]: the partition
+//! is a pure function of `(geometry, cluster_size, seed)`, per-cluster
+//! search seeds are derived in cluster order before dispatch, the worker
+//! pool pins cluster `i` to worker `i mod W` and collects into indexed
+//! slots, and the reconciliation sweeps are sequential and RNG-free. The
+//! worker count changes *when* a cluster is solved, never *what* it
+//! computes.
+
+use crate::annealing::AnnealOutcome;
+use crate::config::{TemperingConfig, TtsaConfig};
+use crate::moves::NeighborhoodKernel;
+use crate::tempering::temper;
+use mec_system::{
+    Assignment, IncrementalObjective, MoveDesc, Scenario, Solution, Solver, SolverStats,
+};
+use mec_types::{effective_parallelism, Error, ServerId, SubchannelId, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of the sharded engine.
+///
+/// Use [`ShardConfig::paper_default`] and the `with_*` builders, mirroring
+/// [`TtsaConfig`]. The embedded `ttsa`/`tempering` configs drive each
+/// cluster's cold solve; give `ttsa` a proposal budget to make the shard
+/// phase anytime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Maximum number of servers per cluster.
+    pub cluster_size: usize,
+    /// Hard cap on Gauss–Seidel halo-reconciliation sweeps.
+    pub max_sweeps: usize,
+    /// Shard seed: drives the partition rotation and every per-cluster
+    /// search seed.
+    pub seed: u64,
+    /// Cap on descent proposals per cluster per sweep (anytime bound on
+    /// the reconciliation phase).
+    pub descent_budget: u64,
+    /// Base TTSA schedule for the per-cluster cold solves.
+    pub ttsa: TtsaConfig,
+    /// Tempering ladder for the per-cluster cold solves.
+    pub tempering: TemperingConfig,
+}
+
+impl ShardConfig {
+    /// Defaults matched to the paper's geometry: clusters of 8 servers, at
+    /// most 8 reconciliation sweeps, a 200k-proposal descent budget per
+    /// cluster-sweep, and the paper-default TTSA/tempering schedules for
+    /// the cluster solves.
+    pub fn paper_default() -> Self {
+        Self {
+            cluster_size: 8,
+            max_sweeps: 8,
+            seed: 0,
+            descent_budget: 200_000,
+            ttsa: TtsaConfig::paper_default(),
+            tempering: TemperingConfig::paper_default(),
+        }
+    }
+
+    /// Sets the maximum cluster size (servers per cluster).
+    pub fn with_cluster_size(mut self, size: usize) -> Self {
+        self.cluster_size = size;
+        self
+    }
+
+    /// Sets the sweep cap.
+    pub fn with_max_sweeps(mut self, sweeps: usize) -> Self {
+        self.max_sweeps = sweeps;
+        self
+    }
+
+    /// Sets the shard seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-cluster-per-sweep descent proposal budget.
+    pub fn with_descent_budget(mut self, budget: u64) -> Self {
+        self.descent_budget = budget;
+        self
+    }
+
+    /// Replaces the per-cluster TTSA schedule.
+    pub fn with_ttsa(mut self, ttsa: TtsaConfig) -> Self {
+        self.ttsa = ttsa;
+        self
+    }
+
+    /// Replaces the per-cluster tempering ladder.
+    pub fn with_tempering(mut self, tempering: TemperingConfig) -> Self {
+        self.tempering = tempering;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a zero cluster size, sweep
+    /// cap, or descent budget, and propagates validation of the embedded
+    /// TTSA and tempering configurations.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.cluster_size == 0 {
+            return Err(Error::invalid(
+                "cluster_size",
+                "must hold at least 1 server",
+            ));
+        }
+        if self.max_sweeps == 0 {
+            return Err(Error::invalid("max_sweeps", "must allow at least 1 sweep"));
+        }
+        if self.descent_budget == 0 {
+            return Err(Error::invalid(
+                "descent_budget",
+                "must allow at least one descent proposal",
+            ));
+        }
+        self.ttsa.validate()?;
+        self.tempering.validate()
+    }
+}
+
+impl Default for ShardConfig {
+    /// Defaults to [`ShardConfig::paper_default`].
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The members of one cluster, in ascending global-id order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterMembers {
+    /// Servers owned by the cluster.
+    pub servers: Vec<ServerId>,
+    /// Users attached to the cluster (strongest-server rule).
+    pub users: Vec<UserId>,
+}
+
+/// A deterministic, seeded partition of a scenario into server clusters.
+///
+/// Servers are split into contiguous index chunks of at most
+/// `cluster_size`, rotated by `seed mod S` so different seeds group
+/// different neighbors; every user lands in the cluster of its
+/// strongest-gain server (ties break toward the lowest server index).
+/// Every server and every user belongs to **exactly one** cluster — the
+/// property the `shard_props` suite pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    cluster_size: usize,
+    server_cluster: Vec<usize>,
+    user_cluster: Vec<usize>,
+    clusters: Vec<ClusterMembers>,
+}
+
+impl Partition {
+    /// Builds the partition for a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a zero `cluster_size`.
+    pub fn build(scenario: &Scenario, cluster_size: usize, seed: u64) -> Result<Self, Error> {
+        if cluster_size == 0 {
+            return Err(Error::invalid(
+                "cluster_size",
+                "must hold at least 1 server",
+            ));
+        }
+        let s_count = scenario.num_servers();
+        let num_clusters = s_count.div_ceil(cluster_size);
+        let offset = (seed % s_count as u64) as usize;
+        let mut clusters = vec![ClusterMembers::default(); num_clusters];
+
+        let server_cluster: Vec<usize> = (0..s_count)
+            .map(|i| ((i + offset) % s_count) / cluster_size)
+            .collect();
+        for (i, &c) in server_cluster.iter().enumerate() {
+            clusters[c].servers.push(ServerId::new(i));
+        }
+
+        let gains = scenario.gains();
+        let j0 = SubchannelId::new(0);
+        let user_cluster: Vec<usize> = scenario
+            .user_ids()
+            .map(|u| {
+                let mut best = ServerId::new(0);
+                let mut best_gain = f64::NEG_INFINITY;
+                for s in scenario.server_ids() {
+                    let g = gains.gain(u, s, j0);
+                    if g > best_gain {
+                        best_gain = g;
+                        best = s;
+                    }
+                }
+                server_cluster[best.index()]
+            })
+            .collect();
+        for (u, &c) in user_cluster.iter().enumerate() {
+            clusters[c].users.push(UserId::new(u));
+        }
+
+        Ok(Self {
+            cluster_size,
+            server_cluster,
+            user_cluster,
+            clusters,
+        })
+    }
+
+    /// Number of clusters (including user-empty ones).
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The configured maximum cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.cluster_size
+    }
+
+    /// All clusters, in index order.
+    pub fn clusters(&self) -> &[ClusterMembers] {
+        &self.clusters
+    }
+
+    /// The cluster owning server `s`.
+    pub fn cluster_of_server(&self, s: ServerId) -> usize {
+        self.server_cluster[s.index()]
+    }
+
+    /// The cluster user `u` is attached to.
+    pub fn cluster_of_user(&self, u: UserId) -> usize {
+        self.user_cluster[u.index()]
+    }
+}
+
+/// The city-wide halo: per-`(subchannel, server)` received-power totals of
+/// **all** offloaded users, laid out `[j·S + s]` (subchannel-major, the
+/// [`Scenario::external_rx`] layout). Accumulated in ascending user order,
+/// so the result is a pure deterministic function of the assignment.
+pub fn halo_totals(scenario: &Scenario, x: &Assignment) -> Vec<f64> {
+    let s_count = scenario.num_servers();
+    let powers = scenario.tx_powers_watts();
+    let gains = scenario.gains();
+    let mut totals = vec![0.0; scenario.num_subchannels() * s_count];
+    for (u, _s, j) in x.offloaded() {
+        let p = powers[u.index()];
+        let row = &mut totals[j.index() * s_count..][..s_count];
+        for (t, server) in row.iter_mut().zip(ServerId::all(s_count)) {
+            *t += p * gains.gain(u, server, j);
+        }
+    }
+    totals
+}
+
+/// The halo **seen by** `cluster`: [`halo_totals`] restricted to the
+/// contributions of users *outside* the cluster, in the same global
+/// `[j·S + s]` layout. This is exactly what the engine installs (re-indexed
+/// to the cluster's local servers) as the subset's
+/// [`Scenario::external_rx`].
+pub fn cluster_external(
+    scenario: &Scenario,
+    partition: &Partition,
+    cluster: usize,
+    x: &Assignment,
+) -> Vec<f64> {
+    let s_count = scenario.num_servers();
+    let powers = scenario.tx_powers_watts();
+    let gains = scenario.gains();
+    let mut totals = vec![0.0; scenario.num_subchannels() * s_count];
+    for (u, _s, j) in x.offloaded() {
+        if partition.cluster_of_user(u) == cluster {
+            continue;
+        }
+        let p = powers[u.index()];
+        let row = &mut totals[j.index() * s_count..][..s_count];
+        for (t, server) in row.iter_mut().zip(ServerId::all(s_count)) {
+            *t += p * gains.gain(u, server, j);
+        }
+    }
+    totals
+}
+
+/// One non-empty cluster's solving state: the subset scenario (whose
+/// `external_rx` is refreshed before every visit) plus the local↔global id
+/// maps.
+struct ClusterWork {
+    /// Index into the partition's cluster list.
+    index: usize,
+    scenario: Scenario,
+    users: Vec<UserId>,
+    servers: Vec<ServerId>,
+}
+
+/// The result of a sharded solve.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The merged city-wide decision.
+    pub assignment: Assignment,
+    /// Its objective, re-scored through one monolithic
+    /// [`IncrementalObjective`] resync (not a per-cluster sum).
+    pub objective: f64,
+    /// Non-empty clusters that were solved.
+    pub clusters: usize,
+    /// Gauss–Seidel reconciliation sweeps executed (excludes the cold
+    /// shard solve).
+    pub sweeps: usize,
+    /// Whether a full sweep completed with no cluster changing (fixed
+    /// point), as opposed to hitting [`ShardConfig::max_sweeps`].
+    pub converged: bool,
+    /// Total proposals across cluster solves and descent sweeps.
+    pub proposals: u64,
+    /// Relative gap between the per-cluster halo-accounting objective sum
+    /// and the monolithic resync — the decomposition's self-check,
+    /// expected within the suite-wide `1e-9` tolerance.
+    pub halo_residual: f64,
+}
+
+/// A stepping handle over a sharded solve: construction runs the parallel
+/// cold shard phase, each [`sweep`](Self::sweep) runs one Gauss–Seidel
+/// halo-reconciliation pass, and [`finish`](Self::finish) re-scores the
+/// merged schedule monolithically. [`solve_sharded`] drives it to
+/// convergence; the property suite steps it manually to audit the halos
+/// between sweeps.
+pub struct ShardRun<'a> {
+    scenario: &'a Scenario,
+    config: ShardConfig,
+    partition: Partition,
+    works: Vec<ClusterWork>,
+    global: Assignment,
+    sweeps: usize,
+    converged: bool,
+    proposals: u64,
+}
+
+impl<'a> ShardRun<'a> {
+    /// Partitions the scenario and runs the parallel per-cluster cold
+    /// solves (`workers` caps the pool; it never affects the result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an invalid configuration
+    /// and propagates subset-construction failures.
+    pub fn new(scenario: &'a Scenario, config: ShardConfig, workers: usize) -> Result<Self, Error> {
+        config.validate()?;
+        let partition = Partition::build(scenario, config.cluster_size, config.seed)?;
+
+        // Per-cluster seeds are derived for *every* cluster in index order
+        // before any dispatch, so a cluster's stream does not depend on
+        // which other clusters happen to be user-empty.
+        let mut seed_rng = StdRng::seed_from_u64(config.seed);
+        let cluster_seeds: Vec<u64> = (0..partition.num_clusters())
+            .map(|_| seed_rng.gen())
+            .collect();
+
+        let mut works = Vec::new();
+        for (index, members) in partition.clusters().iter().enumerate() {
+            if members.users.is_empty() {
+                continue;
+            }
+            works.push(ClusterWork {
+                index,
+                scenario: scenario.subset(&members.users, &members.servers)?,
+                users: members.users.clone(),
+                servers: members.servers.clone(),
+            });
+        }
+
+        // Cold shard phase: tempered TTSA per cluster, statically pinned
+        // to workers (cluster i → worker i mod W) with indexed collection,
+        // exactly the PR-5 pool discipline — identical at any pool width.
+        let mut outcomes: Vec<Option<AnnealOutcome>> = Vec::new();
+        outcomes.resize_with(works.len(), || None);
+        let worker_count = workers.max(1).min(works.len().max(1));
+        if worker_count <= 1 {
+            let kernel = NeighborhoodKernel::new();
+            for (i, work) in works.iter().enumerate() {
+                outcomes[i] = Some(cold_solve(work, &config, &cluster_seeds, &kernel));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..worker_count)
+                    .map(|w| {
+                        let works = &works;
+                        let cluster_seeds = &cluster_seeds;
+                        let config = &config;
+                        scope.spawn(move || {
+                            let kernel = NeighborhoodKernel::new();
+                            let mut results = Vec::new();
+                            let mut i = w;
+                            while i < works.len() {
+                                results.push((
+                                    i,
+                                    cold_solve(&works[i], config, cluster_seeds, &kernel),
+                                ));
+                                i += worker_count;
+                            }
+                            results
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, outcome) in handle.join().expect("cluster worker panicked") {
+                        outcomes[i] = Some(outcome);
+                    }
+                }
+            });
+        }
+
+        // Merge: cluster solves only touch their own (disjoint) servers,
+        // so the union is conflict-free by construction.
+        let mut global = Assignment::all_local(scenario);
+        let mut proposals = 0u64;
+        for (work, outcome) in works.iter().zip(outcomes) {
+            let outcome = outcome.expect("cluster solved");
+            proposals += outcome.proposals;
+            for (ul, sl, j) in outcome.assignment.offloaded() {
+                global
+                    .assign(work.users[ul.index()], work.servers[sl.index()], j)
+                    .expect("cluster servers are disjoint");
+            }
+        }
+
+        Ok(Self {
+            scenario,
+            config,
+            partition,
+            works,
+            global,
+            sweeps: 0,
+            converged: false,
+            proposals,
+        })
+    }
+
+    /// The partition driving the run.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The current merged city-wide decision.
+    pub fn assignment(&self) -> &Assignment {
+        &self.global
+    }
+
+    /// Reconciliation sweeps executed so far.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Whether a fixed point has been reached.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Total proposals spent so far.
+    pub fn proposals(&self) -> u64 {
+        self.proposals
+    }
+
+    /// Runs one Gauss–Seidel sweep: every non-empty cluster, in index
+    /// order, gets the current cross-cluster halo installed and runs the
+    /// deterministic first-improvement descent. Returns whether any
+    /// cluster changed its schedule; `false` marks the run converged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates halo installation and warm-start failures (none occur
+    /// for states produced by [`ShardRun::new`]).
+    pub fn sweep(&mut self) -> Result<bool, Error> {
+        if self.converged {
+            return Ok(false);
+        }
+        let mut changed = false;
+        for wi in 0..self.works.len() {
+            let ext = cluster_external(
+                self.scenario,
+                &self.partition,
+                self.works[wi].index,
+                &self.global,
+            );
+            let work = &mut self.works[wi];
+            install_external(work, &ext, self.scenario.num_servers())?;
+            let local = local_assignment(work, &self.global)?;
+            let mut inc = IncrementalObjective::new(&work.scenario, local)?;
+            let (cluster_changed, spent) = descent(&mut inc, self.config.descent_budget);
+            self.proposals += spent;
+            if cluster_changed {
+                changed = true;
+                for &u in &work.users {
+                    self.global.release(u);
+                }
+                for (ul, sl, j) in inc.assignment().offloaded() {
+                    self.global
+                        .assign(work.users[ul.index()], work.servers[sl.index()], j)
+                        .expect("cluster servers are disjoint");
+                }
+            }
+        }
+        self.sweeps += 1;
+        if !changed {
+            self.converged = true;
+        }
+        Ok(changed)
+    }
+
+    /// Re-scores the merged schedule through one monolithic
+    /// [`IncrementalObjective`] resync, cross-checks it against the
+    /// per-cluster halo-accounting sum, and returns the outcome. Falls
+    /// back to the all-local decision if the merged schedule is worse than
+    /// doing nothing (matching every other engine's contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates monolithic-evaluation failures (none occur for states
+    /// produced by [`ShardRun::new`]).
+    pub fn finish(mut self) -> Result<ShardOutcome, Error> {
+        // Halo accounting: with the final halos installed, the objective
+        // decomposes exactly into per-cluster terms — each user's SINR
+        // depends only on its own server's per-subchannel total, and the
+        // external supplies the cross-cluster share of it.
+        let mut cluster_sum = 0.0;
+        for wi in 0..self.works.len() {
+            let ext = cluster_external(
+                self.scenario,
+                &self.partition,
+                self.works[wi].index,
+                &self.global,
+            );
+            let work = &mut self.works[wi];
+            install_external(work, &ext, self.scenario.num_servers())?;
+            let local = local_assignment(work, &self.global)?;
+            let inc = IncrementalObjective::new(&work.scenario, local)?;
+            cluster_sum += inc.current();
+        }
+
+        let clusters = self.works.len();
+        let inc = IncrementalObjective::new(self.scenario, self.global)?;
+        let mut objective = inc.current();
+        let halo_residual = (cluster_sum - objective).abs() / objective.abs().max(1.0);
+        let mut assignment = inc.into_assignment();
+        if objective < 0.0 {
+            assignment = Assignment::all_local(self.scenario);
+            objective = 0.0;
+        }
+        Ok(ShardOutcome {
+            assignment,
+            objective,
+            clusters,
+            sweeps: self.sweeps,
+            converged: self.converged,
+            proposals: self.proposals,
+            halo_residual,
+        })
+    }
+}
+
+/// One cluster's cold solve: tempered TTSA on the subset, single-threaded
+/// (parallelism lives at the cluster level), seeded from the cluster's
+/// pre-derived stream.
+fn cold_solve(
+    work: &ClusterWork,
+    config: &ShardConfig,
+    cluster_seeds: &[u64],
+    kernel: &NeighborhoodKernel,
+) -> AnnealOutcome {
+    let mut rng = StdRng::seed_from_u64(cluster_seeds[work.index]);
+    temper(
+        &work.scenario,
+        &config.tempering,
+        &config.ttsa,
+        kernel,
+        &mut rng,
+        1,
+    )
+}
+
+/// Installs a global-layout halo into a cluster subset's `external_rx`,
+/// re-indexed to the cluster's local servers.
+fn install_external(work: &mut ClusterWork, ext: &[f64], s_count: usize) -> Result<(), Error> {
+    let s_local = work.servers.len();
+    let n = work.scenario.num_subchannels();
+    let mut local_ext = vec![0.0; n * s_local];
+    for (j, row) in local_ext.chunks_exact_mut(s_local).enumerate() {
+        let global_row = &ext[j * s_count..][..s_count];
+        for (dst, sid) in row.iter_mut().zip(work.servers.iter()) {
+            *dst = global_row[sid.index()];
+        }
+    }
+    work.scenario.set_external_rx(Some(local_ext))
+}
+
+/// Extracts a cluster's slice of the merged global assignment in local
+/// ids. Cluster users only ever hold slots on cluster servers, so the
+/// server lookup cannot fail.
+fn local_assignment(work: &ClusterWork, global: &Assignment) -> Result<Assignment, Error> {
+    let mut local = Assignment::with_dims(
+        work.users.len(),
+        work.servers.len(),
+        work.scenario.num_subchannels(),
+    );
+    for (k, &u) in work.users.iter().enumerate() {
+        if let Some((s, j)) = global.slot(u) {
+            let sl = work
+                .servers
+                .binary_search(&s)
+                .expect("cluster users stay on cluster servers");
+            local.assign(UserId::new(k), ServerId::new(sl), j)?;
+        }
+    }
+    Ok(local)
+}
+
+/// Relative improvement floor for the descent: an accepted move must beat
+/// the incumbent by more than this fraction of its magnitude. The
+/// incremental score/apply arithmetic drifts by a few ulps (~`1e-16`
+/// relative) per accepted move, so without a floor a pair of moves that
+/// nets to zero can each look "improving" by ~`1e-15` and the descent
+/// cycles forever; `1e-12` is two orders of magnitude above the drift and
+/// three below the suite-wide `1e-9` tolerance, so it kills the cycles
+/// without discarding any improvement the conformance suite could see.
+const DESCENT_IMPROVEMENT_FLOOR: f64 = 1e-12;
+
+/// Deterministic, RNG-free first-improvement descent — the tempering
+/// quench's move order (every single-user relocation including evictions,
+/// then pairwise slot swaps), repeated until a local optimum or the
+/// budget. A move is accepted only if it clears
+/// [`DESCENT_IMPROVEMENT_FLOOR`], which makes the fixed point stable
+/// under floating-point drift. Returns whether any move was accepted and
+/// the proposals spent. This is the per-cluster proposal loop of
+/// [`ShardRun::sweep`], exposed so the counting-allocator gate in
+/// `tests/shard_alloc_free.rs` can pin it: the loop reuses the
+/// incremental state's buffers only, so at a fixed point it allocates
+/// nothing.
+pub fn descent(inc: &mut IncrementalObjective<'_>, budget: u64) -> (bool, u64) {
+    let scenario = inc.scenario();
+    let mut current = inc.current();
+    let mut spent: u64 = 0;
+    let mut changed = false;
+    let mut improved = true;
+    let n = scenario.num_subchannels();
+    let total_slots = scenario.num_servers() * n;
+    let slot = |p: usize| (ServerId::new(p / n), SubchannelId::new(p % n));
+    'descent: while improved && spent < budget {
+        improved = false;
+        // Phase 1: every single-user relocation — back to local, or onto
+        // any slot, evicting its occupant when taken.
+        for u in scenario.user_ids() {
+            let slots = scenario
+                .server_ids()
+                .flat_map(|s| SubchannelId::all(n).map(move |j| Some((s, j))));
+            for target in std::iter::once(None).chain(slots) {
+                if spent >= budget {
+                    break 'descent;
+                }
+                let mv = match target {
+                    None => MoveDesc::relocate(inc.assignment(), u, None),
+                    Some((s, j)) => MoveDesc::relocate_evicting(inc.assignment(), u, s, j),
+                };
+                if mv.is_noop() {
+                    continue;
+                }
+                let candidate = inc.score(&mv);
+                spent += 1;
+                if candidate - current > DESCENT_IMPROVEMENT_FLOOR * current.abs().max(1.0) {
+                    inc.apply(&mv);
+                    inc.commit();
+                    current = candidate;
+                    improved = true;
+                    changed = true;
+                }
+            }
+        }
+        // Phase 2: pairwise slot exchanges between offloaded users.
+        for p in 0..total_slots {
+            for q in (p + 1)..total_slots {
+                if spent >= budget {
+                    break 'descent;
+                }
+                let (s1, j1) = slot(p);
+                let (s2, j2) = slot(q);
+                let (Some(a), Some(b)) = (
+                    inc.assignment().occupant(s1, j1),
+                    inc.assignment().occupant(s2, j2),
+                ) else {
+                    continue;
+                };
+                let mv = MoveDesc::swap(inc.assignment(), a, b);
+                if mv.is_noop() {
+                    continue;
+                }
+                let candidate = inc.score(&mv);
+                spent += 1;
+                if candidate - current > DESCENT_IMPROVEMENT_FLOOR * current.abs().max(1.0) {
+                    inc.apply(&mv);
+                    inc.commit();
+                    current = candidate;
+                    improved = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    (changed, spent)
+}
+
+/// Runs the sharded engine to convergence (or the sweep cap): cold shard
+/// phase, Gauss–Seidel halo sweeps, monolithic re-score.
+///
+/// `workers` caps the cluster-solve pool (resolve it with
+/// [`mec_types::effective_parallelism`]); it never affects the result.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for an invalid configuration and
+/// propagates scenario-subset failures.
+pub fn solve_sharded(
+    scenario: &Scenario,
+    config: &ShardConfig,
+    workers: usize,
+) -> Result<ShardOutcome, Error> {
+    let mut run = ShardRun::new(scenario, *config, workers)?;
+    while run.sweeps() < config.max_sweeps {
+        if !run.sweep()? {
+            break;
+        }
+    }
+    run.finish()
+}
+
+/// Scalar diagnostics of the most recent [`ShardSolver`] solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Non-empty clusters solved.
+    pub clusters: usize,
+    /// Reconciliation sweeps executed.
+    pub sweeps: usize,
+    /// Whether the run reached a fixed point before the sweep cap.
+    pub converged: bool,
+    /// Halo-accounting residual (see [`ShardOutcome::halo_residual`]).
+    pub halo_residual: f64,
+}
+
+/// The sharded city-scale scheduler behind `--solver shard`.
+///
+/// Implements [`Solver`]. Unlike [`TsajsSolver`](crate::TsajsSolver),
+/// repeated `solve` calls are bit-identical: the shard seed fully
+/// determines the partition and every cluster stream.
+#[derive(Debug, Clone)]
+pub struct ShardSolver {
+    config: ShardConfig,
+    threads: Option<usize>,
+    last_stats: Option<ShardStats>,
+}
+
+impl ShardSolver {
+    /// Creates a solver from a configuration.
+    pub fn new(config: ShardConfig) -> Self {
+        Self {
+            config,
+            threads: None,
+            last_stats: None,
+        }
+    }
+
+    /// Creates a solver with [`ShardConfig::paper_default`] and the given
+    /// seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(ShardConfig::paper_default().with_seed(seed))
+    }
+
+    /// Caps the cluster-solve worker pool. Without an explicit cap,
+    /// `TSAJS_THREADS` and the hardware parallelism decide (see
+    /// [`mec_types::effective_parallelism`]). Thread count never affects
+    /// results.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// Diagnostics of the most recent solve.
+    pub fn last_stats(&self) -> Option<ShardStats> {
+        self.last_stats
+    }
+}
+
+impl Solver for ShardSolver {
+    fn name(&self) -> &str {
+        "TSAJS-SHARD"
+    }
+
+    fn solve(&mut self, scenario: &Scenario) -> Result<Solution, Error> {
+        let start = Instant::now();
+        let workers = effective_parallelism(self.threads);
+        let out = solve_sharded(scenario, &self.config, workers)?;
+        let elapsed = start.elapsed();
+        self.last_stats = Some(ShardStats {
+            clusters: out.clusters,
+            sweeps: out.sweeps,
+            converged: out.converged,
+            halo_residual: out.halo_residual,
+        });
+        Ok(Solution {
+            assignment: out.assignment,
+            utility: out.objective,
+            stats: SolverStats {
+                // One evaluation per proposal plus each cluster's initial
+                // solution and the final monolithic re-score.
+                objective_evaluations: out.proposals + out.clusters as u64 + 1,
+                iterations: out.proposals,
+                elapsed,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_radio::{ChannelGains, OfdmaConfig};
+    use mec_system::{Evaluator, UserSpec};
+    use mec_types::{Cycles, Hertz, ServerProfile, Watts};
+
+    /// A scenario with block-diagonal-dominant gains: user `u` hears
+    /// server `u mod servers` best, so the strongest-server rule spreads
+    /// users over every cluster.
+    fn scenario(users: usize, servers: usize, subchannels: usize) -> Scenario {
+        let gains = ChannelGains::shared_from_fn(users, servers, subchannels, |u, s| {
+            if u.index() % servers == s.index() {
+                1e-10
+            } else {
+                2e-11 + 1e-13 * ((u.index() + s.index()) % 7) as f64
+            }
+        })
+        .unwrap();
+        Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(2000.0)).unwrap(); users],
+            vec![ServerProfile::paper_default(); servers],
+            OfdmaConfig::new(Hertz::from_mega(20.0), subchannels).unwrap(),
+            gains,
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    fn quick_config() -> ShardConfig {
+        ShardConfig::paper_default()
+            .with_cluster_size(2)
+            .with_ttsa(TtsaConfig::paper_default().with_min_temperature(1e-2))
+            .with_tempering(
+                TemperingConfig::paper_default()
+                    .with_replicas(4)
+                    .with_rounds(4),
+            )
+    }
+
+    #[test]
+    fn partition_covers_every_entity_exactly_once() {
+        let sc = scenario(12, 5, 2);
+        let p = Partition::build(&sc, 2, 7).unwrap();
+        assert_eq!(p.num_clusters(), 3);
+        let mut seen_servers = [0usize; 5];
+        let mut seen_users = [0usize; 12];
+        for (c, members) in p.clusters().iter().enumerate() {
+            assert!(members.servers.len() <= 2);
+            for &s in &members.servers {
+                seen_servers[s.index()] += 1;
+                assert_eq!(p.cluster_of_server(s), c);
+            }
+            for &u in &members.users {
+                seen_users[u.index()] += 1;
+                assert_eq!(p.cluster_of_user(u), c);
+            }
+        }
+        assert!(seen_servers.iter().all(|&n| n == 1));
+        assert!(seen_users.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn partition_rotation_depends_on_seed() {
+        let sc = scenario(8, 6, 2);
+        let a = Partition::build(&sc, 2, 0).unwrap();
+        let b = Partition::build(&sc, 2, 1).unwrap();
+        assert_ne!(a, b, "different seeds must rotate the chunk boundaries");
+        let a2 = Partition::build(&sc, 2, 0).unwrap();
+        assert_eq!(a, a2, "same seed must reproduce the partition");
+    }
+
+    #[test]
+    fn solves_and_matches_monolithic_rescore() {
+        let sc = scenario(10, 4, 2);
+        let out = solve_sharded(&sc, &quick_config(), 2).unwrap();
+        out.assignment.verify_feasible(&sc).unwrap();
+        assert!(out.objective > 0.0, "got {}", out.objective);
+        assert!(out.clusters >= 2);
+        assert!(out.sweeps >= 1);
+        assert!(out.halo_residual <= 1e-9, "residual {}", out.halo_residual);
+        // The reported objective IS the monolithic resync, bit for bit.
+        let inc = IncrementalObjective::new(&sc, out.assignment.clone()).unwrap();
+        assert_eq!(out.objective.to_bits(), inc.current().to_bits());
+        let fresh = Evaluator::new(&sc).objective(&out.assignment);
+        assert!((fresh - out.objective).abs() <= 1e-9 * fresh.abs().max(1.0));
+    }
+
+    #[test]
+    fn bit_identical_at_any_worker_count() {
+        let sc = scenario(12, 4, 2);
+        let cfg = quick_config().with_seed(23);
+        let runs: Vec<ShardOutcome> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| solve_sharded(&sc, &cfg, w).unwrap())
+            .collect();
+        for run in &runs[1..] {
+            assert_eq!(runs[0].assignment, run.assignment);
+            assert_eq!(runs[0].objective.to_bits(), run.objective.to_bits());
+            assert_eq!(runs[0].proposals, run.proposals);
+            assert_eq!(runs[0].sweeps, run.sweeps);
+        }
+    }
+
+    #[test]
+    fn stepping_api_exposes_consistent_halos() {
+        let sc = scenario(10, 4, 2);
+        let mut run = ShardRun::new(&sc, quick_config(), 1).unwrap();
+        let _ = run.sweep().unwrap();
+        // Accounting identity: for every cluster, what it sees (external)
+        // plus what it emits equals the global halo.
+        let totals = halo_totals(&sc, run.assignment());
+        for c in 0..run.partition().num_clusters() {
+            let ext = cluster_external(&sc, run.partition(), c, run.assignment());
+            let own: Vec<f64> = {
+                let all = halo_totals(&sc, run.assignment());
+                all.iter().zip(ext.iter()).map(|(t, e)| t - e).collect()
+            };
+            for ((t, e), o) in totals.iter().zip(ext.iter()).zip(own.iter()) {
+                assert!((t - (e + o)).abs() <= 1e-12 * t.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn sweeps_reach_a_fixed_point_within_the_cap() {
+        let sc = scenario(10, 4, 2);
+        let out = solve_sharded(&sc, &quick_config(), 1).unwrap();
+        assert!(
+            out.converged,
+            "expected a fixed point, ran {} sweeps",
+            out.sweeps
+        );
+        assert!(out.sweeps <= quick_config().max_sweeps);
+    }
+
+    #[test]
+    fn single_cluster_degenerates_to_plain_solve() {
+        let sc = scenario(6, 3, 2);
+        let cfg = quick_config().with_cluster_size(8);
+        let out = solve_sharded(&sc, &cfg, 2).unwrap();
+        assert_eq!(out.clusters, 1);
+        assert!(out.converged);
+        out.assignment.verify_feasible(&sc).unwrap();
+        assert!(out.objective >= 0.0);
+    }
+
+    #[test]
+    fn solver_trait_reports_stats() {
+        let sc = scenario(10, 4, 2);
+        let mut solver = ShardSolver::new(quick_config()).with_threads(2);
+        assert_eq!(solver.name(), "TSAJS-SHARD");
+        assert!(solver.last_stats().is_none());
+        let solution = solver.solve(&sc).unwrap();
+        solution.assignment.verify_feasible(&sc).unwrap();
+        let stats = solver.last_stats().expect("stats recorded");
+        assert!(stats.clusters >= 2);
+        assert!(stats.halo_residual <= 1e-9);
+        let recomputed = Evaluator::new(&sc).objective(&solution.assignment);
+        assert!((solution.utility - recomputed).abs() <= 1e-9 * recomputed.abs().max(1.0));
+    }
+
+    #[test]
+    fn repeated_solves_are_bit_identical() {
+        let sc = scenario(8, 4, 2);
+        let mut solver = ShardSolver::new(quick_config());
+        let a = solver.solve(&sc).unwrap();
+        let b = solver.solve(&sc).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.utility.to_bits(), b.utility.to_bits());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let sc = scenario(4, 2, 2);
+        assert!(Partition::build(&sc, 0, 0).is_err());
+        assert!(quick_config().with_cluster_size(0).validate().is_err());
+        assert!(quick_config().with_max_sweeps(0).validate().is_err());
+        assert!(quick_config().with_descent_budget(0).validate().is_err());
+        let mut solver = ShardSolver::new(quick_config().with_max_sweeps(0));
+        assert!(solver.solve(&sc).is_err());
+    }
+}

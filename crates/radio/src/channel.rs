@@ -138,7 +138,15 @@ impl ChannelModel {
         let mut shadowing = Shadowing::new(self.shadowing_stddev_db);
         let mut jitter = Shadowing::new(self.subchannel_jitter_db);
         let rho = self.shadowing_correlation;
-        let mut gains = vec![0.0; num_users * num_servers * num_subchannels];
+        // Without per-subchannel jitter every subchannel carries the same
+        // gain, so one value per (user, server) link suffices — the
+        // compact representation city-scale instances rely on. The dense
+        // path draws the exact same RNG stream it always did, and the
+        // shared path draws none for the jitter, so both layouts are
+        // bit-identical to the historical dense tensor.
+        let shared = self.subchannel_jitter_db <= 0.0;
+        let values_per_link = if shared { 1 } else { num_subchannels };
+        let mut gains = vec![0.0; num_users * num_servers * values_per_link];
         for (u, pos) in user_positions.iter().enumerate() {
             // User-common shadowing component (correlated across stations).
             let common_db = if rho > 0.0 {
@@ -154,15 +162,14 @@ impl ChannelModel {
                     rho.sqrt() * common_db + (1.0 - rho).sqrt() * shadowing.sample_db(rng)
                 };
                 let base_db = -(loss_db + link_db) + self.antenna_gain_db;
-                for j in 0..num_subchannels {
-                    let db = base_db
-                        + if self.subchannel_jitter_db > 0.0 {
-                            jitter.sample_db(rng)
-                        } else {
-                            0.0
-                        };
-                    gains[(u * num_servers + s) * num_subchannels + j] =
-                        Decibels::new(db).to_linear();
+                if shared {
+                    gains[u * num_servers + s] = Decibels::new(base_db).to_linear();
+                } else {
+                    for j in 0..num_subchannels {
+                        let db = base_db + jitter.sample_db(rng);
+                        gains[(u * num_servers + s) * num_subchannels + j] =
+                            Decibels::new(db).to_linear();
+                    }
                 }
             }
         }
@@ -170,6 +177,7 @@ impl ChannelModel {
             num_users,
             num_servers,
             num_subchannels,
+            shared,
             gains,
         }
     }
@@ -182,16 +190,58 @@ impl Default for ChannelModel {
     }
 }
 
-/// Dense linear channel gains `h[u][s][j]`.
+/// Linear channel gains `h[u][s][j]` in one of two layouts.
+///
+/// * **Dense** — one value per `(u, s, j)` at
+///   `gains[(u·S + s)·N + j]`: required when per-subchannel jitter makes
+///   subchannels distinguishable.
+/// * **Subchannel-shared** — one value per `(u, s)` at `gains[u·S + s]`,
+///   identical across subchannels. This is exact for the paper's model
+///   (fast fading averages out over the association timescale, §III-A.2)
+///   and cuts storage by `N×`, which is what lets U=100k–1M metro
+///   instances fit in memory.
 ///
 /// Generated once per scenario; lookups during search are branch-free
-/// multiplies into a flat buffer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// multiplies into a flat buffer plus one well-predicted layout branch.
+/// Equality is *logical*: two tensors compare equal iff every
+/// `h[u][s][j]` matches, regardless of representation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChannelGains {
     num_users: usize,
     num_servers: usize,
     num_subchannels: usize,
+    /// True for the subchannel-shared layout. Serialized tensors from
+    /// before this field existed were always dense, hence the default.
+    #[serde(default)]
+    shared: bool,
     gains: Vec<f64>,
+}
+
+impl PartialEq for ChannelGains {
+    fn eq(&self, other: &Self) -> bool {
+        if self.num_users != other.num_users
+            || self.num_servers != other.num_servers
+            || self.num_subchannels != other.num_subchannels
+        {
+            return false;
+        }
+        if self.shared == other.shared {
+            return self.gains == other.gains;
+        }
+        // Mixed representations: a shared tensor equals a dense one iff
+        // every subchannel of the dense tensor repeats the shared value.
+        let (sh, dn) = if self.shared {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        (0..self.num_users * self.num_servers).all(|base| {
+            let v = sh.gains[base];
+            dn.gains[base * self.num_subchannels..(base + 1) * self.num_subchannels]
+                .iter()
+                .all(|&g| g == v)
+        })
+    }
 }
 
 impl ChannelGains {
@@ -229,6 +279,45 @@ impl ChannelGains {
             num_users,
             num_servers,
             num_subchannels,
+            shared: false,
+            gains,
+        })
+    }
+
+    /// Builds a *subchannel-shared* tensor from a function of `(u, s)`:
+    /// every subchannel of a link carries the same gain, stored once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if any produced gain is
+    /// negative or non-finite.
+    pub fn shared_from_fn<F>(
+        num_users: usize,
+        num_servers: usize,
+        num_subchannels: usize,
+        mut f: F,
+    ) -> Result<Self, Error>
+    where
+        F: FnMut(UserId, ServerId) -> f64,
+    {
+        let mut gains = Vec::with_capacity(num_users * num_servers);
+        for u in 0..num_users {
+            for s in 0..num_servers {
+                let g = f(UserId::new(u), ServerId::new(s));
+                if !g.is_finite() || g < 0.0 {
+                    return Err(Error::invalid(
+                        "h_us",
+                        format!("gain for (u{u}, s{s}) must be finite and >= 0, got {g}"),
+                    ));
+                }
+                gains.push(g);
+            }
+        }
+        Ok(Self {
+            num_users,
+            num_servers,
+            num_subchannels,
+            shared: true,
             gains,
         })
     }
@@ -241,6 +330,56 @@ impl ChannelGains {
         gain: f64,
     ) -> Result<Self, Error> {
         Self::from_fn(num_users, num_servers, num_subchannels, |_, _, _| gain)
+    }
+
+    /// Whether this tensor uses the subchannel-shared layout (gains
+    /// identical across subchannels, stored once per link).
+    #[inline]
+    pub fn is_subchannel_shared(&self) -> bool {
+        self.shared
+    }
+
+    /// Extracts the sub-tensor for the given users and servers,
+    /// preserving the storage layout. New user `v` is old `users[v]` and
+    /// new server `t` is old `servers[t]`; indices may repeat.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEntity`] for any out-of-range id.
+    pub fn subset(&self, users: &[UserId], servers: &[ServerId]) -> Result<Self, Error> {
+        for &u in users {
+            if u.index() >= self.num_users {
+                return Err(Error::UnknownEntity {
+                    kind: "user",
+                    index: u.index(),
+                    count: self.num_users,
+                });
+            }
+        }
+        for &s in servers {
+            if s.index() >= self.num_servers {
+                return Err(Error::UnknownEntity {
+                    kind: "server",
+                    index: s.index(),
+                    count: self.num_servers,
+                });
+            }
+        }
+        let values_per_link = if self.shared { 1 } else { self.num_subchannels };
+        let mut gains = Vec::with_capacity(users.len() * servers.len() * values_per_link);
+        for &u in users {
+            for &s in servers {
+                let base = (u.index() * self.num_servers + s.index()) * values_per_link;
+                gains.extend_from_slice(&self.gains[base..base + values_per_link]);
+            }
+        }
+        Ok(Self {
+            num_users: users.len(),
+            num_servers: servers.len(),
+            num_subchannels: self.num_subchannels,
+            shared: self.shared,
+            gains,
+        })
     }
 
     /// Number of users in the tensor.
@@ -274,7 +413,12 @@ impl ChannelGains {
                 && j.index() < self.num_subchannels,
             "channel gain index out of range"
         );
-        self.gains[(u.index() * self.num_servers + s.index()) * self.num_subchannels + j.index()]
+        let base = u.index() * self.num_servers + s.index();
+        if self.shared {
+            self.gains[base]
+        } else {
+            self.gains[base * self.num_subchannels + j.index()]
+        }
     }
 
     /// Percentiles of the per-user *best-server* gain in dB — a quick
@@ -498,6 +642,93 @@ mod tests {
     #[should_panic(expected = "correlation")]
     fn out_of_range_correlation_panics() {
         let _ = ChannelModel::paper_default().with_shadowing_correlation(1.5);
+    }
+
+    #[test]
+    fn no_jitter_generation_uses_shared_layout() {
+        let l = layout();
+        let users: Vec<Point2> = (0..5).map(|i| Point2::new(40.0 * i as f64, 10.0)).collect();
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = ChannelModel::paper_default().generate(&l, &users, 3, &mut rng);
+        assert!(g.is_subchannel_shared());
+        assert_eq!(g.gains.len(), 5 * 9, "one value per (user, server) link");
+        // Logically identical across subchannels.
+        for u in 0..5 {
+            for s in 0..9 {
+                let g0 = g.gain(UserId::new(u), ServerId::new(s), SubchannelId::new(0));
+                for j in 1..3 {
+                    assert_eq!(
+                        g0,
+                        g.gain(UserId::new(u), ServerId::new(s), SubchannelId::new(j))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_generation_stays_dense() {
+        let l = layout();
+        let users = vec![Point2::new(100.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = ChannelModel::deterministic()
+            .with_subchannel_jitter_db(3.0)
+            .generate(&l, &users, 3, &mut rng);
+        assert!(!g.is_subchannel_shared());
+        assert_eq!(g.gains.len(), 9 * 3);
+    }
+
+    #[test]
+    fn shared_and_dense_representations_compare_logically() {
+        let f = |u: UserId, s: ServerId| (1 + u.index() * 10 + s.index()) as f64;
+        let shared = ChannelGains::shared_from_fn(3, 2, 4, f).unwrap();
+        let dense = ChannelGains::from_fn(3, 2, 4, |u, s, _| f(u, s)).unwrap();
+        assert!(shared.is_subchannel_shared());
+        assert!(!dense.is_subchannel_shared());
+        assert_eq!(shared, dense);
+        assert_eq!(dense, shared);
+        // A dense tensor that varies by subchannel differs from any
+        // shared tensor.
+        let varied = ChannelGains::from_fn(3, 2, 4, |u, s, j| f(u, s) + j.index() as f64).unwrap();
+        assert_ne!(shared, varied);
+        // And shared_from_fn validates like from_fn.
+        assert!(ChannelGains::shared_from_fn(1, 1, 1, |_, _| -1.0).is_err());
+        assert!(ChannelGains::shared_from_fn(1, 1, 1, |_, _| f64::NAN).is_err());
+    }
+
+    #[test]
+    fn subset_preserves_layout_and_values() {
+        let dense = ChannelGains::from_fn(4, 3, 2, |u, s, j| {
+            (1 + u.index() * 100 + s.index() * 10 + j.index()) as f64
+        })
+        .unwrap();
+        let shared = ChannelGains::shared_from_fn(4, 3, 2, |u, s| {
+            (1 + u.index() * 100 + s.index() * 10) as f64
+        })
+        .unwrap();
+        let users = [UserId::new(3), UserId::new(1)];
+        let servers = [ServerId::new(2), ServerId::new(0)];
+        for g in [&dense, &shared] {
+            let sub = g.subset(&users, &servers).unwrap();
+            assert_eq!(sub.is_subchannel_shared(), g.is_subchannel_shared());
+            assert_eq!(sub.num_users(), 2);
+            assert_eq!(sub.num_servers(), 2);
+            assert_eq!(sub.num_subchannels(), 2);
+            for (v, &u) in users.iter().enumerate() {
+                for (t, &s) in servers.iter().enumerate() {
+                    for j in 0..2 {
+                        let j = SubchannelId::new(j);
+                        assert_eq!(
+                            sub.gain(UserId::new(v), ServerId::new(t), j),
+                            g.gain(u, s, j)
+                        );
+                    }
+                }
+            }
+        }
+        // Out-of-range ids are rejected.
+        assert!(dense.subset(&[UserId::new(4)], &servers).is_err());
+        assert!(dense.subset(&users, &[ServerId::new(3)]).is_err());
     }
 
     #[test]

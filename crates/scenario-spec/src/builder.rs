@@ -283,6 +283,7 @@ impl ScenarioBuilder {
     pub fn expect(mut self, f: impl FnOnce(&mut ExpectSpec)) -> Self {
         let mut expect = self.spec.expect.take().unwrap_or(ExpectSpec {
             seed: 0,
+            solver: None,
             feasible: true,
             min_utility: None,
             max_utility: None,

@@ -10,13 +10,19 @@
 use crate::error::SpecError;
 use crate::schema::{ExpectSpec, ScenarioSpec};
 use mec_online::OnlineEpochReport;
+use mec_types::effective_parallelism;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tsajs::{anneal, NeighborhoodKernel, TtsaConfig};
+use tsajs::{anneal, solve_sharded, NeighborhoodKernel, ShardConfig, TtsaConfig};
 
 /// Termination temperature used when a spec carries no `[effort]` block —
 /// quick-scale so the corpus stays CI-friendly.
 const DEFAULT_MIN_TEMPERATURE: f64 = 1e-2;
+
+/// Per-cluster proposal budget for `solver = "shard"` expect runs. City
+/// clusters can hold tens of thousands of users, so the corpus caps cold
+/// solves the same way the anytime service tiers do.
+const SHARD_PROPOSAL_BUDGET: u64 = 4000;
 
 /// The outcome of one spec's expectation run.
 #[derive(Debug, Clone)]
@@ -90,6 +96,7 @@ pub fn run_online(spec: &ScenarioSpec, seed: u64) -> Result<OnlineOutcome, SpecE
 fn default_expect() -> ExpectSpec {
     ExpectSpec {
         seed: 0,
+        solver: None,
         feasible: true,
         min_utility: None,
         max_utility: None,
@@ -234,31 +241,45 @@ pub fn check_expectations(spec: &ScenarioSpec) -> Result<ExpectReport, SpecError
             .as_ref()
             .map(|e| e.ttsa_min_temperature)
             .unwrap_or(DEFAULT_MIN_TEMPERATURE);
-        let config = TtsaConfig::paper_default().with_min_temperature(min_temperature);
-        let kernel = NeighborhoodKernel::new();
-        // Same solver-stream decorrelation as the online engine.
-        let mut rng = StdRng::seed_from_u64(expect.seed ^ 0x5851_F42D_4C95_7F2D);
-        let outcome = anneal(&scenario, &config, &kernel, &mut rng);
+        let (objective, assignment) = if expect.solver.as_deref() == Some("shard") {
+            let config = ShardConfig::paper_default()
+                .with_seed(expect.seed)
+                .with_ttsa(
+                    TtsaConfig::paper_default()
+                        .with_min_temperature(min_temperature)
+                        .with_proposal_budget(SHARD_PROPOSAL_BUDGET),
+                );
+            let out = solve_sharded(&scenario, &config, effective_parallelism(None))
+                .map_err(|e| SpecError::model("expect.solver", &e))?;
+            (out.objective, out.assignment)
+        } else {
+            let config = TtsaConfig::paper_default().with_min_temperature(min_temperature);
+            let kernel = NeighborhoodKernel::new();
+            // Same solver-stream decorrelation as the online engine.
+            let mut rng = StdRng::seed_from_u64(expect.seed ^ 0x5851_F42D_4C95_7F2D);
+            let outcome = anneal(&scenario, &config, &kernel, &mut rng);
+            (outcome.objective, outcome.assignment)
+        };
         if expect.feasible {
             check(
-                outcome.assignment.verify_feasible(&scenario).is_ok(),
+                assignment.verify_feasible(&scenario).is_ok(),
                 "solver produced an infeasible assignment".into(),
             );
         }
         if let Some(floor) = expect.min_utility {
             check(
-                outcome.objective >= floor,
-                format!("objective {:.4} below floor {floor}", outcome.objective),
+                objective >= floor,
+                format!("objective {objective:.4} below floor {floor}"),
             );
         }
         if let Some(cap) = expect.max_utility {
             check(
-                outcome.objective <= cap,
-                format!("objective {:.4} above cap {cap}", outcome.objective),
+                objective <= cap,
+                format!("objective {objective:.4} above cap {cap}"),
             );
         }
         if let Some(floor) = expect.min_offloaded {
-            let n = outcome.assignment.num_offloaded();
+            let n = assignment.num_offloaded();
             check(
                 n >= floor,
                 format!("{n} users offloaded, expected at least {floor}"),

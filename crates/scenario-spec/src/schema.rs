@@ -405,6 +405,9 @@ impl TimelineEventKind {
 pub struct ExpectSpec {
     /// Seed the assertions hold for.
     pub seed: u64,
+    /// Offline solver the assertions run against: `"anneal"` (default)
+    /// or `"shard"` (the sharded city-scale engine).
+    pub solver: Option<String>,
     /// The TSAJS solution must be feasible.
     pub feasible: bool,
     /// Lower bound on the achieved objective.
@@ -1094,6 +1097,7 @@ impl ExpectSpec {
     fn decode(mut w: Walk) -> Result<Self, SpecError> {
         let spec = Self {
             seed: w.u64_or("seed", 0)?,
+            solver: w.str_opt("solver")?,
             feasible: w.bool_or("feasible", true)?,
             min_utility: w.f64_opt("min_utility")?,
             max_utility: w.f64_opt("max_utility")?,
@@ -1114,6 +1118,7 @@ impl ExpectSpec {
     fn encode(&self) -> Content {
         MapBuilder::new()
             .push("seed", Content::U64(self.seed))
+            .push_opt("solver", self.solver.clone().map(Content::Str))
             .push("feasible", Content::Bool(self.feasible))
             .push_opt("min_utility", self.min_utility.map(Content::F64))
             .push_opt("max_utility", self.max_utility.map(Content::F64))
@@ -1672,6 +1677,21 @@ impl OnlineSpec {
 
 impl ExpectSpec {
     fn validate(&self, has_online: bool) -> Result<(), SpecError> {
+        if let Some(solver) = &self.solver {
+            if !matches!(solver.as_str(), "anneal" | "shard") {
+                return Err(SpecError::new(
+                    "expect.solver",
+                    format!("unknown solver `{solver}` (expected \"anneal\" or \"shard\")"),
+                ));
+            }
+            if has_online {
+                return Err(SpecError::new(
+                    "expect.solver",
+                    "online specs always use the online engine; solver \
+                     selection is offline-only",
+                ));
+            }
+        }
         if let (Some(lo), Some(hi)) = (self.min_utility, self.max_utility) {
             if lo > hi {
                 return Err(SpecError::new(

@@ -27,7 +27,9 @@
 //!    per-batch shadowing seed and *patch* the previous assignment onto
 //!    the new population ([`Assignment::patched`]),
 //! 4. re-solve at the tier's budget — warm tempered ladder, reduced warm
-//!    anneal, or greedy admission with no solve at all,
+//!    anneal, greedy admission with no solve at all, or (when a
+//!    full-quality batch covers a city-scale population) a cold sharded
+//!    solve through [`tsajs::solve_sharded`],
 //! 5. evaluate, score the SLA, publish an immutable [`ServiceSnapshot`]
 //!    through the lock-free [`SnapshotCell`], and emit a [`BatchReport`].
 
@@ -44,8 +46,8 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tsajs::{
-    anneal, anneal_from, temper_from, InitialTemperature, NeighborhoodKernel, TemperingConfig,
-    TtsaConfig, DEFAULT_REFRESH_TEMPERATURE,
+    anneal, anneal_from, solve_sharded, temper_from, InitialTemperature, NeighborhoodKernel,
+    ShardConfig, TemperingConfig, TtsaConfig, DEFAULT_REFRESH_TEMPERATURE,
 };
 
 /// Epoch-seed stride shared with the online engine, so per-batch
@@ -55,6 +57,10 @@ const BATCH_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 const CHAIN_STREAM: u64 = 0x5851_F42D_4C95_7F2D;
 /// Position-stream decorrelation constant.
 const POSITION_STREAM: u64 = 0x94D0_49BB_1331_11EB;
+/// Shard-solver stream decorrelation constant: city-scale batches derive
+/// their [`ShardConfig`] seed from the batch seed through this stream so
+/// sharded re-solves never correlate with shadowing redraws.
+const SHARD_STREAM: u64 = 0xA076_1D64_78BD_642F;
 
 /// Everything a service instance needs to know.
 #[derive(Debug, Clone)]
@@ -78,6 +84,13 @@ pub struct ServiceConfig {
     pub batch: BatchPolicy,
     /// Degradation thresholds.
     pub tiers: TierPolicy,
+    /// Population size at which [`Tier::Full`] batches route through the
+    /// sharded engine ([`Tier::CityScale`]) instead of the monolithic
+    /// tempered ladder. Pressure-degraded batches are never promoted.
+    pub city_scale_threshold: usize,
+    /// Sharded-engine configuration for [`Tier::CityScale`] batches (the
+    /// seed is overridden per batch from the decorrelated shard stream).
+    pub shard: ShardConfig,
     /// Per-task completion-time SLA deadline.
     pub deadline: Seconds,
     /// Admission cap: arrivals beyond this population size are rejected.
@@ -103,6 +116,8 @@ impl ServiceConfig {
             refresh_temperature: DEFAULT_REFRESH_TEMPERATURE,
             batch: BatchPolicy::default_production(),
             tiers: TierPolicy::default_production(),
+            city_scale_threshold: 10_000,
+            shard: ShardConfig::paper_default(),
             deadline: Seconds::new(1.0),
             max_users: 4 * slots.max(1),
             threads: None,
@@ -118,7 +133,26 @@ impl ServiceConfig {
         cfg.base = TtsaConfig::paper_default().with_min_temperature(1e-2);
         cfg.full_budget = 1_200;
         cfg.short_budget = 250;
+        cfg.shard = ShardConfig::paper_default()
+            .with_cluster_size(2)
+            .with_max_sweeps(2)
+            .with_ttsa(
+                TtsaConfig::paper_default()
+                    .with_min_temperature(1e-2)
+                    .with_proposal_budget(400),
+            )
+            .with_tempering(
+                TemperingConfig::paper_default()
+                    .with_replicas(2)
+                    .with_rounds(2),
+            );
         cfg
+    }
+
+    /// Replaces the city-scale population threshold.
+    pub fn with_city_scale_threshold(mut self, users: usize) -> Self {
+        self.city_scale_threshold = users;
+        self
     }
 
     /// Replaces the worker cap.
@@ -149,6 +183,10 @@ impl ServiceConfig {
         self.base.validate()?;
         self.batch.validate()?;
         self.tiers.validate()?;
+        self.shard.validate()?;
+        if self.city_scale_threshold == 0 {
+            return Err(Error::invalid("city_scale_threshold", "must be at least 1"));
+        }
         if self.full_budget == 0 || self.short_budget == 0 {
             return Err(Error::invalid("budgets", "must be positive"));
         }
@@ -223,7 +261,7 @@ pub struct BatchReport {
     /// Service time at which the batch was cut.
     pub time_s: f64,
     /// Tier the batch was served at (`full` / `shortened` /
-    /// `greedy_admit`).
+    /// `greedy_admit` / `city_scale`).
     pub tier: String,
     /// Requests decided by this batch.
     pub requests: usize,
@@ -496,6 +534,16 @@ impl SchedulerCore {
             .decide(self.batch_index, now_s, backlog, age_ratio);
 
         let n = self.users.len();
+        // City-scale promotion happens *after* the pressure decision and
+        // outside the controller: a Full-quality batch over a population
+        // at or beyond the threshold is served by the sharded engine.
+        // Pressure-degraded batches keep their cheaper tier, and the
+        // controller's hysteresis state never sees CityScale.
+        let tier = if tier == Tier::Full && n >= self.config.city_scale_threshold {
+            Tier::CityScale
+        } else {
+            tier
+        };
         let ids: Vec<u64> = self.users.iter().map(|u| u.id).collect();
         let (assignment, utility, num_offloaded, reassignments, proposals, warm_started, hit_rate);
         if n == 0 {
@@ -578,6 +626,19 @@ impl SchedulerCore {
                         warm.clone(),
                     );
                     (outcome.assignment, outcome.proposals, true)
+                }
+                (Tier::CityScale, _) => {
+                    // City-scale populations skip the monolithic ladder:
+                    // a cold sharded solve per batch (the shard engine
+                    // has no warm path), seeded from the decorrelated
+                    // shard stream so replay reproduces it bit-for-bit.
+                    let config = self.config.shard.with_seed(batch_seed ^ SHARD_STREAM);
+                    let outcome = solve_sharded(
+                        &scenario,
+                        &config,
+                        effective_parallelism(self.config.threads),
+                    )?;
+                    (outcome.assignment, outcome.proposals, false)
                 }
                 (_, None) => {
                     // First decision: one cold solve at the base schedule.
@@ -819,6 +880,42 @@ mod tests {
                 assert!(seen.insert((s.index(), j.index())), "slot reuse");
             }
         }
+    }
+
+    #[test]
+    fn city_scale_populations_route_through_the_sharded_engine() {
+        let mut cfg = quick_config(13).with_city_scale_threshold(6);
+        cfg.batch.max_size = 16;
+        let mut core = SchedulerCore::new(cfg.clone()).unwrap();
+        drive_arrivals(&mut core, 0..8, 0.0);
+        let report = core.close_batch(0.01).unwrap().unwrap();
+        assert_eq!(report.tier, "city_scale");
+        assert!(!report.warm_started, "shard solves are cold each batch");
+        assert!(report.proposals > 0, "the sharded engine really solved");
+        let snap = core.snapshot();
+        assert_eq!(snap.tier, Tier::CityScale);
+        assert!(snap.assignment.num_offloaded() > 0);
+        assert_eq!(core.metrics().tier_batches[Tier::CityScale.index()], 1);
+        assert!(
+            core.tier_log().is_empty(),
+            "city-scale promotion is not a controller transition"
+        );
+
+        // Replay reproduces the sharded decision bit-for-bit.
+        let replayed = SchedulerCore::replay(cfg, core.ingestion_log()).unwrap();
+        let cold = replayed.snapshot();
+        assert_eq!(snap.users, cold.users);
+        assert_eq!(snap.assignment, cold.assignment);
+        assert_eq!(snap.utility.to_bits(), cold.utility.to_bits());
+
+        // Dropping below the threshold falls back to the pressure tier,
+        // warm-starting from the sharded decision.
+        for id in 0..3 {
+            core.submit(ServiceRequest::departure(id, 0.1));
+        }
+        let report = core.close_batch(0.15).unwrap().unwrap();
+        assert_eq!(report.tier, "full");
+        assert!(report.warm_started);
     }
 
     #[test]

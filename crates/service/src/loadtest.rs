@@ -121,8 +121,9 @@ pub struct ProbeOutcome {
     pub mean_ms: f64,
     /// Completion-time SLA hit rate over the probe.
     pub sla_hit_rate: f64,
-    /// Fraction of batches served per tier (full/shortened/greedy).
-    pub tier_occupancy: [f64; 3],
+    /// Fraction of batches served per tier
+    /// (full/shortened/greedy/city-scale).
+    pub tier_occupancy: [f64; 4],
     /// Tier changes during the probe.
     pub tier_transitions: u64,
     /// Lock-free snapshot reads completed by the query thread.
@@ -263,6 +264,7 @@ fn run_probe(cfg: &LoadtestConfig, rate_hz: f64) -> Result<ProbeRun, Error> {
             metrics.tier_occupancy(Tier::Full),
             metrics.tier_occupancy(Tier::Shortened),
             metrics.tier_occupancy(Tier::GreedyAdmit),
+            metrics.tier_occupancy(Tier::CityScale),
         ],
         tier_transitions: metrics.tier_transitions,
         snapshot_reads,

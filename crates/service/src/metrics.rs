@@ -120,7 +120,7 @@ pub struct ServiceMetrics {
     /// by the runtime and merged in at shutdown.
     pub overload_rejections: u64,
     /// Batches served per tier, indexed by [`Tier::index`].
-    pub tier_batches: [u64; 3],
+    pub tier_batches: [u64; 4],
     /// Tier changes over the run.
     pub tier_transitions: u64,
     /// Snapshots published.
@@ -237,7 +237,12 @@ impl ServiceMetrics {
             "# HELP tsajs_service_tier_batches_total Batches served per tier"
         )?;
         writeln!(out, "# TYPE tsajs_service_tier_batches_total counter")?;
-        for tier in [Tier::Full, Tier::Shortened, Tier::GreedyAdmit] {
+        for tier in [
+            Tier::Full,
+            Tier::Shortened,
+            Tier::GreedyAdmit,
+            Tier::CityScale,
+        ] {
             writeln!(
                 out,
                 "tsajs_service_tier_batches_total{{tier=\"{}\"}} {}",
@@ -330,7 +335,7 @@ mod tests {
         let mut m = ServiceMetrics {
             batches: 10,
             requests: 55,
-            tier_batches: [7, 2, 1],
+            tier_batches: [7, 2, 1, 0],
             span_s: 5.0,
             sla_hits: 50,
             sla_total: 55,
@@ -343,6 +348,7 @@ mod tests {
             "tsajs_service_requests_total 55",
             "tsajs_service_tier_batches_total{tier=\"full\"} 7",
             "tsajs_service_tier_batches_total{tier=\"greedy_admit\"} 1",
+            "tsajs_service_tier_batches_total{tier=\"city_scale\"} 0",
             "tsajs_service_decision_latency_seconds{quantile=\"0.99\"}",
             "tsajs_service_sla_hit_rate 0.9090909090909091",
             "tsajs_service_throughput_hz 11",

@@ -9,6 +9,13 @@
 //! * [`Tier::GreedyAdmit`] — admission only: survivors keep their slots,
 //!   arrivals get the nearest free subchannel, no re-solve at all.
 //!
+//! A fourth tier, [`Tier::CityScale`], sits *outside* the pressure
+//! ladder: the scheduler core substitutes it for [`Tier::Full`] when the
+//! live population crosses the configured city-scale threshold, routing
+//! the batch through the sharded engine instead of the monolithic
+//! ladder. The [`TierController`] never selects or holds it — it is a
+//! population-size decision, not an overload decision.
+//!
 //! The [`TierController`] picks a tier per batch from two pressure
 //! signals — backlog depth (requests left waiting after the batch was
 //! cut) and batch age relative to the configured `max_age` — and applies
@@ -19,7 +26,10 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Service quality tier, ordered from best to cheapest.
+/// Service quality tier. The first three variants form the pressure
+/// ladder, ordered from best to cheapest (the `Ord` derive encodes the
+/// degradation order the controller compares against); [`Tier::CityScale`]
+/// is outside that ladder and never enters the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Tier {
     /// Warm-started parallel-tempering ladder.
@@ -28,6 +38,10 @@ pub enum Tier {
     Shortened,
     /// Admission only — no re-solve.
     GreedyAdmit,
+    /// Sharded full-quality re-solve for city-scale populations.
+    /// Assigned by the scheduler core when the population reaches the
+    /// city-scale threshold — never by the pressure controller.
+    CityScale,
 }
 
 impl Tier {
@@ -37,6 +51,7 @@ impl Tier {
             Tier::Full => "full",
             Tier::Shortened => "shortened",
             Tier::GreedyAdmit => "greedy_admit",
+            Tier::CityScale => "city_scale",
         }
     }
 
@@ -46,6 +61,7 @@ impl Tier {
             Tier::Full => 0,
             Tier::Shortened => 1,
             Tier::GreedyAdmit => 2,
+            Tier::CityScale => 3,
         }
     }
 
@@ -149,7 +165,9 @@ impl TierPolicy {
         let (depth, ratio) = match current {
             Tier::GreedyAdmit => (self.greedy_depth, self.greedy_age_ratio),
             Tier::Shortened => (self.shorten_depth, self.shorten_age_ratio),
-            Tier::Full => return false,
+            // CityScale never enters the controller; it is already a
+            // full-quality tier, so there is nothing to upgrade toward.
+            Tier::Full | Tier::CityScale => return false,
         };
         backlog + self.upgrade_margin < depth && age_ratio < ratio
     }

@@ -60,8 +60,17 @@ impl<'a> Evaluator<'a> {
         let gains = sc.gains();
         let noise = sc.noise().as_watts();
 
-        // total[s][j] = Σ_{transmitters on j} p_k · h[k][s][j]
+        // total[s][j] = Σ_{transmitters on j} p_k · h[k][s][j], on top of
+        // any fixed external received power (the sharded solver's halo).
         let mut total = vec![0.0f64; num_servers * num_sub];
+        if let Some(ext) = sc.external_rx() {
+            // `ext` is subchannel-major (`[j·S + s]`); transpose in place.
+            for (j, ext_row) in ext.chunks_exact(num_servers).enumerate() {
+                for (s, &v) in ext_row.iter().enumerate() {
+                    total[s * num_sub + j] = v;
+                }
+            }
+        }
         for t in transmissions {
             let p = powers[t.user.index()];
             for s in sc.server_ids() {
@@ -128,6 +137,18 @@ impl<'a> Evaluator<'a> {
         let noise = sc.noise().as_watts();
         scratch.totals.clear();
         scratch.totals.resize(stride * num_sub, 0.0);
+        if let Some(ext) = sc.external_rx() {
+            // Seed each subchannel row with the frozen external power
+            // (padding lanes stay zero).
+            let num_servers = sc.num_servers();
+            for (row, ext_row) in scratch
+                .totals
+                .chunks_exact_mut(stride)
+                .zip(ext.chunks_exact(num_servers))
+            {
+                row[..num_servers].copy_from_slice(ext_row);
+            }
+        }
         for t in &scratch.transmissions {
             let p = powers[t.user.index()];
             for s in sc.server_ids() {
@@ -513,6 +534,30 @@ mod tests {
         // Modeling the downlink can only lower the utility.
         let baseline = Evaluator::new(&without).objective(&x);
         assert!(closed < baseline);
+    }
+
+    #[test]
+    fn external_interference_lowers_objective_and_stays_consistent() {
+        let sc = random_scenario(4, 8, 3, 2);
+        let x = random_assignment(&sc, 44);
+        assert!(x.num_offloaded() > 0);
+        let base = Evaluator::new(&sc).objective(&x);
+        // A zero external field is exactly a no-op.
+        let mut zero = sc.clone();
+        zero.set_external_rx(Some(vec![0.0; 2 * 3])).unwrap();
+        assert_eq!(Evaluator::new(&zero).objective(&x), base);
+        let zero_sinrs = Evaluator::new(&zero).sinrs(&x.transmissions());
+        let base_sinrs = Evaluator::new(&sc).sinrs(&x.transmissions());
+        assert_eq!(zero_sinrs, base_sinrs);
+        // A strong external field strictly lowers the objective, and the
+        // closed form still matches the full evaluation.
+        let mut noisy = sc.clone();
+        noisy.set_external_rx(Some(vec![1e-11; 2 * 3])).unwrap();
+        let ev = Evaluator::new(&noisy);
+        let closed = ev.objective(&x);
+        assert!(closed < base);
+        let direct = ev.evaluate(&x).unwrap().system_utility;
+        assert!((closed - direct).abs() < 1e-9 * direct.abs().max(1.0));
     }
 
     #[test]

@@ -351,8 +351,14 @@ pub struct IncrementalObjective<'a> {
     capacity: Vec<f64>,
     /// Weighted gains `p_u·h[u][s][j]`, laid out `[u][j][s]` with the
     /// server dimension padded to `stride` (padding lanes hold `0.0`), so
-    /// the fused totals pass sweeps one lane-aligned row per op.
+    /// the fused totals pass sweeps one lane-aligned row per op. When the
+    /// gain tensor is subchannel-shared the `j` dimension is collapsed:
+    /// one `[u][s]` row per user, shared by every subchannel
+    /// (`wgain_shared`), cutting the dominant allocation by `N×`.
     wgain: Vec<f64>,
+    /// Whether `wgain` stores one row per user (subchannel-shared gains)
+    /// instead of one per `(user, subchannel)`.
+    wgain_shared: bool,
     // Persistent sums.
     /// `totals[j·stride + s] = Σ_{k transmitting on j} p_k·h[k][s][j]` —
     /// per-subchannel lane-padded rows, contiguous for the hot loops.
@@ -396,13 +402,18 @@ impl<'a> IncrementalObjective<'a> {
         let stride = simd::padded_len(servers);
         let powers = scenario.tx_powers_watts();
         let gains = scenario.gains();
-        // Repack the `[u][s][j]` gain tensor into lane-padded `[u][j][·]`
-        // SoA rows (padding lanes stay 0.0 and never contribute).
-        let mut wgain = vec![0.0; users * num_sub * stride];
+        // Repack the gain tensor into lane-padded SoA rows (padding lanes
+        // stay 0.0 and never contribute). Subchannel-shared tensors get
+        // one `[u][·]` row per user instead of one per `(u, j)` — same
+        // values, `N×` less memory, which is what keeps U=100k instances
+        // affordable.
+        let wgain_shared = gains.is_subchannel_shared();
+        let rows_per_user = if wgain_shared { 1 } else { num_sub };
+        let mut wgain = vec![0.0; users * rows_per_user * stride];
         for u in 0..users {
-            for j in 0..num_sub {
+            for j in 0..rows_per_user {
                 for s in 0..servers {
-                    wgain[(u * num_sub + j) * stride + s] = powers[u]
+                    wgain[(u * rows_per_user + j) * stride + s] = powers[u]
                         * gains.gain(UserId::new(u), ServerId::new(s), SubchannelId::new(j));
                 }
             }
@@ -420,6 +431,7 @@ impl<'a> IncrementalObjective<'a> {
                 .map(|s| scenario.server(ServerId::new(s)).capacity().as_hz())
                 .collect(),
             wgain,
+            wgain_shared,
             totals: vec![0.0; stride * num_sub],
             gamma_of: vec![0.0; users],
             signal_of: vec![0.0; users],
@@ -486,10 +498,22 @@ impl<'a> IncrementalObjective<'a> {
         self.gain_sum - self.gamma_sum - self.lambda_sum
     }
 
+    /// Start of the lane-padded weighted-gain row `p_u·h[u][·][j]` —
+    /// per-`(user, subchannel)` in the dense layout, per-user when the
+    /// gain tensor is subchannel-shared.
+    #[inline]
+    fn wgain_base(&self, u: usize, j: usize) -> usize {
+        if self.wgain_shared {
+            u * self.stride
+        } else {
+            (u * self.num_sub + j) * self.stride
+        }
+    }
+
     /// The contiguous lane-padded weighted-gain row `p_u·h[u][·][j]`.
     #[inline]
     fn wgain_row(&self, u: usize, j: usize) -> &[f64] {
-        &self.wgain[(u * self.num_sub + j) * self.stride..][..self.stride]
+        &self.wgain[self.wgain_base(u, j)..][..self.stride]
     }
 
     /// Λ term of one server from its current `Σ√η` sum (Eq. 23).
@@ -509,8 +533,21 @@ impl<'a> IncrementalObjective<'a> {
         let servers = self.scenario.num_servers();
         let stride = self.stride;
         self.totals.iter_mut().for_each(|t| *t = 0.0);
+        if let Some(ext) = self.scenario.external_rx() {
+            // Seed each subchannel row with the frozen external received
+            // power `[j·S + s]` (padding lanes stay zero) — the sharded
+            // solver's halo baseline. `apply`/`score` inherit it
+            // automatically because their buffered rows copy from here.
+            for (row, ext_row) in self
+                .totals
+                .chunks_exact_mut(stride)
+                .zip(ext.chunks_exact(servers))
+            {
+                row[..servers].copy_from_slice(ext_row);
+            }
+        }
         for (u, _, j) in self.x.offloaded() {
-            let row = (u.index() * self.num_sub + j.index()) * stride;
+            let row = self.wgain_base(u.index(), j.index());
             simd::add_assign_rows(
                 &mut self.totals[j.index() * stride..][..stride],
                 &self.wgain[row..][..stride],
@@ -665,7 +702,8 @@ impl<'a> IncrementalObjective<'a> {
                 if ja != j {
                     continue;
                 }
-                let row = &self.wgain[(user.index() * self.num_sub + ji) * stride..][..stride];
+                let wb = self.wgain_base(user.index(), ji);
+                let row = &self.wgain[wb..][..stride];
                 let slots = &mut self.log.new_totals[base..][..stride];
                 if *joined {
                     simd::add_assign_rows(slots, row);
@@ -1015,7 +1053,8 @@ impl IncrementalObjective<'_> {
                 if ja != j {
                     continue;
                 }
-                let row = &self.wgain[(user.index() * self.num_sub + ji) * stride..][..stride];
+                let wb = self.wgain_base(user.index(), ji);
+                let row = &self.wgain[wb..][..stride];
                 let slots = &mut self.score_totals[base..][..stride];
                 if *joined {
                     simd::add_assign_rows(slots, row);
@@ -1062,11 +1101,7 @@ impl IncrementalObjective<'_> {
                     } else {
                         (self.gamma_of[u], self.gamma_bad[u])
                     };
-                    (
-                        old,
-                        was_bad,
-                        self.wgain[(u * self.num_sub + ji) * stride + t],
-                    )
+                    (old, was_bad, self.wgain[self.wgain_base(u, ji) + t])
                 } else {
                     (self.gamma_of[u], self.gamma_bad[u], self.signal_of[u])
                 };
@@ -1479,6 +1514,99 @@ mod tests {
             let inc = IncrementalObjective::new(&sc, x.clone()).unwrap();
             let reference = Evaluator::new(&sc).objective_with(&x, &mut scratch);
             assert_close(inc.current(), reference, &format!("{servers} servers"));
+        }
+    }
+
+    /// As [`random_scenario`] but with a subchannel-shared gain tensor
+    /// carrying the same per-link values as the dense one.
+    fn shared_random_scenario(seed: u64, users: usize, servers: usize, subs: usize) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gains = ChannelGains::shared_from_fn(users, servers, subs, |_, _| {
+            10.0_f64.powf(rng.gen_range(-13.0..-9.0))
+        })
+        .unwrap();
+        Scenario::new(
+            vec![UserSpec::paper_default_with_workload(Cycles::from_mega(2000.0)).unwrap(); users],
+            vec![ServerProfile::paper_default(); servers],
+            OfdmaConfig::new(Hertz::from_mega(20.0), subs).unwrap(),
+            gains,
+            Watts::new(1e-13),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_gain_layout_is_bit_identical_to_dense() {
+        // Build a dense twin of the shared tensor (same per-link values,
+        // replicated across subchannels) and drive both through the same
+        // move sequence: every objective must match bit for bit, because
+        // the collapsed wgain rows hold the exact same numbers.
+        for seed in 0..4 {
+            let shared = shared_random_scenario(seed, 10, 3, 3);
+            let dense_gains = ChannelGains::from_fn(10, 3, 3, |u, s, _| {
+                shared.gains().gain(u, s, SubchannelId::new(0))
+            })
+            .unwrap();
+            let dense = Scenario::new(
+                shared.users().to_vec(),
+                shared.servers().to_vec(),
+                *shared.ofdma(),
+                dense_gains,
+                shared.noise(),
+            )
+            .unwrap();
+            let x = random_assignment(&shared, seed + 3);
+            let mut inc_s = IncrementalObjective::new(&shared, x.clone()).unwrap();
+            let mut inc_d = IncrementalObjective::new(&dense, x).unwrap();
+            assert!(inc_s.wgain_shared && !inc_d.wgain_shared);
+            assert_eq!(inc_s.current().to_bits(), inc_d.current().to_bits());
+            let mut rng = StdRng::seed_from_u64(seed + 500);
+            for _ in 0..200 {
+                let mv = random_move(&shared, inc_s.assignment(), &mut rng);
+                let score_s = inc_s.score(&mv);
+                let score_d = inc_d.score(&mv);
+                assert_eq!(score_s.to_bits(), score_d.to_bits());
+                inc_s.apply(&mv);
+                inc_d.apply(&mv);
+                inc_s.commit();
+                inc_d.commit();
+                assert_eq!(inc_s.current().to_bits(), inc_d.current().to_bits());
+            }
+            inc_s.resync();
+            inc_d.resync();
+            assert_eq!(inc_s.current().to_bits(), inc_d.current().to_bits());
+        }
+    }
+
+    #[test]
+    fn external_rx_flows_through_resync_apply_and_score() {
+        let mut scratch = EvalScratch::default();
+        for seed in 0..4 {
+            let mut sc = random_scenario(seed, 9, 3, 3);
+            sc.set_external_rx(Some((0..9).map(|i| 1e-12 * (1.0 + i as f64)).collect()))
+                .unwrap();
+            let ev = Evaluator::new(&sc);
+            let x = random_assignment(&sc, seed + 9);
+            let mut inc = IncrementalObjective::new(&sc, x).unwrap();
+            assert_close(
+                inc.current(),
+                ev.objective_with(inc.assignment(), &mut scratch),
+                "fresh build with external rx",
+            );
+            let mut rng = StdRng::seed_from_u64(seed + 1000);
+            for step in 0..200 {
+                let mv = random_move(&sc, inc.assignment(), &mut rng);
+                let speculative = inc.score(&mv);
+                inc.apply(&mv);
+                assert_eq!(speculative.to_bits(), inc.current().to_bits());
+                inc.commit();
+                let reference = ev.objective_with(inc.assignment(), &mut scratch);
+                assert_close(
+                    inc.current(),
+                    reference,
+                    &format!("seed {seed} step {step} with external rx"),
+                );
+            }
         }
     }
 

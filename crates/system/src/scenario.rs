@@ -52,6 +52,12 @@ pub struct Scenario {
     gains: ChannelGains,
     noise: Watts,
     downlink: Option<BitsPerSecond>,
+    /// Fixed external received power (watts) at `[j·S + s]`, added to the
+    /// interference totals of every evaluation. `None` means no external
+    /// interference — the exact historical behavior. This is the halo
+    /// channel of the sharded solver: each cluster sees the rest of the
+    /// city as a frozen per-(server, subchannel) power field.
+    external_rx: Option<Vec<f64>>,
     // Precomputed, indexed by user.
     local_costs: Vec<LocalCost>,
     tx_powers_watts: Vec<f64>,
@@ -125,6 +131,7 @@ impl Scenario {
             gains,
             noise,
             downlink: None,
+            external_rx: None,
             local_costs,
             tx_powers_watts,
             coefficients,
@@ -159,6 +166,97 @@ impl Scenario {
     #[inline]
     pub fn downlink(&self) -> Option<BitsPerSecond> {
         self.downlink
+    }
+
+    /// Installs a fixed external received-power field: `external[j·S + s]`
+    /// watts are added to the interference total at server `s` on
+    /// subchannel `j` in every objective/SINR evaluation. The sharded
+    /// solver uses this to expose the frozen rest-of-city halo to a
+    /// cluster; `None` (the default) reproduces the isolated-scenario
+    /// semantics exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the field is not `N·S`
+    /// entries long and [`Error::InvalidParameter`] if any entry is
+    /// negative or non-finite.
+    pub fn set_external_rx(&mut self, external: Option<Vec<f64>>) -> Result<(), Error> {
+        if let Some(ext) = &external {
+            let expected = self.num_subchannels() * self.num_servers();
+            if ext.len() != expected {
+                return Err(Error::DimensionMismatch {
+                    what: "external_rx vs subchannels x servers",
+                    expected,
+                    actual: ext.len(),
+                });
+            }
+            if let Some(bad) = ext.iter().find(|v| !v.is_finite() || **v < 0.0) {
+                return Err(Error::invalid(
+                    "external_rx",
+                    format!("entries must be finite and >= 0, got {bad}"),
+                ));
+            }
+        }
+        self.external_rx = external;
+        Ok(())
+    }
+
+    /// Builder-style variant of [`Scenario::set_external_rx`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::set_external_rx`].
+    pub fn with_external_rx(mut self, external: Vec<f64>) -> Result<Self, Error> {
+        self.set_external_rx(Some(external))?;
+        Ok(self)
+    }
+
+    /// The external received-power field at `[j·S + s]`, if installed.
+    #[inline]
+    pub fn external_rx(&self) -> Option<&[f64]> {
+        self.external_rx.as_deref()
+    }
+
+    /// Builds the sub-scenario restricted to the given users and servers:
+    /// new user `v` is old `users[v]`, new server `t` is old `servers[t]`,
+    /// with gain rows carried along in their existing storage layout. All
+    /// derived per-user quantities are recomputed from the same specs, so
+    /// they are bit-identical to the parent's. Any external-rx field is
+    /// *not* inherited — callers that shard a scenario install each
+    /// cluster's halo explicitly per sweep.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParameter`] if `users` or `servers` is empty.
+    /// * [`Error::UnknownEntity`] for an out-of-range id.
+    pub fn subset(&self, users: &[UserId], servers: &[ServerId]) -> Result<Self, Error> {
+        for &u in users {
+            if u.index() >= self.users.len() {
+                return Err(Error::UnknownEntity {
+                    kind: "user",
+                    index: u.index(),
+                    count: self.users.len(),
+                });
+            }
+        }
+        for &s in servers {
+            if s.index() >= self.servers.len() {
+                return Err(Error::UnknownEntity {
+                    kind: "server",
+                    index: s.index(),
+                    count: self.servers.len(),
+                });
+            }
+        }
+        let sub_users: Vec<UserSpec> = users.iter().map(|&u| self.users[u.index()]).collect();
+        let sub_servers: Vec<ServerProfile> =
+            servers.iter().map(|&s| self.servers[s.index()]).collect();
+        let gains = self.gains.subset(users, servers)?;
+        let base = Self::new(sub_users, sub_servers, self.ofdma, gains, self.noise)?;
+        match self.downlink {
+            Some(rate) => base.with_downlink(rate),
+            None => Ok(base),
+        }
     }
 
     /// Overrides user `u`'s uplink transmit power — the mutation hook for
@@ -325,12 +423,9 @@ impl Scenario {
             }
         }
         let users: Vec<UserSpec> = perm.iter().map(|&old| self.users[old.index()]).collect();
-        let gains = ChannelGains::from_fn(
-            self.num_users(),
-            self.num_servers(),
-            self.num_subchannels(),
-            |v, s, j| self.gains.gain(perm[v.index()], s, j),
-        )?;
+        // Row-gather via `subset` keeps the tensor's storage layout.
+        let all_servers: Vec<ServerId> = self.server_ids().collect();
+        let gains = self.gains.subset(perm, &all_servers)?;
         let base = Self::new(users, self.servers.clone(), self.ofdma, gains, self.noise)?;
         match self.downlink {
             Some(rate) => base.with_downlink(rate),
@@ -526,6 +621,65 @@ mod tests {
         // Factors that push λ out of (0, 1] are rejected.
         assert!(s.with_scaled_lambdas(0.0).is_err());
         assert!(s.with_scaled_lambdas(2.0).is_err());
+    }
+
+    #[test]
+    fn external_rx_is_validated_and_exposed() {
+        let mut s = small();
+        assert!(s.external_rx().is_none());
+        // Wrong length (N·S = 4 here), negative and non-finite entries.
+        assert!(s.set_external_rx(Some(vec![0.0; 3])).is_err());
+        assert!(s.set_external_rx(Some(vec![-1.0; 4])).is_err());
+        assert!(s.set_external_rx(Some(vec![f64::NAN; 4])).is_err());
+        s.set_external_rx(Some(vec![1e-12; 4])).unwrap();
+        assert_eq!(s.external_rx().unwrap().len(), 4);
+        s.set_external_rx(None).unwrap();
+        assert!(s.external_rx().is_none());
+        let s = small().with_external_rx(vec![0.0; 4]).unwrap();
+        assert!(s.external_rx().is_some());
+    }
+
+    #[test]
+    fn subset_restricts_population_and_keeps_physics() {
+        let mut s = small();
+        s.set_tx_power(UserId::new(2), DbMilliwatts::new(20.0))
+            .unwrap();
+        let users = [UserId::new(2), UserId::new(0)];
+        let servers = [ServerId::new(1)];
+        let sub = s.subset(&users, &servers).unwrap();
+        assert_eq!(sub.num_users(), 2);
+        assert_eq!(sub.num_servers(), 1);
+        assert_eq!(sub.num_subchannels(), 2);
+        for (v, &old) in users.iter().enumerate() {
+            let v = UserId::new(v);
+            assert_eq!(sub.user(v), s.user(old));
+            assert_eq!(sub.coefficients(v), s.coefficients(old));
+            assert_eq!(sub.local_cost(v), s.local_cost(old));
+            assert_eq!(
+                sub.tx_powers_watts()[v.index()],
+                s.tx_powers_watts()[old.index()]
+            );
+            for j in 0..2 {
+                let j = mec_types::SubchannelId::new(j);
+                assert_eq!(
+                    sub.gains().gain(v, ServerId::new(0), j),
+                    s.gains().gain(old, ServerId::new(1), j)
+                );
+            }
+        }
+        // The subset does not inherit an external-rx field.
+        let mut parent = s.clone();
+        parent.set_external_rx(Some(vec![1e-12; 4])).unwrap();
+        assert!(parent
+            .subset(&users, &servers)
+            .unwrap()
+            .external_rx()
+            .is_none());
+        // Degenerate and out-of-range subsets are rejected.
+        assert!(s.subset(&[], &servers).is_err());
+        assert!(s.subset(&users, &[]).is_err());
+        assert!(s.subset(&[UserId::new(9)], &servers).is_err());
+        assert!(s.subset(&users, &[ServerId::new(5)]).is_err());
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub mod prelude {
         ServerId, ServerProfile, SubchannelId, Task, UserId, UserPreferences, Watts,
     };
     pub use mec_workloads::{ExperimentParams, Preset, SampleStats, ScenarioGenerator};
-    pub use tsajs::{TsajsSolver, TtsaConfig};
+    pub use tsajs::{ShardConfig, ShardSolver, TsajsSolver, TtsaConfig};
 }
 
 #[cfg(test)]
