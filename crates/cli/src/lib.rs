@@ -24,7 +24,7 @@ use mec_mobility::{DynamicSimulation, MobilityConfig};
 use mec_online::{AdmissionPolicy, AdmitAll, CapacityGate, OnlineConfig, OnlineEngine, TraceChurn};
 use mec_scenario_spec::SpecError;
 use mec_system::{Assignment, Scenario, ScenarioSpec, Solver, SystemEvaluation};
-use mec_types::{Bits, BitsPerSecond, Cycles, Seconds};
+use mec_types::{Bits, BitsPerSecond, Cycles, Seconds, UserId};
 use mec_viz::SvgScene;
 use mec_workloads::{ExperimentParams, PoissonChurn, ScenarioGenerator};
 use serde::Serialize;
@@ -117,7 +117,8 @@ USAGE:
                      [--output-kb D --downlink-mbps R]
                      [--seed SEED] --out FILE
   tsajs-sim solve    --scenario FILE [--solver NAME] [--seed SEED]
-                     [--threads N] [--batch K] [--report FILE]
+                     [--threads N] [--batch K] [--warm-resolves K]
+                     [--report FILE]
   tsajs-sim compare  --scenario FILE [--seed SEED] [--threads N]
                      [--batch K]
   tsajs-sim render   --scenario FILE --out FILE.svg
@@ -146,8 +147,12 @@ SOLVERS: tsajs (default), tempering, shard, hjtora, greedy,
 
 The `shard` solver is the city-scale engine: it partitions the cell
 topology into clusters, solves each cluster on the worker pool, and
-reconciles cross-cluster interference with Gauss–Seidel halo sweeps.
-Use it for populations the monolithic annealer cannot hold (U >= 100k).
+reconciles cross-cluster interference with halo sweeps — pipelined
+Jacobi-with-aging by default, sequential Gauss–Seidel as a library
+option. Use it for populations the monolithic annealer cannot hold
+(U >= 100k). `--warm-resolves K` (shard only) chains K warm re-solves
+after the cold solve under a deterministic rolling ~10% churn and
+prints each objective; output is bit-identical at any thread count.
 
 SCENARIO FILES: `--scenario` accepts either a legacy JSON snapshot
 (written by `generate`) or a declarative spec — `.toml`, or `.json`
@@ -217,6 +222,9 @@ pub enum Command {
         threads: Option<usize>,
         /// Speculative batch width for the annealing solvers (`None` = 1).
         batch: Option<usize>,
+        /// Warm shard re-solves to chain after the cold solve under a
+        /// deterministic ~10% churn per repeat (shard solver only).
+        warm_resolves: Option<usize>,
         /// Optional JSON report path.
         report: Option<PathBuf>,
     },
@@ -448,6 +456,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
             let mut seed = 0u64;
             let mut threads: Option<usize> = None;
             let mut batch: Option<usize> = None;
+            let mut warm_resolves: Option<usize> = None;
             let mut report: Option<PathBuf> = None;
             while let Some(flag) = iter.next() {
                 match flag {
@@ -456,18 +465,38 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
                     "--threads" => threads = Some(parse_threads(take_value(flag, &mut iter)?)?),
                     "--batch" => batch = Some(parse_batch(take_value(flag, &mut iter)?)?),
+                    "--warm-resolves" => {
+                        let k: usize = parse_num(flag, take_value(flag, &mut iter)?)?;
+                        if k == 0 {
+                            return Err(CliError::Usage(
+                                "--warm-resolves must be at least 1".into(),
+                            ));
+                        }
+                        warm_resolves = Some(k);
+                    }
                     "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
             }
             let scenario =
                 scenario.ok_or_else(|| CliError::Usage("solve requires --scenario".into()))?;
+            if warm_resolves.is_some()
+                && !matches!(
+                    solver.to_ascii_lowercase().as_str(),
+                    "shard" | "tsajs-shard"
+                )
+            {
+                return Err(CliError::Usage(
+                    "--warm-resolves is only supported by the shard solver".into(),
+                ));
+            }
             Ok(Command::Solve {
                 scenario,
                 solver,
                 seed,
                 threads,
                 batch,
+                warm_resolves,
                 report,
             })
         }
@@ -861,6 +890,52 @@ pub fn load_scenario(path: &Path, seed: u64) -> Result<Scenario, CliError> {
     Ok(spec.into_scenario()?)
 }
 
+/// `solve --solver shard --warm-resolves K`: one cold sharded solve,
+/// then `K` warm re-solves through [`ShardSolver::resolve_from`] under a
+/// deterministic rolling ~10% churn — in repeat `r`, every user whose
+/// index is ≡ `r` (mod 10) departs and re-arrives, everyone else
+/// survives in place. The printed objectives are a pure function of the
+/// scenario and seed, bit-identical at any `--threads` value; the CI
+/// shard-smoke job diffs exactly that.
+fn run_warm_resolves(
+    scenario: &Scenario,
+    seed: u64,
+    threads: Option<usize>,
+    repeats: usize,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut solver = ShardSolver::new(ShardConfig::paper_default().with_seed(seed));
+    if let Some(n) = threads {
+        solver = solver.with_threads(n);
+    }
+    let cold = solver.solve(scenario)?;
+    writeln!(out, "solver      : {}", solver.name())?;
+    writeln!(out, "cold        : {:.6}", cold.utility)?;
+    for r in 1..=repeats {
+        let prev = solver
+            .last_outcome()
+            .expect("solve records an outcome")
+            .clone();
+        let map: Vec<Option<UserId>> = (0..scenario.num_users())
+            .map(|v| {
+                if v % 10 == r % 10 {
+                    None
+                } else {
+                    Some(UserId::new(v))
+                }
+            })
+            .collect();
+        let solution = solver.resolve_from(scenario, &prev, &map)?;
+        let stats = solver.last_stats().expect("stats recorded");
+        writeln!(
+            out,
+            "warm {r:<3}    : {:.6} (resolved {}, reused {})",
+            solution.utility, stats.resolved_clusters, stats.reused_clusters
+        )?;
+    }
+    Ok(())
+}
+
 /// Executes a parsed command, writing human-readable output to `out`.
 ///
 /// # Errors
@@ -894,9 +969,13 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliErro
             seed,
             threads,
             batch,
+            warm_resolves,
             report,
         } => {
             let scenario = load_scenario(&scenario, seed)?;
+            if let Some(repeats) = warm_resolves {
+                return run_warm_resolves(&scenario, seed, threads, repeats, out);
+            }
             let mut solver = build_solver(&solver, seed, threads, batch)?;
             let solution = solver.solve(&scenario)?;
             let evaluation = solution.evaluate(&scenario)?;
@@ -1427,6 +1506,7 @@ mod tests {
                 seed: 3,
                 threads: None,
                 batch: None,
+                warm_resolves: None,
                 report: None,
             }
         );
@@ -1453,6 +1533,7 @@ mod tests {
                 seed: 0,
                 threads: None,
                 batch: Some(8),
+                warm_resolves: None,
                 report: None,
             }
         );
@@ -1496,6 +1577,7 @@ mod tests {
                 seed: 0,
                 threads: Some(4),
                 batch: None,
+                warm_resolves: None,
                 report: None,
             }
         );
@@ -2399,7 +2481,7 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(value["passed"], serde_json::Value::Bool(true));
         assert_eq!(value["seeds"].as_u64(), Some(2));
-        assert_eq!(value["invariants"].as_array().unwrap().len(), 11);
+        assert_eq!(value["invariants"].as_array().unwrap().len(), 13);
         // The --out file carries the same report.
         let file = std::fs::read_to_string(&report_path).unwrap();
         assert_eq!(text.trim_end(), file);
@@ -2503,6 +2585,102 @@ mod tests {
             build_solver("shard", 0, None, Some(4)),
             Err(CliError::Usage(_))
         ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn warm_resolves_flag_is_shard_only_and_rejects_zero() {
+        let cmd = parse_args(&[
+            "solve",
+            "--scenario",
+            "s.json",
+            "--solver",
+            "shard",
+            "--warm-resolves",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                scenario: PathBuf::from("s.json"),
+                solver: "shard".into(),
+                seed: 0,
+                threads: None,
+                batch: None,
+                warm_resolves: Some(3),
+                report: None,
+            }
+        );
+        assert!(matches!(
+            parse_args(&[
+                "solve",
+                "--scenario",
+                "s.json",
+                "--solver",
+                "shard",
+                "--warm-resolves",
+                "0"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // Defaults to the tsajs solver → not shard → rejected.
+        assert!(matches!(
+            parse_args(&["solve", "--scenario", "s.json", "--warm-resolves", "2"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn warm_resolves_output_is_thread_count_independent() {
+        let dir = tmp_dir();
+        let scenario_path = dir.join("warm.json");
+        run(
+            parse_args(&[
+                "generate",
+                "--users",
+                "12",
+                "--servers",
+                "4",
+                "--seed",
+                "9",
+                "--out",
+                scenario_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let run_with_threads = |threads: &str| {
+            let mut buf = Vec::new();
+            run(
+                parse_args(&[
+                    "solve",
+                    "--scenario",
+                    scenario_path.to_str().unwrap(),
+                    "--solver",
+                    "shard",
+                    "--seed",
+                    "11",
+                    "--threads",
+                    threads,
+                    "--warm-resolves",
+                    "2",
+                ])
+                .unwrap(),
+                &mut buf,
+            )
+            .unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let narrow = run_with_threads("1");
+        assert!(narrow.contains("cold"), "{narrow}");
+        assert!(narrow.contains("warm 1"), "{narrow}");
+        assert!(narrow.contains("warm 2"), "{narrow}");
+        // The whole transcript — cold + every warm objective and the
+        // resolved/reused cluster counts — is thread-count independent.
+        assert_eq!(narrow, run_with_threads("2"));
+        assert_eq!(narrow, run_with_threads("4"));
         std::fs::remove_dir_all(dir).ok();
     }
 }

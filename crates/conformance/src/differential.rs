@@ -22,8 +22,8 @@ use mec_types::{ServerId, SubchannelId, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tsajs::{
-    solve_sharded, temper, NeighborhoodKernel, ShardConfig, TemperingConfig, TsajsSolver,
-    TtsaConfig,
+    resolve_sharded, solve_sharded, temper, NeighborhoodKernel, Reconcile, ShardConfig,
+    ShardOutcome, TemperingConfig, TsajsSolver, TtsaConfig,
 };
 
 /// An interference-free matching heuristic: assigns users to pairwise
@@ -339,20 +339,7 @@ pub fn check_shard_equivalence(
     seed: u64,
     tolerance: f64,
 ) -> Result<f64, String> {
-    let config = ShardConfig::paper_default()
-        .with_seed(seed)
-        .with_cluster_size(1)
-        .with_max_sweeps(4)
-        .with_ttsa(
-            TtsaConfig::paper_default()
-                .with_min_temperature(1e-1)
-                .with_proposal_budget(400),
-        )
-        .with_tempering(
-            TemperingConfig::paper_default()
-                .with_replicas(2)
-                .with_rounds(2),
-        );
+    let config = quick_shard_config(seed);
     let outcome =
         solve_sharded(scenario, &config, 1).map_err(|e| format!("sharded solve failed: {e}"))?;
     let mut worst = outcome.halo_residual;
@@ -397,6 +384,162 @@ pub fn check_shard_equivalence(
             .check_kkt(scenario, &outcome.assignment)
             .map_err(|e| format!("sharded assignment fails the KKT oracle: {e}"))?,
     );
+    Ok(worst)
+}
+
+/// The small, fast shard configuration shared by every shard invariant:
+/// single-server clusters (maximum halo exchange), short tempered
+/// ladders, tight budgets.
+fn quick_shard_config(seed: u64) -> ShardConfig {
+    ShardConfig::paper_default()
+        .with_seed(seed)
+        .with_cluster_size(1)
+        .with_max_sweeps(4)
+        .with_ttsa(
+            TtsaConfig::paper_default()
+                .with_min_temperature(1e-1)
+                .with_proposal_budget(400),
+        )
+        .with_tempering(
+            TemperingConfig::paper_default()
+                .with_replicas(2)
+                .with_rounds(2),
+        )
+}
+
+/// Conformance check for the warm shard path (ISSUE 10): warm-resolving
+/// from an **empty** previous decision (zero users, all arrivals) must
+/// be bit-for-bit identical to the cold sharded solve — assignment,
+/// objective bits, proposal count and sweeps all equal — and the warm
+/// path itself must stay bit-identical between 1 and 4 workers. The
+/// warm assignment must also pass the feasibility and KKT oracles.
+///
+/// This is the conformance anchor for `ShardSolver::resolve_from`: the
+/// warm path is an *optimization*, never a different solver.
+///
+/// Returns the worst relative residual observed.
+///
+/// # Errors
+///
+/// Returns a description of the first equivalence or oracle violation,
+/// or of a solver error.
+pub fn check_shard_warm_equivalence(
+    scenario: &Scenario,
+    seed: u64,
+    tolerance: f64,
+) -> Result<f64, String> {
+    let config = quick_shard_config(seed);
+    let cold =
+        solve_sharded(scenario, &config, 1).map_err(|e| format!("cold sharded solve: {e}"))?;
+    let empty =
+        ShardOutcome::empty(scenario, &config).map_err(|e| format!("empty shard outcome: {e}"))?;
+    let all_arrivals = vec![None; scenario.num_users()];
+    let warm = resolve_sharded(scenario, &config, 1, &empty, &all_arrivals)
+        .map_err(|e| format!("warm sharded solve: {e}"))?;
+    if warm.assignment != cold.assignment || warm.objective.to_bits() != cold.objective.to_bits() {
+        return Err(format!(
+            "warm resolve from an empty prior diverges from the cold \
+             solve: {} vs {}",
+            warm.objective, cold.objective
+        ));
+    }
+    if warm.proposals != cold.proposals || warm.sweeps != cold.sweeps {
+        return Err(format!(
+            "warm resolve from an empty prior spends differently than the \
+             cold solve: {} vs {} proposals, {} vs {} sweeps",
+            warm.proposals, cold.proposals, warm.sweeps, cold.sweeps
+        ));
+    }
+    if warm.reused_clusters != 0 {
+        return Err(format!(
+            "warm resolve from an empty prior claims {} reused clusters",
+            warm.reused_clusters
+        ));
+    }
+    let wide = resolve_sharded(scenario, &config, 4, &empty, &all_arrivals)
+        .map_err(|e| format!("warm sharded solve: {e}"))?;
+    if wide.assignment != warm.assignment || wide.objective.to_bits() != warm.objective.to_bits() {
+        return Err(format!(
+            "warm resolve diverges between 1 and 4 workers: {} vs {}",
+            warm.objective, wide.objective
+        ));
+    }
+    let mut worst = warm.halo_residual;
+    if warm.halo_residual > tolerance {
+        return Err(format!(
+            "warm halo accounting residual {:.3e} above tolerance",
+            warm.halo_residual
+        ));
+    }
+    let oracle = crate::oracle::Oracle::with_tolerance(tolerance);
+    worst = worst.max(
+        oracle
+            .check_feasibility(scenario, &warm.assignment)
+            .map_err(|e| format!("warm assignment fails feasibility: {e}"))?,
+    );
+    worst = worst.max(
+        oracle
+            .check_kkt(scenario, &warm.assignment)
+            .map_err(|e| format!("warm assignment fails the KKT oracle: {e}"))?,
+    );
+    Ok(worst)
+}
+
+/// Conformance check for the pipelined Jacobi-with-aging reconciler
+/// (ISSUE 10): at each of three fixed config seeds (11/23/47) the
+/// pipelined solve must be bit-identical — assignment, objective bits,
+/// proposal count — across 1, 2 and 8 workers, its reported objective
+/// must equal a monolithic [`IncrementalObjective`] resync bit for bit,
+/// and the halo accounting residual must stay within tolerance.
+///
+/// Returns the worst halo residual observed across the three seeds.
+///
+/// # Errors
+///
+/// Returns a description of the first determinism or accounting
+/// violation, or of a solver error.
+pub fn check_pipelined_halo_determinism(
+    scenario: &Scenario,
+    tolerance: f64,
+) -> Result<f64, String> {
+    let mut worst = 0.0f64;
+    for config_seed in [11u64, 23, 47] {
+        let config = quick_shard_config(config_seed).with_reconcile(Reconcile::Pipelined);
+        let reference = solve_sharded(scenario, &config, 1)
+            .map_err(|e| format!("pipelined solve (seed {config_seed}): {e}"))?;
+        for workers in [2usize, 8] {
+            let outcome = solve_sharded(scenario, &config, workers)
+                .map_err(|e| format!("pipelined solve (seed {config_seed}): {e}"))?;
+            if outcome.assignment != reference.assignment
+                || outcome.objective.to_bits() != reference.objective.to_bits()
+                || outcome.proposals != reference.proposals
+            {
+                return Err(format!(
+                    "pipelined outcome (seed {config_seed}) diverges between \
+                     1 and {workers} workers: {} vs {}",
+                    reference.objective, outcome.objective
+                ));
+            }
+        }
+        let mono = IncrementalObjective::new(scenario, reference.assignment.clone())
+            .map_err(|e| format!("monolithic resync failed: {e}"))?
+            .current();
+        if reference.objective.to_bits() != mono.to_bits() {
+            return Err(format!(
+                "pipelined objective {} (seed {config_seed}) is not the \
+                 monolithic resync {mono} bit for bit",
+                reference.objective
+            ));
+        }
+        if reference.halo_residual > tolerance {
+            return Err(format!(
+                "pipelined halo residual {:.3e} (seed {config_seed}) above \
+                 tolerance",
+                reference.halo_residual
+            ));
+        }
+        worst = worst.max(reference.halo_residual);
+    }
     Ok(worst)
 }
 
@@ -538,6 +681,26 @@ mod tests {
         for seed in 0..12 {
             let sc = fuzz::scenario(&FuzzConfig::smoke(), seed);
             let worst = check_shard_equivalence(&sc, seed, 1e-9)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(worst <= 1e-9, "seed {seed}: residual {worst}");
+        }
+    }
+
+    #[test]
+    fn warm_sharded_solving_matches_the_cold_path_on_fuzzed_instances() {
+        for seed in 0..4 {
+            let sc = fuzz::scenario(&FuzzConfig::smoke(), seed);
+            let worst = check_shard_warm_equivalence(&sc, seed, 1e-9)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(worst <= 1e-9, "seed {seed}: residual {worst}");
+        }
+    }
+
+    #[test]
+    fn pipelined_reconciler_is_deterministic_on_fuzzed_instances() {
+        for seed in 0..4 {
+            let sc = fuzz::scenario(&FuzzConfig::smoke(), seed);
+            let worst = check_pipelined_halo_determinism(&sc, 1e-9)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(worst <= 1e-9, "seed {seed}: residual {worst}");
         }

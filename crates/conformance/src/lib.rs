@@ -144,6 +144,8 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
     let mut threads = InvariantVerdict::new("tempering_thread_independence");
     let mut batched = InvariantVerdict::new("batched_proposal_determinism");
     let mut shard = InvariantVerdict::new("shard_equivalence");
+    let mut shard_warm = InvariantVerdict::new("shard_warm_equivalence");
+    let mut pipelined = InvariantVerdict::new("pipelined_halo_determinism");
     let mut permutation = InvariantVerdict::new("metamorphic_user_permutation");
     let mut rescale = InvariantVerdict::new("metamorphic_lambda_rescale");
     let mut online = InvariantVerdict::new("online_seed_replay");
@@ -189,6 +191,14 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
                 seed,
                 differential::check_shard_equivalence(&scenario, seed, config.tolerance),
             );
+            shard_warm.record(
+                seed,
+                differential::check_shard_warm_equivalence(&scenario, seed, config.tolerance),
+            );
+            pipelined.record(
+                seed,
+                differential::check_pipelined_halo_determinism(&scenario, config.tolerance),
+            );
         }
         if i % config.metamorphic_stride.max(1) == 0 {
             permutation.record(
@@ -229,6 +239,8 @@ pub fn run_conformance(config: &ConformanceConfig) -> VerdictReport {
             threads,
             batched,
             shard,
+            shard_warm,
+            pipelined,
             permutation,
             rescale,
             online,
@@ -276,6 +288,6 @@ mod tests {
         let report = run_conformance(&ConformanceConfig::smoke().with_seeds(2).with_base_seed(7));
         assert_eq!(report.seeds, 2);
         assert_eq!(report.base_seed, 7);
-        assert_eq!(report.invariants.len(), 11);
+        assert_eq!(report.invariants.len(), 13);
     }
 }

@@ -65,8 +65,9 @@ pub use config::{
 pub use moves::{MoveKind, MoveMix, NeighborhoodKernel};
 pub use power::{solve_with_power_control, PowerControlConfig, PowerControlOutcome};
 pub use shard::{
-    cluster_external, halo_totals, solve_sharded, Partition, ShardConfig, ShardOutcome, ShardRun,
-    ShardSolver, ShardStats,
+    cluster_external, halo_totals, publish_halo_delta, resolve_sharded, solve_sharded, Descent,
+    Partition, Reconcile, ShardConfig, ShardOutcome, ShardRun, ShardSolver, ShardStats,
+    DESCENT_IMPROVEMENT_FLOOR,
 };
 pub use solver::TsajsSolver;
 pub use tempering::{temper, temper_from};

@@ -18,7 +18,7 @@ use mec_system::{Assignment, IncrementalObjective, Scenario, UserSpec};
 use mec_types::{Cycles, Hertz, ServerProfile, Watts};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use tsajs::shard::descent;
+use tsajs::shard::{descent, publish_halo_delta, DESCENT_IMPROVEMENT_FLOOR};
 
 /// Pass-through allocator that counts every acquisition path
 /// (fresh allocations, zeroed allocations and reallocations).
@@ -77,22 +77,66 @@ fn the_descent_loop_performs_zero_heap_allocations_at_fixed_point() {
     // Warm-up: run the descent to its fixed point. This both reaches the
     // local optimum and lets the incremental state's journaling scratch
     // grow to steady-state capacity.
-    let (changed, spent) = descent(&mut inc, 1_000_000);
-    assert!(changed, "the cold start must find improving moves");
-    assert!(spent > 0);
+    let outcome = descent(&mut inc, 1_000_000, DESCENT_IMPROVEMENT_FLOOR);
+    assert!(outcome.changed, "the cold start must find improving moves");
+    assert!(outcome.spent > 0);
+    assert!(!outcome.exhausted, "the budget is ample for this instance");
 
     // At the fixed point a further pass re-scores the full neighborhood
     // (thousands of speculative proposals) and accepts nothing — exactly
     // the steady-state shape of a converged reconciliation sweep. It must
     // not touch the heap at all.
     let before = ALLOCATIONS.load(Ordering::SeqCst);
-    let (changed, spent) = descent(&mut inc, 1_000_000);
+    let outcome = descent(&mut inc, 1_000_000, DESCENT_IMPROVEMENT_FLOOR);
     let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
-    assert!(!changed, "fixed point must be stable");
-    assert!(spent > 0, "the pass still scores the full neighborhood");
+    assert!(!outcome.changed, "fixed point must be stable");
+    assert!(
+        outcome.spent > 0,
+        "the pass still scores the full neighborhood"
+    );
     assert_eq!(
         delta, 0,
-        "the per-cluster descent loop heap-allocated {delta} times over \
-         {spent} proposals at the fixed point; it must be allocation-free"
+        "the per-cluster descent loop heap-allocated {delta} times over {} \
+         proposals at the fixed point; it must be allocation-free",
+        outcome.spent
+    );
+
+    // The warm path's steady-state pair: patching the previous decision
+    // onto a churned population and publishing a halo delta into the
+    // exchange. Both run once per CityScale batch, against buffers that
+    // reached capacity on the first batch — so at steady state neither
+    // may touch the heap either.
+    let prev = inc.assignment().clone();
+    let map: Vec<Option<mec_types::UserId>> = (0..prev.num_users())
+        .map(|v| {
+            if v % 10 == 0 {
+                None
+            } else {
+                Some(mec_types::UserId::new(v))
+            }
+        })
+        .collect();
+    let mut patched =
+        Assignment::with_dims(prev.num_users(), prev.num_servers(), prev.num_subchannels());
+    let mut continued = vec![false; prev.num_users()];
+    let n_halo = scenario.num_subchannels() * scenario.num_servers();
+    let mut totals = vec![0.5e-13; n_halo];
+    let contrib_prev = vec![0.1e-13; n_halo];
+    let contrib_next = vec![0.2e-13; n_halo];
+    // Warm-up pass lets every buffer reach capacity.
+    prev.patched_into(&map, &mut patched, &mut continued)
+        .unwrap();
+    publish_halo_delta(&mut totals, &contrib_prev, &contrib_next);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    prev.patched_into(&map, &mut patched, &mut continued)
+        .unwrap();
+    let max_delta = publish_halo_delta(&mut totals, &contrib_prev, &contrib_next);
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert!(max_delta > 0.0);
+    assert_eq!(
+        delta, 0,
+        "the warm patch + delta-publish cycle heap-allocated {delta} times; \
+         it must be allocation-free at steady state"
     );
 }

@@ -28,8 +28,10 @@
 //!    the new population ([`Assignment::patched`]),
 //! 4. re-solve at the tier's budget — warm tempered ladder, reduced warm
 //!    anneal, greedy admission with no solve at all, or (when a
-//!    full-quality batch covers a city-scale population) a cold sharded
-//!    solve through [`tsajs::solve_sharded`],
+//!    full-quality batch covers a city-scale population) the sharded
+//!    engine: a cold [`tsajs::solve_sharded`] on the first city-scale
+//!    batch, then warm [`tsajs::resolve_sharded`] patches of the prior
+//!    sharded decision on consecutive ones,
 //! 5. evaluate, score the SLA, publish an immutable [`ServiceSnapshot`]
 //!    through the lock-free [`SnapshotCell`], and emit a [`BatchReport`].
 
@@ -46,8 +48,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tsajs::{
-    anneal, anneal_from, solve_sharded, temper_from, InitialTemperature, NeighborhoodKernel,
-    ShardConfig, TemperingConfig, TtsaConfig, DEFAULT_REFRESH_TEMPERATURE,
+    anneal, anneal_from, resolve_sharded, solve_sharded, temper_from, InitialTemperature,
+    NeighborhoodKernel, ShardConfig, ShardOutcome, TemperingConfig, TtsaConfig,
+    DEFAULT_REFRESH_TEMPERATURE,
 };
 
 /// Epoch-seed stride shared with the online engine, so per-batch
@@ -336,6 +339,9 @@ pub struct SchedulerCore {
     position_rng: StdRng,
     users: Vec<ServiceUser>,
     prev: Option<(Vec<u64>, Assignment)>,
+    /// The last sharded decision, kept only across *consecutive*
+    /// city-scale batches so the next one can warm re-solve from it.
+    shard_prior: Option<ShardOutcome>,
     batcher: MicroBatcher,
     tiers: TierController,
     cell: Arc<SnapshotCell<ServiceSnapshot>>,
@@ -380,6 +386,7 @@ impl SchedulerCore {
             config,
             users: Vec::new(),
             prev: None,
+            shard_prior: None,
             metrics: ServiceMetrics::default(),
             log: Vec::new(),
             batch_index: 0,
@@ -561,6 +568,7 @@ impl SchedulerCore {
                 hit_rate,
             ) = (0.0, 0, 0, 0u64, false, 1.0);
             self.prev = None;
+            self.shard_prior = None;
         } else {
             let positions: Vec<Point2> = self.users.iter().map(|u| u.position).collect();
             let batch_seed = self
@@ -582,6 +590,7 @@ impl SchedulerCore {
                 None => None,
             };
 
+            let mut next_shard_prior: Option<ShardOutcome> = None;
             let solved = match (&tier, &patched) {
                 (Tier::GreedyAdmit, _) => {
                     let mut a = patched.as_ref().map(|(a, _)| a.clone()).unwrap_or_else(|| {
@@ -628,17 +637,27 @@ impl SchedulerCore {
                     (outcome.assignment, outcome.proposals, true)
                 }
                 (Tier::CityScale, _) => {
-                    // City-scale populations skip the monolithic ladder:
-                    // a cold sharded solve per batch (the shard engine
-                    // has no warm path), seeded from the decorrelated
-                    // shard stream so replay reproduces it bit-for-bit.
+                    // City-scale populations skip the monolithic ladder
+                    // and go through the sharded engine, seeded from the
+                    // decorrelated shard stream so replay reproduces it
+                    // bit-for-bit. Consecutive city-scale batches warm
+                    // re-solve from the prior sharded decision (patching
+                    // survivors, re-solving only churned clusters); any
+                    // gap — demotion, empty population — clears the
+                    // prior, so the next city-scale batch is cold again.
                     let config = self.config.shard.with_seed(batch_seed ^ SHARD_STREAM);
-                    let outcome = solve_sharded(
-                        &scenario,
-                        &config,
-                        effective_parallelism(self.config.threads),
-                    )?;
-                    (outcome.assignment, outcome.proposals, false)
+                    let workers = effective_parallelism(self.config.threads);
+                    let (outcome, warm) = match (&self.shard_prior, &patched) {
+                        (Some(prior), Some((_, map))) => (
+                            resolve_sharded(&scenario, &config, workers, prior, map)?,
+                            true,
+                        ),
+                        _ => (solve_sharded(&scenario, &config, workers)?, false),
+                    };
+                    let assignment = outcome.assignment.clone();
+                    let proposals = outcome.proposals;
+                    next_shard_prior = Some(outcome);
+                    (assignment, proposals, warm)
                 }
                 (_, None) => {
                     // First decision: one cold solve at the base schedule.
@@ -652,6 +671,7 @@ impl SchedulerCore {
                 }
             };
             let (solved_assignment, solved_proposals, solved_warm) = solved;
+            self.shard_prior = next_shard_prior;
             reassignments = match &patched {
                 Some((patched_assignment, map)) => (0..n)
                     .filter(|&v| {
@@ -890,7 +910,7 @@ mod tests {
         drive_arrivals(&mut core, 0..8, 0.0);
         let report = core.close_batch(0.01).unwrap().unwrap();
         assert_eq!(report.tier, "city_scale");
-        assert!(!report.warm_started, "shard solves are cold each batch");
+        assert!(!report.warm_started, "first shard solve is cold");
         assert!(report.proposals > 0, "the sharded engine really solved");
         let snap = core.snapshot();
         assert_eq!(snap.tier, Tier::CityScale);
@@ -901,15 +921,25 @@ mod tests {
             "city-scale promotion is not a controller transition"
         );
 
-        // Replay reproduces the sharded decision bit-for-bit.
+        // A consecutive city-scale batch warm re-solves from the prior
+        // sharded decision instead of cold-solving.
+        core.submit(ServiceRequest::departure(7, 0.05));
+        core.submit(ServiceRequest::arrival(20, 0.05));
+        let report = core.close_batch(0.08).unwrap().unwrap();
+        assert_eq!(report.tier, "city_scale");
+        assert!(report.warm_started, "consecutive shard batch warm-starts");
+        let warm_snap = core.snapshot();
+
+        // Replay reproduces both sharded decisions bit-for-bit.
         let replayed = SchedulerCore::replay(cfg, core.ingestion_log()).unwrap();
         let cold = replayed.snapshot();
-        assert_eq!(snap.users, cold.users);
-        assert_eq!(snap.assignment, cold.assignment);
-        assert_eq!(snap.utility.to_bits(), cold.utility.to_bits());
+        assert_eq!(warm_snap.users, cold.users);
+        assert_eq!(warm_snap.assignment, cold.assignment);
+        assert_eq!(warm_snap.utility.to_bits(), cold.utility.to_bits());
 
         // Dropping below the threshold falls back to the pressure tier,
-        // warm-starting from the sharded decision.
+        // warm-starting from the sharded decision; the shard prior is
+        // cleared, so a later re-promotion would cold-solve again.
         for id in 0..3 {
             core.submit(ServiceRequest::departure(id, 0.1));
         }

@@ -157,6 +157,99 @@ fn replaying_the_ingestion_log_reproduces_the_run_at_every_tier() {
     assert_eq!(core.metrics().sla_hits, replayed.metrics().sla_hits);
 }
 
+/// ISSUE 10: a churned city-scale soak replays bit-for-bit, every batch
+/// decision included. The drive promotes into the sharded tier, runs
+/// several consecutive warm re-solves under ~25% churn, dips below the
+/// threshold (demotion, shard prior cleared), and re-promotes (cold
+/// shard solve again) — and a fresh core fed the recorded ingestion log
+/// reproduces every `BatchReport` of the live run exactly.
+#[test]
+fn churned_city_scale_soak_replays_every_batch_bit_for_bit() {
+    let config = || {
+        ServiceConfig::quick(29)
+            .with_city_scale_threshold(6)
+            .with_batch(BatchPolicy {
+                max_size: 32,
+                max_age: Seconds::new(0.05),
+            })
+    };
+
+    // Live run: promotion → churned warm batches → demotion → return.
+    let mut live = SchedulerCore::new(config()).unwrap();
+    let mut reports = Vec::new();
+    let mut clock = 0.0f64;
+    for id in 0..8u64 {
+        live.submit(ServiceRequest::arrival(id, clock));
+    }
+    clock += 0.05;
+    reports.extend(live.flush(clock).unwrap());
+    for round in 0..4u64 {
+        live.submit(ServiceRequest::departure(round * 2, clock));
+        live.submit(ServiceRequest::arrival(100 + round, clock));
+        live.submit(ServiceRequest::departure(round * 2 + 1, clock));
+        live.submit(ServiceRequest::arrival(200 + round, clock));
+        clock += 0.05;
+        reports.extend(live.flush(clock).unwrap());
+    }
+    for id in 100..104u64 {
+        live.submit(ServiceRequest::departure(id, clock));
+    }
+    clock += 0.05;
+    reports.extend(live.flush(clock).unwrap());
+    for id in 300..304u64 {
+        live.submit(ServiceRequest::arrival(id, clock));
+    }
+    clock += 0.05;
+    reports.extend(live.flush(clock).unwrap());
+
+    // The soak hit the intended tier pattern: cold promotion, warm
+    // consecutive city batches, a full-tier dip, then a cold return.
+    let shape: Vec<(&str, bool)> = reports
+        .iter()
+        .map(|r| (r.tier.as_str(), r.warm_started))
+        .collect();
+    assert_eq!(
+        shape,
+        vec![
+            ("city_scale", false),
+            ("city_scale", true),
+            ("city_scale", true),
+            ("city_scale", true),
+            ("city_scale", true),
+            ("full", true),
+            ("city_scale", false),
+        ],
+        "soak tier/warm shape moved"
+    );
+
+    // Replay the recorded log on a fresh core, capturing every report.
+    let mut cold = SchedulerCore::new(config()).unwrap();
+    let mut cold_reports = Vec::new();
+    for entry in live.ingestion_log().to_vec() {
+        match entry {
+            LogEntry::Request(request) => cold.submit(request),
+            LogEntry::BatchClose { time_s } => {
+                cold_reports.push(cold.close_batch(time_s).unwrap().unwrap());
+            }
+        }
+    }
+    assert_eq!(reports, cold_reports, "batch decisions diverged on replay");
+    for (live_r, cold_r) in reports.iter().zip(&cold_reports) {
+        assert_eq!(
+            live_r.utility.to_bits(),
+            cold_r.utility.to_bits(),
+            "batch {} utility bits diverged",
+            live_r.batch
+        );
+    }
+    let live_snap = live.snapshot();
+    let cold_snap = cold.snapshot();
+    assert_eq!(live_snap.users, cold_snap.users);
+    assert_eq!(live_snap.assignment, cold_snap.assignment);
+    assert_eq!(live_snap.utility.to_bits(), cold_snap.utility.to_bits());
+    assert_eq!(live.tier_log(), cold.tier_log());
+}
+
 #[test]
 fn ingestion_log_round_trips_through_json() {
     let mut core = SchedulerCore::new(ladder_config(5)).unwrap();

@@ -382,6 +382,55 @@ impl Assignment {
         Ok(next)
     }
 
+    /// Buffer-reusing variant of [`Assignment::patched`]: rewrites `next`
+    /// in place (its `(S, N)` geometry must match `self`'s) and reuses
+    /// `continued` as the injectivity scratch. Allocation-free once the
+    /// buffers have reached capacity — the warm shard path runs one patch
+    /// per batch and must not touch the allocator.
+    ///
+    /// # Errors
+    ///
+    /// As [`Assignment::patched`], plus [`Error::InfeasibleAssignment`] if
+    /// `next` has a different `(S, N)` geometry.
+    pub fn patched_into(
+        &self,
+        old_of_new: &[Option<UserId>],
+        next: &mut Assignment,
+        continued: &mut Vec<bool>,
+    ) -> Result<(), Error> {
+        if next.num_servers != self.num_servers || next.num_subchannels != self.num_subchannels {
+            return Err(Error::InfeasibleAssignment(
+                "patched_into target has a different (S, N) geometry".into(),
+            ));
+        }
+        next.slots.clear();
+        next.slots.resize(old_of_new.len(), None);
+        next.occupancy.iter_mut().for_each(|o| *o = None);
+        continued.clear();
+        continued.resize(self.slots.len(), false);
+        for (v, old) in old_of_new.iter().enumerate() {
+            let Some(old) = old else { continue };
+            if old.index() >= self.slots.len() {
+                return Err(Error::UnknownEntity {
+                    kind: "user",
+                    index: old.index(),
+                    count: self.slots.len(),
+                });
+            }
+            if continued[old.index()] {
+                return Err(Error::InfeasibleAssignment(format!(
+                    "user {old} is continued by two new indices"
+                )));
+            }
+            continued[old.index()] = true;
+            if let Some((s, j)) = self.slots[old.index()] {
+                next.assign(UserId::new(v), s, j)
+                    .expect("injective survivor map preserves (12d)");
+            }
+        }
+        Ok(())
+    }
+
     /// Exhaustively re-checks all representation invariants against a
     /// scenario's geometry. Intended for tests and debug assertions; the
     /// mutation API maintains these invariants by construction.
@@ -665,6 +714,30 @@ mod tests {
         // Identity patch reproduces the original slots.
         let same = a.patched(&[Some(u(0))]).unwrap();
         assert_eq!(same.slot(u(0)), a.slot(u(0)));
+    }
+
+    #[test]
+    fn patched_into_matches_patched_and_reuses_buffers() {
+        let mut a = fresh(); // 4 users, 2 servers, 2 subchannels
+        a.assign(u(0), s(0), j(0)).unwrap();
+        a.assign(u(2), s(1), j(1)).unwrap();
+        let map = [Some(u(2)), None, Some(u(1))];
+        let expected = a.patched(&map).unwrap();
+        // A dirty, differently-sized target gets fully rewritten.
+        let mut next = Assignment::with_dims(4, 2, 2);
+        next.assign(u(3), s(0), j(1)).unwrap();
+        let mut continued = Vec::new();
+        a.patched_into(&map, &mut next, &mut continued).unwrap();
+        assert_eq!(next, expected);
+        // Repeating the patch into the same buffers is idempotent.
+        a.patched_into(&map, &mut next, &mut continued).unwrap();
+        assert_eq!(next, expected);
+        // Geometry mismatches and non-injective maps are rejected.
+        let mut wrong = Assignment::with_dims(3, 3, 2);
+        assert!(a.patched_into(&map, &mut wrong, &mut continued).is_err());
+        assert!(a
+            .patched_into(&[Some(u(1)), Some(u(1))], &mut next, &mut continued)
+            .is_err());
     }
 
     #[test]

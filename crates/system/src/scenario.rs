@@ -211,6 +211,14 @@ impl Scenario {
         Ok(self)
     }
 
+    /// Removes and returns the installed external field (if any), leaving
+    /// the scenario in the isolated (`None`) state. The sharded engine's
+    /// halo loop uses this to recycle the field's buffer across visits
+    /// instead of allocating a fresh `N·S` vector per installation.
+    pub fn take_external_rx(&mut self) -> Option<Vec<f64>> {
+        self.external_rx.take()
+    }
+
     /// The external received-power field at `[j·S + s]`, if installed.
     #[inline]
     pub fn external_rx(&self) -> Option<&[f64]> {
@@ -637,6 +645,12 @@ mod tests {
         assert!(s.external_rx().is_none());
         let s = small().with_external_rx(vec![0.0; 4]).unwrap();
         assert!(s.external_rx().is_some());
+        // take_external_rx hands the buffer back for reuse.
+        let mut s = small().with_external_rx(vec![2e-12; 4]).unwrap();
+        let taken = s.take_external_rx().unwrap();
+        assert_eq!(taken, vec![2e-12; 4]);
+        assert!(s.external_rx().is_none());
+        assert!(s.take_external_rx().is_none());
     }
 
     #[test]
